@@ -1,0 +1,87 @@
+"""E11 — Observation 3.1 / Proposition 4.1: one-sided clique instances
+are exactly solvable for both problems.
+
+Tables: MinBusy grouping vs exact; MaxThroughput prefix search vs exact
+across budget fractions, for both orientations (shared start / end).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import Table
+from repro.maxthroughput import (
+    exact_max_throughput_value,
+    solve_one_sided_max_throughput,
+)
+from repro.minbusy import solve_one_sided
+from repro.minbusy.exact import exact_min_busy_cost
+from repro.workloads import random_one_sided_instance
+
+from .conftest import report_table
+
+SEEDS = range(6)
+
+
+def sweep_minbusy():
+    rows = []
+    for side in ("left", "right"):
+        for g in (2, 4):
+            ok = True
+            for seed in SEEDS:
+                inst = random_one_sided_instance(9, g, seed=seed, side=side)
+                got = solve_one_sided(inst).cost
+                opt = exact_min_busy_cost(inst)
+                ok = ok and abs(got - opt) <= 1e-9 * max(1.0, opt)
+            rows.append((side, g, "yes" if ok else "NO"))
+    return rows
+
+
+def sweep_throughput():
+    rows = []
+    for side in ("left", "right"):
+        for frac in (0.3, 0.6, 0.9):
+            ok = True
+            total = 0
+            for seed in SEEDS:
+                inst = random_one_sided_instance(9, 3, seed=seed, side=side)
+                bi = inst.with_budget(frac * exact_min_busy_cost(inst))
+                got = solve_one_sided_max_throughput(bi).throughput
+                opt = exact_max_throughput_value(bi)
+                ok = ok and got == opt
+                total += got
+            rows.append((side, frac, total, "yes" if ok else "NO"))
+    return rows
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_minbusy_exact(benchmark):
+    rows = benchmark.pedantic(sweep_minbusy, rounds=1, iterations=1)
+    t = Table(
+        "E11 (Obs. 3.1) one-sided MinBusy grouping vs exact (n=9)",
+        ["side", "g", "all optimal"],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+    assert all(r[2] == "yes" for r in rows)
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_throughput_exact(benchmark):
+    rows = benchmark.pedantic(sweep_throughput, rounds=1, iterations=1)
+    t = Table(
+        "E11 (Prop. 4.1) one-sided MaxThroughput prefix search vs exact",
+        ["side", "T/OPT", "total tput", "all optimal"],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+    assert all(r[3] == "yes" for r in rows)
+
+
+@pytest.mark.benchmark(group="e11-kernel")
+def test_e11_grouping_kernel(benchmark):
+    inst = random_one_sided_instance(2000, 8, seed=0)
+    sched = benchmark(lambda: solve_one_sided(inst))
+    assert sched.throughput == 2000

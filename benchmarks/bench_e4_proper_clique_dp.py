@@ -1,0 +1,90 @@
+"""E4 — Theorem 3.2: FindBestConsecutive is exact for proper clique
+instances in O(n·g).
+
+Tables: exactness vs the subset-DP reference; runtime scaling in n (at
+fixed g) and in g (at fixed n), confirming the near-linear behaviour
+the O(n·g) analysis predicts (timings via pytest-benchmark groups).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.stats import Table
+from repro.minbusy import (
+    solve_find_best_consecutive,
+    solve_proper_clique_dp,
+)
+from repro.minbusy.exact import exact_min_busy_cost
+from repro.workloads import random_proper_clique_instance
+
+from .conftest import report_table
+
+SEEDS = range(8)
+
+
+def sweep_exactness():
+    rows = []
+    for g in (1, 2, 3, 5):
+        for seed in SEEDS:
+            inst = random_proper_clique_instance(10, g, seed=seed)
+            got = solve_proper_clique_dp(inst).cost
+            alt = solve_find_best_consecutive(inst).cost
+            opt = exact_min_busy_cost(inst)
+            rows.append((g, seed, got / opt, abs(got - alt)))
+    return rows
+
+
+def sweep_runtime():
+    rows = []
+    for n in (200, 800, 3200):
+        inst = random_proper_clique_instance(n, 4, seed=0)
+        t0 = time.perf_counter()
+        solve_find_best_consecutive(inst)
+        rows.append(("n", n, 4, time.perf_counter() - t0))
+    for g in (2, 8, 32):
+        inst = random_proper_clique_instance(800, g, seed=0)
+        t0 = time.perf_counter()
+        solve_find_best_consecutive(inst)
+        rows.append(("g", 800, g, time.perf_counter() - t0))
+    return rows
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_exactness(benchmark):
+    rows = benchmark.pedantic(sweep_exactness, rounds=1, iterations=1)
+    t = Table(
+        "E4 (Thm. 3.2) proper-clique DP: exactness, n=10",
+        ["g", "max ratio vs exact", "max |DP - FindBestConsecutive|"],
+    )
+    for g in (1, 2, 3, 5):
+        rs = [r for r in rows if r[0] == g]
+        t.add(g, max(r[2] for r in rs), max(r[3] for r in rs))
+    report_table(t)
+    assert all(abs(r[2] - 1.0) <= 1e-9 for r in rows)
+    assert all(r[3] <= 1e-9 for r in rows)
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_runtime_scaling(benchmark):
+    rows = benchmark.pedantic(sweep_runtime, rounds=1, iterations=1)
+    t = Table(
+        "E4 DP runtime scaling (O(n·g) predicted)",
+        ["sweep", "n", "g", "seconds"],
+    )
+    for sweep, n, g, sec in rows:
+        t.add(sweep, n, g, sec)
+    report_table(t)
+    # 16x n should cost roughly 16x time (O(n·g)); a quadratic DP would
+    # show ~256x.  Allow generous slack for interpreter noise.
+    n_times = [sec for sweep, _n, _g, sec in rows if sweep == "n"]
+    assert n_times[2] / max(n_times[0], 1e-9) < 80.0
+
+
+@pytest.mark.benchmark(group="e4-kernel")
+def test_e4_dp_kernel_n1000(benchmark):
+    inst = random_proper_clique_instance(1000, 4, seed=1)
+    sched = benchmark(lambda: solve_find_best_consecutive(inst))
+    assert sched.throughput == 1000

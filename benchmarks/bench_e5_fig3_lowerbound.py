@@ -1,0 +1,95 @@
+"""E5 — Figure 3 / Lemma 3.5: the 2-D FirstFit lower-bound construction.
+
+Regenerates the figure's instance for γ₁ ∈ {1, 2, 4} and g ∈ {8, 16, 32}
+and reports FirstFit's measured cost against the paper's closed forms
+``4g(1+2γ₁−ε)(3−ε)`` and OPT ≤ ``4(g−3)+24γ₁+8``, showing the ratio
+climbing toward the 6γ₁+3 limit as g grows and ε shrinks — exactly the
+shape of the paper's lower-bound argument.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import Table
+from repro.rect import first_fit_2d, union_area
+from repro.workloads.adversarial import (
+    fig3_firstfit_lower_bound,
+    fig3_instance,
+    fig3_opt_upper_bound,
+    fig3_optimal_groups,
+)
+
+from .conftest import report_table
+
+GAMMAS = [1.0, 2.0, 4.0]
+GS = [8, 16, 32]
+EPS = 0.05
+
+
+def sweep():
+    rows = []
+    for gamma1 in GAMMAS:
+        for g in GS:
+            rects = fig3_instance(g, gamma1, eps=EPS)
+            ff = first_fit_2d(rects, g)
+            ff_cost = ff.cost
+            opt_ub = sum(
+                union_area(grp) for grp in fig3_optimal_groups(rects, g)
+            )
+            rows.append(
+                (
+                    gamma1,
+                    g,
+                    len(rects),
+                    ff_cost,
+                    fig3_firstfit_lower_bound(g, gamma1, EPS),
+                    opt_ub,
+                    fig3_opt_upper_bound(g, gamma1, EPS),
+                    ff_cost / opt_ub,
+                    6 * gamma1 + 3,
+                )
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_fig3_lower_bound(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t = Table(
+        f"E5 (Fig. 3 / Lemma 3.5) FirstFit-2D adversarial ratio, eps={EPS}",
+        [
+            "gamma1",
+            "g",
+            "rects",
+            "FF cost",
+            "FF closed form",
+            "OPT packing",
+            "OPT closed form",
+            "ratio",
+            "limit 6g1+3",
+        ],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+
+    for gamma1, g, _n, ff, ff_form, opt, opt_form, ratio, limit in rows:
+        # Measured costs match the paper's closed forms.
+        assert ff == pytest.approx(ff_form, rel=1e-9)
+        assert opt <= opt_form + 1e-9
+        # The ratio sits below the limit and below the 6γ₁+4 upper bound.
+        assert ratio < limit
+        assert ratio <= 6 * gamma1 + 4 + 1e-9
+
+    # Monotone in g at fixed γ₁ (approaching the limit from below).
+    for gamma1 in GAMMAS:
+        rs = [r[7] for r in rows if r[0] == gamma1]
+        assert rs == sorted(rs)
+
+
+@pytest.mark.benchmark(group="e5-kernel")
+def test_e5_firstfit2d_kernel(benchmark):
+    rects = fig3_instance(16, 2.0, eps=EPS)
+    sched = benchmark(lambda: first_fit_2d(rects, 16))
+    assert sched.n_rects == len(rects)

@@ -1,0 +1,104 @@
+"""E7 — Theorem 4.1: the combined Alg1+Alg2 4-approximation for clique
+MaxThroughput.
+
+Tables: throughput vs the exact optimum across a budget sweep
+T/OPT ∈ {0.3 .. 1.0} (the worst observed factor must stay ≤ 4), and the
+DESIGN.md ablation — combined vs Alg1-only vs Alg2-only — showing the
+two regimes the proof splits on (Alg2 carries tight budgets / small
+tput*, Alg1 carries generous budgets / large tput*).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import Table
+from repro.maxthroughput import (
+    exact_max_throughput_value,
+    solve_alg1,
+    solve_alg2,
+    solve_clique_max_throughput,
+)
+from repro.minbusy.exact import exact_min_busy_cost
+from repro.workloads import random_clique_instance
+
+from .conftest import report_table
+
+FRACS = [0.3, 0.5, 0.7, 0.85, 1.0]
+SEEDS = range(6)
+N = 10
+
+
+def sweep():
+    rows = []
+    for frac in FRACS:
+        worst = 0.0
+        a1_tot = a2_tot = comb_tot = opt_tot = 0
+        for seed in SEEDS:
+            inst = random_clique_instance(N, 3, seed=seed)
+            bi = inst.with_budget(frac * exact_min_busy_cost(inst))
+            comb = solve_clique_max_throughput(bi).throughput
+            a1 = solve_alg1(bi).throughput
+            a2 = solve_alg2(bi).throughput
+            opt = exact_max_throughput_value(bi)
+            if comb > 0:
+                worst = max(worst, opt / comb)
+            elif opt > 0:
+                worst = float("inf")
+            a1_tot += a1
+            a2_tot += a2
+            comb_tot += comb
+            opt_tot += opt
+        rows.append((frac, comb_tot, a1_tot, a2_tot, opt_tot, worst))
+    return rows
+
+
+@pytest.mark.benchmark(group="e7")
+def test_e7_budget_sweep(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t = Table(
+        "E7 (Thm. 4.1) clique MaxThroughput, n=10, g=3 (totals over 6 seeds)",
+        ["T/OPT", "combined", "Alg1", "Alg2", "exact", "worst opt/got"],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+    for _frac, comb, a1, a2, _opt, worst in rows:
+        assert worst <= 4.0 + 1e-9
+        assert comb >= max(a1, a2)  # combined takes the better
+
+
+@pytest.mark.benchmark(group="e7")
+def test_e7_regime_split(benchmark):
+    """Alg2 dominates at starvation budgets, Alg1 at generous ones."""
+
+    def run():
+        inst = random_clique_instance(24, 3, seed=2)
+        lean = inst.with_budget(0.12 * inst.total_length)
+        rich = inst.with_budget(0.9 * inst.total_length)
+        return (
+            solve_alg1(lean).throughput,
+            solve_alg2(lean).throughput,
+            solve_alg1(rich).throughput,
+            solve_alg2(rich).throughput,
+        )
+
+    a1_lean, a2_lean, a1_rich, a2_rich = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    t = Table(
+        "E7 regime split (n=24, g=3)",
+        ["budget", "Alg1 tput", "Alg2 tput"],
+    )
+    t.add("lean (0.12 len)", a1_lean, a2_lean)
+    t.add("rich (0.90 len)", a1_rich, a2_rich)
+    report_table(t)
+    assert a1_rich > a2_rich  # Alg2 caps at g = 3
+
+
+@pytest.mark.benchmark(group="e7-kernel")
+def test_e7_combined_kernel(benchmark):
+    inst = random_clique_instance(200, 4, seed=0)
+    bi = inst.with_budget(0.4 * inst.total_length)
+    sched = benchmark(lambda: solve_clique_max_throughput(bi))
+    assert sched.cost <= bi.budget + 1e-9

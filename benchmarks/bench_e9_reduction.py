@@ -1,0 +1,88 @@
+"""E9 — Proposition 2.2: solving MinBusy through a MaxThroughput oracle.
+
+The binary-search reduction must recover the exact MinBusy optimum on
+integer instances, using either exact oracle (subset DP for tiny general
+instances, the Theorem 4.2 DP for proper cliques).  The table reports
+the recovered cost, the direct optimum, and the number of oracle calls
+implied by the budget range.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.stats import Table
+from repro.maxthroughput import (
+    exact_max_throughput_value,
+    min_busy_via_max_throughput,
+    proper_clique_max_throughput_value,
+)
+from repro.minbusy.exact import exact_min_busy_cost
+from repro.workloads import (
+    random_general_instance,
+    random_proper_clique_instance,
+)
+
+from .conftest import report_table
+
+
+def sweep():
+    rows = []
+    for seed in range(5):
+        inst = random_proper_clique_instance(10, 3, seed=seed, integral=True)
+        via = min_busy_via_max_throughput(
+            inst, proper_clique_max_throughput_value
+        )
+        direct = exact_min_busy_cost(inst)
+        budget_range = inst.total_length - inst.total_length / inst.g
+        rows.append(
+            (
+                "proper-clique",
+                seed,
+                via,
+                direct,
+                math.ceil(math.log2(max(2.0, budget_range))),
+            )
+        )
+    for seed in range(3):
+        inst = random_general_instance(8, 2, seed=seed, integral=True)
+        via = min_busy_via_max_throughput(inst, exact_max_throughput_value)
+        direct = exact_min_busy_cost(inst)
+        budget_range = inst.total_length - inst.total_length / inst.g
+        rows.append(
+            (
+                "general",
+                seed,
+                via,
+                direct,
+                math.ceil(math.log2(max(2.0, budget_range))),
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_reduction_recovers_optimum(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t = Table(
+        "E9 (Prop. 2.2) MinBusy via MaxThroughput budget binary search",
+        ["class", "seed", "via reduction", "direct exact", "~oracle calls"],
+    )
+    for row in rows:
+        t.add(*row)
+    report_table(t)
+    for _cls, _seed, via, direct, _calls in rows:
+        assert via == pytest.approx(direct)
+
+
+@pytest.mark.benchmark(group="e9-kernel")
+def test_e9_reduction_kernel(benchmark):
+    inst = random_proper_clique_instance(30, 3, seed=0, integral=True)
+    via = benchmark(
+        lambda: min_busy_via_max_throughput(
+            inst, proper_clique_max_throughput_value
+        )
+    )
+    assert via > 0

@@ -1,0 +1,35 @@
+"""Shared infrastructure for the experiment benches E1–E15.
+
+Each bench runs a parameter sweep inside a pytest-benchmark measurement
+and registers one or more paper-style tables.  Captured stdout of
+passing tests is normally discarded, so tables are buffered here and
+flushed through ``pytest_terminal_summary`` — they appear at the end of
+``pytest benchmarks/ --benchmark-only`` output (and therefore in
+``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+_REPORTS: List[str] = []
+
+
+def report(text: str) -> None:
+    """Register a rendered table (or any text block) for the summary."""
+    _REPORTS.append(text)
+
+
+def report_table(table) -> None:
+    """Register a repro.analysis.stats.Table."""
+    _REPORTS.append(table.render())
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "experiment tables (paper reproduction)")
+    for block in _REPORTS:
+        for line in block.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

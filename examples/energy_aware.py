@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Energy-aware cluster scenario (paper Section 1, first application).
+
+Batch compute windows on a cluster: busy time is energy drawn.  The
+rolling-maintenance-window structure makes the workload *proper* (no
+window strictly inside another), which unlocks BestCut's (2−1/g)
+guarantee — better than generic FirstFit's factor 4.
+
+Includes the weighted-throughput extension: jobs carry priorities and
+an energy budget forces choices; the exact Pareto DP (on the proper
+clique core) maximizes total priority.
+
+Run:  python examples/energy_aware.py
+"""
+
+from repro.analysis.verify import verify_min_busy_schedule
+from repro.core.bounds import combined_lower_bound
+from repro.core.instance import BudgetInstance
+from repro.minbusy import bestcut_ratio, solve_best_cut, solve_first_fit
+from repro.maxthroughput import (
+    solve_weighted_proper_clique,
+    weighted_throughput_value,
+)
+from repro.workloads.applications import energy_windows
+
+
+def minimize_energy() -> None:
+    print("== minimizing energy (MinBusy on a proper workload) ==")
+    g = 6
+    inst = energy_windows(90, g, seed=23)
+    assert inst.is_proper
+    best = solve_best_cut(inst)
+    cost = verify_min_busy_schedule(inst, best)
+    ff = solve_first_fit(inst).cost
+    lb = combined_lower_bound(inst)
+    print(f"{inst.n} batch windows over a week, g={g}")
+    print(f"energy (busy hours), FirstFit : {ff:9.1f}")
+    print(f"energy (busy hours), BestCut  : {cost:9.1f}")
+    print(f"lower bound                   : {lb:9.1f}")
+    print(
+        f"BestCut certified ratio       : {cost / lb:9.2f} "
+        f"(proven bound {bestcut_ratio(g):.2f})"
+    )
+    print()
+
+
+def prioritized_budget() -> None:
+    print("== priority scheduling under an energy budget (weighted) ==")
+    # Overnight maintenance window: all jobs overlap at 02:00, sorted
+    # starts/ends -> a proper clique instance; weights are priorities.
+    spans = [
+        (-5.0, 0.5),
+        (-4.0, 1.0),
+        (-3.5, 2.0),
+        (-2.5, 2.5),
+        (-2.0, 3.0),
+        (-1.0, 4.0),
+        (-0.5, 5.0),
+    ]
+    priorities = [5.0, 1.0, 3.0, 1.0, 4.0, 1.0, 5.0]
+    g = 2
+    for budget in (6.0, 10.0, 16.0):
+        bi = BudgetInstance.from_spans(
+            spans, g, budget=budget, weights=priorities
+        )
+        best_w = weighted_throughput_value(bi)
+        sched = solve_weighted_proper_clique(bi)
+        chosen = sorted(
+            (j for j in sched.scheduled_jobs), key=lambda j: j.start
+        )
+        desc = ", ".join(f"w={j.weight:g}" for j in chosen)
+        print(
+            f"  budget {budget:5.1f} energy-hours -> total priority "
+            f"{best_w:4.1f}  ({sched.throughput} jobs: {desc})"
+        )
+    print()
+    print("Note: the DP allows priority-driven gaps inside a machine's")
+    print("job range (finding F2 in EXPERIMENTS.md): with weights, the")
+    print("paper's consecutive-in-J structure is no longer optimal.")
+
+
+def sleep_states() -> None:
+    print()
+    print("== sleep states (Section 5 future work: power-down [2,7]) ==")
+    from repro.energy import PowerModel, gap_policy_threshold, schedule_energy
+    from repro.minbusy import solve_min_busy, solve_naive
+    from repro.workloads import random_general_instance
+
+    inst = random_general_instance(50, 4, seed=31)
+    model = PowerModel(busy_power=1.0, idle_power=0.25, wake_cost=3.0)
+    print(
+        f"power model: busy=1.0, idle=0.25, wake=3.0 "
+        f"(sleep gaps longer than {gap_policy_threshold(model):.0f}h)"
+    )
+    for name, sched in [
+        ("one job per machine", solve_naive(inst)),
+        ("dispatcher", solve_min_busy(inst).schedule),
+    ]:
+        e = schedule_energy(sched, model)
+        print(
+            f"  {name:>20}: busy {sched.cost:7.1f} h on "
+            f"{sched.n_machines():3d} machines -> energy {e:7.1f}"
+        )
+    print("Busy time dominates the bill, but wake-up costs reward")
+    print("consolidation beyond what MinBusy alone accounts for.")
+
+
+if __name__ == "__main__":
+    minimize_energy()
+    prioritized_budget()
+    sleep_states()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Optical network scenario (paper Section 1, third application).
+
+Lightpaths on a line network need regenerators along their route; with
+traffic grooming, up to ``g`` lightpaths of the same color share the
+regenerators, so hardware cost is the total busy *length* of the
+"machines" (colors).  MinBusy = minimize regenerator hardware.
+
+The budget view (MaxThroughput) is admission control: with hardware for
+T units of fiber length, how many connection requests can be accepted?
+
+Also demonstrates the Section 5 extensions: grooming on a ring network
+(BucketFirstFit on the cylinder) and on a tree network (the Obs. 3.1
+greedy for paths contained in one another).
+
+Run:  python examples/optical_grooming.py
+"""
+
+from repro.analysis.verify import verify_min_busy_schedule
+from repro.core.bounds import combined_lower_bound
+from repro.minbusy import solve_first_fit, solve_min_busy
+from repro.topology.ring import ring_union_area
+from repro.topology.ring_firstfit import ring_bucket_first_fit
+from repro.topology.tree import PathJob, Tree
+from repro.topology.tree_greedy import (
+    tree_one_sided_greedy,
+    tree_schedule_cost,
+)
+from repro.workloads.applications import (
+    optical_line_demands,
+    optical_ring_demands,
+)
+
+
+def line_network() -> None:
+    print("== line network: grooming factor g = 4 ==")
+    inst = optical_line_demands(80, 4, seed=11, n_sites=48)
+    print(f"{inst.n} lightpath demands over 48 sites")
+    result = solve_min_busy(inst)
+    cost = verify_min_busy_schedule(inst, result.schedule)
+    ff = solve_first_fit(inst).cost
+    print(f"regenerator length, FirstFit     : {ff:8.1f}")
+    print(f"regenerator length, {result.algorithm:13s}: {cost:8.1f}")
+    print(f"lower bound                      : "
+          f"{combined_lower_bound(inst):8.1f}")
+    print(f"colors (machines) used           : "
+          f"{result.schedule.n_machines():4d}")
+    print()
+
+
+def ring_network() -> None:
+    print("== ring network (Section 5): timed arc demands, g = 4 ==")
+    jobs = optical_ring_demands(60, seed=13, circumference=24.0)
+    sched = ring_bucket_first_fit(jobs, 4)
+    total = sum(j.area for j in jobs)
+    lb = max(ring_union_area(jobs), total / 4)
+    print(f"{len(jobs)} arc-time demands on a C=24 ring")
+    print(f"BucketFirstFit busy area : {sched.cost:8.1f}")
+    print(f"certificate lower bound  : {lb:8.1f}")
+    print(f"certified ratio          : {sched.cost / lb:8.2f} (<= g = 4)")
+    print()
+
+
+def tree_network() -> None:
+    print("== tree network (Section 5): greedy for nested lightpaths ==")
+    import numpy as np
+
+    tree = Tree.random_tree(40, seed=17)
+    rng = np.random.default_rng(19)
+    # Demands from the root outward tend to nest, which the greedy uses.
+    paths = [
+        PathJob(0, int(rng.integers(1, 40)), job_id=i) for i in range(50)
+    ]
+    for g in (2, 4, 8):
+        sets = tree_one_sided_greedy(tree, paths, g)
+        cost = tree_schedule_cost(tree, sets)
+        print(
+            f"  g={g}: {len(sets):2d} regenerator groups, "
+            f"total length {cost:6.1f}"
+        )
+
+
+if __name__ == "__main__":
+    line_network()
+    ring_network()
+    tree_network()

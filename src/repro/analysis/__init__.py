@@ -1,0 +1,22 @@
+"""Verification, ratio measurement, and sweep/statistics helpers."""
+
+from .ratios import RatioSample, measure_ratio, measure_ratios, summarize
+from .stats import Table, format_table, geometric_mean
+from .verify import (
+    recompute_cost,
+    verify_budget_schedule,
+    verify_min_busy_schedule,
+)
+
+__all__ = [
+    "RatioSample",
+    "measure_ratio",
+    "measure_ratios",
+    "summarize",
+    "Table",
+    "format_table",
+    "geometric_mean",
+    "recompute_cost",
+    "verify_budget_schedule",
+    "verify_min_busy_schedule",
+]

@@ -1,0 +1,69 @@
+"""ASCII Gantt rendering of schedules.
+
+Machines are rows, time is columns; each job is drawn as a run of its
+id's last digit (or ``#`` when ids collide within a cell).  Pure text so
+it works in terminals, CI logs, and the CLI's ``--gantt`` flag — the
+library has no plotting dependency.
+
+Example (3 machines, g=2)::
+
+    t=0.0                                          t=12.0
+    M0 |000000001111111111                            |
+    M1 |   2222222222222222222                        |
+    M2 |          33333333334444444444                |
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    width: int = 72,
+    max_machines: int = 40,
+) -> str:
+    """Render a schedule as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    width:
+        Number of character columns for the time axis.
+    max_machines:
+        Rows beyond this are elided with a summary line.
+    """
+    machines = schedule.machines()
+    if not machines:
+        return "(empty schedule)"
+    jobs = schedule.scheduled_jobs
+    t0 = min(j.start for j in jobs)
+    t1 = max(j.end for j in jobs)
+    span = max(t1 - t0, 1e-12)
+
+    def col(t: float) -> int:
+        return int(round((t - t0) / span * (width - 1)))
+
+    lines: List[str] = []
+    header = f"t={t0:g}"
+    tail = f"t={t1:g}"
+    pad = max(1, width - len(header) - len(tail))
+    lines.append("   " + header + " " * pad + tail)
+
+    shown = sorted(machines)[:max_machines]
+    for m in shown:
+        row = [" "] * width
+        for j in sorted(machines[m], key=lambda j: j.start):
+            a, b = col(j.start), max(col(j.end) - 1, col(j.start))
+            mark = str(j.job_id % 10)
+            for c in range(a, b + 1):
+                row[c] = mark if row[c] == " " else "#"
+        lines.append(f"M{m:<2}|" + "".join(row) + "|")
+    hidden = len(machines) - len(shown)
+    if hidden > 0:
+        lines.append(f"... ({hidden} more machines)")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Empirical approximation-ratio measurement.
+
+The paper proves worst-case ratios; the reproduction verifies them
+empirically.  On small instances ratios are measured against the exact
+solver; on large ones, against the Observation 2.1 lower bounds (which
+*over-estimates* the true ratio, so a measured certified ratio within
+the proven bound is an unconditional pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..core.bounds import combined_lower_bound
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..minbusy.exact import MAX_EXACT_N, exact_min_busy_cost
+from .verify import verify_min_busy_schedule
+
+__all__ = ["RatioSample", "measure_ratio", "measure_ratios", "summarize"]
+
+MinBusySolver = Callable[[Instance], Schedule]
+
+
+@dataclass(frozen=True)
+class RatioSample:
+    """One algorithm-vs-reference measurement."""
+
+    n: int
+    g: int
+    cost: float
+    reference: float
+    exact_reference: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.cost / self.reference if self.reference > 0 else 1.0
+
+
+def measure_ratio(
+    instance: Instance,
+    solver: MinBusySolver,
+    *,
+    force_bound: bool = False,
+) -> RatioSample:
+    """Run a solver on one instance and compare with the best reference.
+
+    Uses the exact solver when ``n <= MAX_EXACT_N`` (and not forced to
+    bounds); otherwise the Observation 2.1 certificate.
+    """
+    schedule = solver(instance)
+    cost = verify_min_busy_schedule(instance, schedule)
+    if instance.n <= min(MAX_EXACT_N, 13) and not force_bound:
+        ref = exact_min_busy_cost(instance)
+        exact = True
+    else:
+        ref = combined_lower_bound(instance)
+        exact = False
+    return RatioSample(
+        n=instance.n, g=instance.g, cost=cost, reference=ref, exact_reference=exact
+    )
+
+
+def measure_ratios(
+    instances: Iterable[Instance],
+    solver: MinBusySolver,
+    *,
+    force_bound: bool = False,
+) -> List[RatioSample]:
+    """Vector version of :func:`measure_ratio`."""
+    return [
+        measure_ratio(inst, solver, force_bound=force_bound)
+        for inst in instances
+    ]
+
+
+def summarize(samples: Sequence[RatioSample]) -> dict:
+    """Mean / max / count summary of ratio samples."""
+    if not samples:
+        return {"count": 0, "mean": None, "max": None}
+    ratios = [s.ratio for s in samples]
+    return {
+        "count": len(samples),
+        "mean": sum(ratios) / len(ratios),
+        "max": max(ratios),
+        "all_exact": all(s.exact_reference for s in samples),
+    }

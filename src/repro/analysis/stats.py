@@ -1,0 +1,70 @@
+"""Sweep running and table formatting for the benchmark harness.
+
+Every bench prints paper-style rows through :func:`format_table`, so the
+outputs in ``bench_output.txt`` read like the tables a systems paper
+would show: one row per configuration, aligned columns, an explicit
+pass/fail column against the proven bound where applicable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+__all__ = ["Table", "format_table", "geometric_mean"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (ratios aggregate multiplicatively)."""
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class Table:
+    """A tiny accumulating table with aligned text rendering."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+    def print(self) -> None:
+        print(self.render())
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(
+    title: str, columns: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    header = sep.join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    rule = "-" * len(header)
+    lines = [f"\n== {title} ==", header, rule]
+    for row in str_rows:
+        lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

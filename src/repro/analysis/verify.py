@@ -1,0 +1,95 @@
+"""Independent schedule verification.
+
+Every algorithm validates its own output, but the benches and the
+integration tests re-verify through this module, which shares *no code
+path* with schedule construction: concurrency is re-derived from raw
+event lists and costs are recomputed from sorted raw endpoint arrays
+with the vectorized union kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidScheduleError
+from ..core.instance import BudgetInstance, Instance
+from ..core.intervals import union_length_arrays
+from ..core.jobs import Job
+from ..core.schedule import Schedule
+
+__all__ = ["verify_min_busy_schedule", "verify_budget_schedule", "recompute_cost"]
+
+
+def recompute_cost(schedule: Schedule) -> float:
+    """Recompute total busy time from raw arrays (vectorized)."""
+    total = 0.0
+    for js in schedule.machines().values():
+        starts = np.array([j.start for j in js])
+        ends = np.array([j.end for j in js])
+        total += union_length_arrays(starts, ends)
+    return total
+
+
+def _check_concurrency(js: Sequence[Job], g: int, machine: int) -> None:
+    events: List[Tuple[float, int]] = []
+    for j in js:
+        events.append((j.start, 1))
+        events.append((j.end, -1))
+    events.sort(key=lambda e: (e[0], e[1]))
+    cur = 0
+    for _, d in events:
+        cur += d
+        if cur > g:
+            raise InvalidScheduleError(
+                f"machine {machine} exceeds capacity {g}"
+            )
+
+
+def verify_min_busy_schedule(
+    instance: Instance, schedule: Schedule, *, tol: float = 1e-9
+) -> float:
+    """Verify a MinBusy schedule end-to-end; returns the verified cost.
+
+    Checks: exact coverage of the job set, per-machine concurrency,
+    and cost consistency between the schedule's own accounting and the
+    independent recomputation.
+    """
+    if set(schedule.assignment) != set(instance.jobs):
+        raise InvalidScheduleError("schedule does not cover the instance")
+    for m, js in schedule.machines().items():
+        _check_concurrency(js, instance.g, m)
+    cost_a = schedule.cost
+    cost_b = recompute_cost(schedule)
+    if abs(cost_a - cost_b) > tol * max(1.0, abs(cost_a)):
+        raise InvalidScheduleError(
+            f"cost mismatch: {cost_a} (schedule) vs {cost_b} (independent)"
+        )
+    return cost_b
+
+
+def verify_budget_schedule(
+    instance: BudgetInstance, schedule: Schedule, *, tol: float = 1e-9
+) -> Tuple[int, float]:
+    """Verify a MaxThroughput schedule; returns ``(throughput, cost)``.
+
+    Checks: scheduled jobs come from the instance, concurrency, budget
+    compliance, and cost-accounting consistency.
+    """
+    uni = set(instance.jobs)
+    extra = set(schedule.assignment) - uni
+    if extra:
+        raise InvalidScheduleError(
+            f"{len(extra)} scheduled jobs are not part of the instance"
+        )
+    for m, js in schedule.machines().items():
+        _check_concurrency(js, instance.g, m)
+    cost = recompute_cost(schedule)
+    if cost > instance.budget + tol * max(1.0, instance.budget):
+        raise InvalidScheduleError(
+            f"budget violated: cost {cost} > T = {instance.budget}"
+        )
+    if abs(cost - schedule.cost) > tol * max(1.0, cost):
+        raise InvalidScheduleError("cost accounting mismatch")
+    return schedule.throughput, cost

@@ -1,0 +1,20 @@
+"""Variable capacity demands extension (paper Section 5, cf. [16])."""
+
+from .demands import (
+    demand_lower_bound,
+    demand_parallelism_bound,
+    demand_schedule_cost,
+    max_demand_concurrency,
+    validate_demand_schedule,
+)
+from .firstfit import demand_first_fit, demand_split_by_class
+
+__all__ = [
+    "demand_lower_bound",
+    "demand_parallelism_bound",
+    "demand_schedule_cost",
+    "max_demand_concurrency",
+    "validate_demand_schedule",
+    "demand_first_fit",
+    "demand_split_by_class",
+]

@@ -1,0 +1,84 @@
+"""Variable capacity demands (Section 5 extension; cf. Khandekar et al. [16]).
+
+Each job has a demand ``d_j <= g``; a machine may process any job set
+whose *total active demand* never exceeds ``g``.  The unit-demand case
+is exactly the paper's base problem.  This module provides the demand-
+aware validity sweep, the generalized lower bounds, and demand-aware
+schedules; the algorithms live in ``repro.capacity.firstfit``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.errors import InvalidScheduleError
+from ..core.instance import Instance
+from ..core.intervals import union_length
+from ..core.jobs import Job, jobs_span
+
+__all__ = [
+    "max_demand_concurrency",
+    "demand_parallelism_bound",
+    "demand_lower_bound",
+    "validate_demand_schedule",
+    "demand_schedule_cost",
+]
+
+
+def max_demand_concurrency(jobs: Sequence[Job]) -> int:
+    """Peak total demand of simultaneously active jobs (event sweep)."""
+    if not jobs:
+        return 0
+    events: List[Tuple[float, int]] = []
+    for j in jobs:
+        events.append((j.start, j.demand))
+        events.append((j.end, -j.demand))
+    events.sort(key=lambda e: (e[0], e[1]))
+    cur = peak = 0
+    for _, d in events:
+        cur += d
+        peak = max(peak, cur)
+    return peak
+
+
+def demand_parallelism_bound(instance: Instance) -> float:
+    """Generalized parallelism bound: ``Σ d_j · len_j / g``."""
+    return (
+        sum(j.demand * j.length for j in instance.jobs) / instance.g
+    )
+
+
+def demand_lower_bound(instance: Instance) -> float:
+    """``max(span(J), Σ d_j·len_j / g)`` — certificate for ratios."""
+    return max(jobs_span(instance.jobs), demand_parallelism_bound(instance))
+
+
+def demand_schedule_cost(groups: Sequence[Sequence[Job]]) -> float:
+    """Total busy time of a demand-aware machine grouping."""
+    return float(
+        sum(
+            union_length(j.interval for j in grp)
+            for grp in groups
+            if grp
+        )
+    )
+
+
+def validate_demand_schedule(
+    groups: Sequence[Sequence[Job]], g: int, universe: Sequence[Job]
+) -> None:
+    """Check demand-capacity validity and exact coverage of the universe."""
+    seen: Dict[int, int] = {}
+    for m, grp in enumerate(groups):
+        peak = max_demand_concurrency(list(grp))
+        if peak > g:
+            raise InvalidScheduleError(
+                f"demand machine {m}: peak demand {peak} > g={g}"
+            )
+        for j in grp:
+            seen[j.job_id] = seen.get(j.job_id, 0) + 1
+    uni = {j.job_id for j in universe}
+    if set(seen) != uni or any(c != 1 for c in seen.values()):
+        raise InvalidScheduleError(
+            "demand schedule does not partition the job set"
+        )

@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro solve jobs.json                 # MinBusy, dispatcher
+    python -m repro solve jobs.csv --g 3            # CSV needs --g
+    python -m repro throughput jobs.json --budget 42
+    python -m repro classify jobs.json              # instance structure
+    python -m repro generate clique --n 50 --g 3 -o inst.json
+
+Output is a human-readable report on stdout; ``--json`` switches to a
+machine-readable document (for piping into other tools).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis.verify import verify_budget_schedule, verify_min_busy_schedule
+from .core.bounds import combined_lower_bound
+from .core.instance import BudgetInstance, Instance
+from .io import load_instance, load_instance_csv, save_instance
+from .minbusy import solve_min_busy
+
+__all__ = ["main"]
+
+
+def _load(path: str, g: Optional[int], budget: Optional[float]):
+    if path.endswith(".csv"):
+        if g is None:
+            raise SystemExit("CSV input requires --g")
+        return load_instance_csv(path, g, budget=budget)
+    inst = load_instance(path)
+    # CLI flags override file contents when provided.
+    if g is not None and g != inst.g:
+        if isinstance(inst, BudgetInstance):
+            inst = BudgetInstance(jobs=inst.jobs, g=g, budget=inst.budget)
+        else:
+            inst = Instance(jobs=inst.jobs, g=g)
+    if budget is not None:
+        jobs = inst.jobs
+        inst = BudgetInstance(jobs=jobs, g=inst.g, budget=budget)
+    return inst
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    inst = _load(args.instance, args.g, None)
+    if isinstance(inst, BudgetInstance):
+        inst = inst.min_busy_instance
+    result = solve_min_busy(inst)
+    cost = verify_min_busy_schedule(inst, result.schedule)
+    lb = combined_lower_bound(inst)
+    if args.json:
+        doc = {
+            "problem": "minbusy",
+            "n": inst.n,
+            "g": inst.g,
+            "algorithm": result.algorithm,
+            "guarantee": result.guarantee,
+            "cost": cost,
+            "lower_bound": lb,
+            "machines": result.schedule.n_machines(),
+            "assignment": {
+                str(j.job_id): m
+                for j, m in result.schedule.assignment.items()
+            },
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        print(f"instance      : {inst}")
+        print(f"algorithm     : {result.algorithm}")
+        print(f"guarantee     : {result.guarantee or 'exact'}")
+        print(f"total busy    : {cost:.6g}")
+        print(f"lower bound   : {lb:.6g}")
+        print(f"machines used : {result.schedule.n_machines()}")
+        if args.gantt:
+            from .analysis.gantt import render_gantt
+
+            print(render_gantt(result.schedule))
+    return 0
+
+
+def _pick_throughput_solver(inst: BudgetInstance):
+    """Mirror the paper's case analysis for MaxThroughput."""
+    from .maxthroughput import (
+        solve_clique_max_throughput,
+        solve_one_sided_max_throughput,
+        solve_proper_clique_max_throughput,
+    )
+    from .maxthroughput.greedy import solve_greedy_shortest_first
+
+    if inst.one_sided is not None:
+        return "one_sided (exact)", solve_one_sided_max_throughput
+    if inst.is_proper_clique:
+        return "proper_clique_dp (exact)", solve_proper_clique_max_throughput
+    if inst.is_clique:
+        return "combined_alg1_alg2 (4-approx)", solve_clique_max_throughput
+    return "greedy_shortest_first (heuristic)", solve_greedy_shortest_first
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    inst = _load(args.instance, args.g, args.budget)
+    if not isinstance(inst, BudgetInstance):
+        raise SystemExit(
+            "throughput needs a budget (--budget or a 'budget' key in JSON)"
+        )
+    name, solver = _pick_throughput_solver(inst)
+    sched = solver(inst)
+    tput, cost = verify_budget_schedule(inst, sched)
+    if args.json:
+        doc = {
+            "problem": "maxthroughput",
+            "n": inst.n,
+            "g": inst.g,
+            "budget": inst.budget,
+            "algorithm": name,
+            "throughput": tput,
+            "cost": cost,
+            "scheduled_job_ids": sorted(
+                j.job_id for j in sched.scheduled_jobs
+            ),
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        print(f"instance      : {inst}")
+        print(f"algorithm     : {name}")
+        print(f"scheduled     : {tput} / {inst.n} jobs")
+        print(f"busy used     : {cost:.6g} <= {inst.budget:.6g}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    inst = _load(args.instance, args.g, None)
+    base = (
+        inst.min_busy_instance if isinstance(inst, BudgetInstance) else inst
+    )
+    doc = {
+        "n": base.n,
+        "g": base.g,
+        "is_clique": base.is_clique,
+        "is_proper": base.is_proper,
+        "is_proper_clique": base.is_proper_clique,
+        "one_sided": base.one_sided,
+        "is_connected": base.is_connected,
+        "components": len(base.components()),
+        "total_length": base.total_length,
+        "span": base.span,
+        "lower_bound": combined_lower_bound(base),
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        for k, v in doc.items():
+            print(f"{k:14s}: {v}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .workloads import (
+        random_clique_instance,
+        random_general_instance,
+        random_one_sided_instance,
+        random_proper_clique_instance,
+        random_proper_instance,
+    )
+
+    gens = {
+        "general": random_general_instance,
+        "clique": random_clique_instance,
+        "proper": random_proper_instance,
+        "proper-clique": random_proper_clique_instance,
+        "one-sided": random_one_sided_instance,
+    }
+    inst = gens[args.kind](args.n, args.g, seed=args.seed)
+    save_instance(inst, args.output)
+    print(f"wrote {inst} to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Busy-time scheduling (Mertzios et al., IPDPS 2012)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("solve", help="MinBusy via the dispatcher")
+    sp.add_argument("instance", help="JSON or CSV instance file")
+    sp.add_argument("--g", type=int, default=None, help="capacity override")
+    sp.add_argument("--json", action="store_true")
+    sp.add_argument(
+        "--gantt", action="store_true", help="ASCII Gantt chart of the result"
+    )
+    sp.set_defaults(func=_cmd_solve)
+
+    tp = sub.add_parser("throughput", help="MaxThroughput under a budget")
+    tp.add_argument("instance")
+    tp.add_argument("--g", type=int, default=None)
+    tp.add_argument("--budget", type=float, default=None)
+    tp.add_argument("--json", action="store_true")
+    tp.set_defaults(func=_cmd_throughput)
+
+    cp = sub.add_parser("classify", help="report instance structure")
+    cp.add_argument("instance")
+    cp.add_argument("--g", type=int, default=None)
+    cp.add_argument("--json", action="store_true")
+    cp.set_defaults(func=_cmd_classify)
+
+    gp = sub.add_parser("generate", help="write a random instance file")
+    gp.add_argument(
+        "kind",
+        choices=["general", "clique", "proper", "proper-clique", "one-sided"],
+    )
+    gp.add_argument("--n", type=int, default=20)
+    gp.add_argument("--g", type=int, default=3)
+    gp.add_argument("--seed", type=int, default=0)
+    gp.add_argument("-o", "--output", default="instance.json")
+    gp.set_defaults(func=_cmd_generate)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

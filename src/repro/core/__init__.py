@@ -1,0 +1,83 @@
+"""Core substrate: intervals, jobs, instances, machines, schedules, bounds."""
+
+from .errors import (
+    BudgetInfeasibleError,
+    BusyTimeError,
+    InstanceError,
+    InvalidIntervalError,
+    InvalidScheduleError,
+    UnsupportedInstanceError,
+)
+from .intervals import (
+    Interval,
+    common_point,
+    intersect_length,
+    intervals_span,
+    merge_intervals,
+    total_length,
+    union_length,
+    union_length_arrays,
+)
+from .jobs import (
+    Job,
+    connected_components,
+    is_clique_set,
+    is_one_sided,
+    is_proper_set,
+    jobs_span,
+    jobs_total_length,
+    make_jobs,
+    one_sided_kind,
+    pairwise_overlaps,
+    sort_jobs,
+)
+from .machines import Machine, max_concurrency
+from .schedule import Schedule
+from .instance import BudgetInstance, Instance
+from .bounds import (
+    certified_ratio,
+    combined_lower_bound,
+    length_bound,
+    parallelism_bound,
+    saving_ratio_to_cost_ratio,
+    span_bound,
+)
+
+__all__ = [
+    "BudgetInfeasibleError",
+    "BusyTimeError",
+    "InstanceError",
+    "InvalidIntervalError",
+    "InvalidScheduleError",
+    "UnsupportedInstanceError",
+    "Interval",
+    "common_point",
+    "intersect_length",
+    "intervals_span",
+    "merge_intervals",
+    "total_length",
+    "union_length",
+    "union_length_arrays",
+    "Job",
+    "connected_components",
+    "is_clique_set",
+    "is_one_sided",
+    "is_proper_set",
+    "jobs_span",
+    "jobs_total_length",
+    "make_jobs",
+    "one_sided_kind",
+    "pairwise_overlaps",
+    "sort_jobs",
+    "Machine",
+    "max_concurrency",
+    "Schedule",
+    "BudgetInstance",
+    "Instance",
+    "certified_ratio",
+    "combined_lower_bound",
+    "length_bound",
+    "parallelism_bound",
+    "saving_ratio_to_cost_ratio",
+    "span_bound",
+]

@@ -1,0 +1,175 @@
+"""Problem instances.
+
+:class:`Instance` is the input ``(J, g)`` of MinBusy;
+:class:`BudgetInstance` is the input ``(J, g, T)`` of MaxThroughput.
+Both validate their parameters and cache the structure predicates that
+drive the paper's case analysis (clique / proper / one-sided), so the
+dispatcher and the algorithms can assert their preconditions cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, List, Sequence, Tuple
+
+from .errors import InstanceError
+from .jobs import (
+    Job,
+    connected_components,
+    is_clique_set,
+    is_one_sided,
+    is_proper_set,
+    jobs_span,
+    jobs_total_length,
+    make_jobs,
+    one_sided_kind,
+    sort_jobs,
+)
+
+__all__ = ["Instance", "BudgetInstance"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A MinBusy instance ``(J, g)``.
+
+    ``jobs`` is stored in canonical sorted order.  The instance is
+    immutable; helper constructors build it from raw ``(s, c)`` pairs.
+    """
+
+    jobs: Tuple[Job, ...]
+    g: int
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise InstanceError(f"parallelism parameter g must be >= 1, got {self.g}")
+        object.__setattr__(self, "jobs", tuple(sort_jobs(self.jobs)))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spans(
+        cls,
+        spans: Iterable[Tuple[float, float]],
+        g: int,
+        *,
+        weights: Sequence[float] | None = None,
+        demands: Sequence[int] | None = None,
+    ) -> "Instance":
+        return cls(jobs=tuple(make_jobs(spans, weights=weights, demands=demands)), g=g)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.jobs)
+
+    @cached_property
+    def total_length(self) -> float:
+        """``len(J)``."""
+        return jobs_total_length(self.jobs)
+
+    @cached_property
+    def span(self) -> float:
+        """``span(J)``."""
+        return jobs_span(self.jobs)
+
+    @cached_property
+    def is_clique(self) -> bool:
+        return is_clique_set(self.jobs)
+
+    @cached_property
+    def is_proper(self) -> bool:
+        return is_proper_set(self.jobs)
+
+    @cached_property
+    def is_proper_clique(self) -> bool:
+        return self.is_clique and self.is_proper
+
+    @cached_property
+    def one_sided(self) -> str | None:
+        """``"left"``/``"right"`` for one-sided clique instances else None."""
+        return one_sided_kind(self.jobs)
+
+    @cached_property
+    def is_connected(self) -> bool:
+        return len(connected_components(self.jobs)) <= 1
+
+    def components(self) -> List["Instance"]:
+        """Split into connected components (each again an Instance).
+
+        MinBusy decomposes over components (Section 2); solving each
+        separately and merging is exact.
+        """
+        return [
+            Instance(jobs=tuple(self.jobs[i] for i in comp), g=self.g)
+            for comp in connected_components(self.jobs)
+        ]
+
+    def with_budget(self, budget: float) -> "BudgetInstance":
+        return BudgetInstance(jobs=self.jobs, g=self.g, budget=budget)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = []
+        if self.is_clique:
+            kinds.append("clique")
+        if self.is_proper:
+            kinds.append("proper")
+        if self.one_sided:
+            kinds.append(f"one-sided/{self.one_sided}")
+        kind = ",".join(kinds) or "general"
+        return f"Instance(n={self.n}, g={self.g}, {kind})"
+
+
+@dataclass(frozen=True)
+class BudgetInstance:
+    """A MaxThroughput instance ``(J, g, T)``."""
+
+    jobs: Tuple[Job, ...]
+    g: int
+    budget: float
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise InstanceError(f"parallelism parameter g must be >= 1, got {self.g}")
+        if self.budget < 0:
+            raise InstanceError(f"budget T must be >= 0, got {self.budget}")
+        object.__setattr__(self, "jobs", tuple(sort_jobs(self.jobs)))
+
+    @classmethod
+    def from_spans(
+        cls,
+        spans: Iterable[Tuple[float, float]],
+        g: int,
+        budget: float,
+        *,
+        weights: Sequence[float] | None = None,
+    ) -> "BudgetInstance":
+        return cls(jobs=tuple(make_jobs(spans, weights=weights)), g=g, budget=budget)
+
+    @property
+    def n(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def min_busy_instance(self) -> Instance:
+        """The underlying ``(J, g)`` MinBusy instance."""
+        return Instance(jobs=self.jobs, g=self.g)
+
+    @cached_property
+    def is_clique(self) -> bool:
+        return is_clique_set(self.jobs)
+
+    @cached_property
+    def is_proper(self) -> bool:
+        return is_proper_set(self.jobs)
+
+    @cached_property
+    def is_proper_clique(self) -> bool:
+        return self.is_clique and self.is_proper
+
+    @cached_property
+    def one_sided(self) -> str | None:
+        return one_sided_kind(self.jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BudgetInstance(n={self.n}, g={self.g}, T={self.budget})"

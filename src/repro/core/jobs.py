@@ -1,0 +1,253 @@
+"""Jobs and job-set structure predicates.
+
+A :class:`Job` is an interval with an identity (``job_id``), an optional
+``weight`` (used by the weighted-throughput extension of Section 5) and
+an optional ``demand`` (used by the variable-capacity extension; the
+base problems of the paper use demand 1).
+
+The module also implements the structural predicates that drive the
+paper's case analysis:
+
+* :func:`is_clique_set` — all jobs share a common time
+  (Section 2, "Special cases"; by the Helly property this is equivalent
+  to the interval graph being a clique),
+* :func:`is_proper_set` — no job properly contains another, i.e.
+  ``s_J <= s_J'  iff  c_J <= c_J'`` for every pair,
+* :func:`is_one_sided` — clique set in which all jobs share a start time
+  or all share a completion time,
+* :func:`connected_components` — components of the interval graph, used
+  to justify the w.l.o.g. connectivity assumption for MinBusy,
+* :func:`sort_jobs` — the canonical ``J_1 <= J_2 <= ...`` ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from .errors import InvalidIntervalError
+from .intervals import Interval, common_point, total_length, union_length
+
+__all__ = [
+    "Job",
+    "make_jobs",
+    "sort_jobs",
+    "jobs_total_length",
+    "jobs_span",
+    "is_clique_set",
+    "is_proper_set",
+    "is_one_sided",
+    "one_sided_kind",
+    "connected_components",
+    "pairwise_overlaps",
+]
+
+_job_counter = itertools.count()
+
+
+@dataclass(frozen=True, order=True)
+class Job:
+    """A job: the time interval during which it must be processed.
+
+    Ordering is by ``(start, end, job_id)`` so that sorting a proper
+    instance yields the paper's canonical non-decreasing order and ties
+    are broken deterministically.
+    """
+
+    start: float
+    end: float
+    job_id: int = field(default_factory=lambda: next(_job_counter))
+    weight: float = 1.0
+    demand: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.end > self.start:
+            raise InvalidIntervalError(
+                f"job {self.job_id} must have positive length, "
+                f"got [{self.start}, {self.end})"
+            )
+        if self.weight < 0:
+            raise InvalidIntervalError(
+                f"job {self.job_id} has negative weight {self.weight}"
+            )
+        if self.demand < 1:
+            raise InvalidIntervalError(
+                f"job {self.job_id} has demand {self.demand} < 1"
+            )
+
+    @property
+    def interval(self) -> Interval:
+        """The processing interval as a bare :class:`Interval`."""
+        return Interval(self.start, self.end)
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Job") -> bool:
+        return min(self.end, other.end) > max(self.start, other.start)
+
+    def overlap_length(self, other: "Job") -> float:
+        return max(0.0, min(self.end, other.end) - max(self.start, other.start))
+
+    def properly_contains(self, other: "Job") -> bool:
+        return (
+            self.start <= other.start
+            and other.end <= self.end
+            and (self.start, self.end) != (other.start, other.end)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Job#{self.job_id}[{self.start},{self.end})"
+
+
+def make_jobs(
+    spans: Iterable[Tuple[float, float]],
+    *,
+    weights: Sequence[float] | None = None,
+    demands: Sequence[int] | None = None,
+) -> List[Job]:
+    """Build jobs with consecutive ids ``0..n-1`` from ``(start, end)`` pairs."""
+    spans = list(spans)
+    if weights is not None and len(weights) != len(spans):
+        raise InvalidIntervalError("weights length must match spans length")
+    if demands is not None and len(demands) != len(spans):
+        raise InvalidIntervalError("demands length must match spans length")
+    jobs = []
+    for i, (s, c) in enumerate(spans):
+        jobs.append(
+            Job(
+                start=float(s),
+                end=float(c),
+                job_id=i,
+                weight=float(weights[i]) if weights is not None else 1.0,
+                demand=int(demands[i]) if demands is not None else 1,
+            )
+        )
+    return jobs
+
+
+def sort_jobs(jobs: Iterable[Job]) -> List[Job]:
+    """Canonical ``J_1 <= J_2 <= ...`` order: by (start, end, id)."""
+    return sorted(jobs)
+
+
+def jobs_total_length(jobs: Iterable[Job]) -> float:
+    """``len(J)`` — sum of job lengths."""
+    return total_length(j.interval for j in jobs)
+
+
+def jobs_span(jobs: Iterable[Job]) -> float:
+    """``span(J)`` — length of the union of the job intervals."""
+    return union_length(j.interval for j in jobs)
+
+
+# ----------------------------------------------------------------------
+# structural predicates
+# ----------------------------------------------------------------------
+
+
+def is_clique_set(jobs: Sequence[Job]) -> bool:
+    """All jobs pairwise overlap ⟺ they share a common time (Helly)."""
+    if len(jobs) <= 1:
+        return True
+    return common_point([j.interval for j in jobs]) is not None
+
+
+def is_proper_set(jobs: Sequence[Job]) -> bool:
+    """No job properly contains another.
+
+    Equivalent to the paper's condition ``s_J <= s_J' iff c_J <= c_J'``:
+    after sorting by ``(start, end)``, ends must strictly increase with
+    strictly increasing starts, and equal starts force equal ends.
+    """
+    ordered = sorted(jobs, key=lambda j: (j.start, j.end))
+    for a, b in zip(ordered, ordered[1:]):
+        if a.start == b.start:
+            if a.end != b.end:
+                return False
+        else:  # a.start < b.start
+            if b.end < a.end or b.end == a.end:
+                # b nested in a (strictly, or sharing the right endpoint)
+                # — either way the "iff" condition fails.
+                if (a.start, a.end) != (b.start, b.end):
+                    return False
+    return True
+
+
+def one_sided_kind(jobs: Sequence[Job]) -> str | None:
+    """Return ``"left"``/``"right"`` for a one-sided clique instance.
+
+    ``"left"`` means all jobs share the same start time, ``"right"`` the
+    same completion time.  Returns ``None`` when the set is not a
+    one-sided clique instance.  A set where both hold (all jobs
+    identical) reports ``"left"``.
+    """
+    if not jobs:
+        return "left"
+    if not is_clique_set(jobs):
+        return None
+    starts = {j.start for j in jobs}
+    ends = {j.end for j in jobs}
+    if len(starts) == 1:
+        return "left"
+    if len(ends) == 1:
+        return "right"
+    return None
+
+
+def is_one_sided(jobs: Sequence[Job]) -> bool:
+    """Whether the set is a one-sided clique instance (Section 2)."""
+    return one_sided_kind(jobs) is not None
+
+
+def pairwise_overlaps(jobs: Sequence[Job]) -> List[Tuple[int, int, float]]:
+    """All overlapping index pairs ``(i, j, overlap_length)``, i < j.
+
+    This is the edge list of the paper's weighted graph ``G_m``
+    (Section 3.1).  Runs the standard sweep in O(n log n + m).
+    """
+    order = sorted(range(len(jobs)), key=lambda i: (jobs[i].start, jobs[i].end))
+    out: List[Tuple[int, int, float]] = []
+    active: List[int] = []  # indices of jobs whose interval may still overlap
+    for idx in order:
+        j = jobs[idx]
+        still = []
+        for a in active:
+            if jobs[a].end > j.start:
+                still.append(a)
+                w = j.overlap_length(jobs[a])
+                if w > 0:
+                    lo, hi = (a, idx) if a < idx else (idx, a)
+                    out.append((lo, hi, w))
+        active = still
+        active.append(idx)
+    return out
+
+
+def connected_components(jobs: Sequence[Job]) -> List[List[int]]:
+    """Components of the interval graph, as lists of job indices.
+
+    Used to justify the paper's w.l.o.g. assumption that MinBusy
+    instances are connected: components can be solved independently.
+    Computed with a single sweep in O(n log n).
+    """
+    n = len(jobs)
+    if n == 0:
+        return []
+    order = sorted(range(n), key=lambda i: (jobs[i].start, jobs[i].end))
+    comps: List[List[int]] = []
+    cur: List[int] = [order[0]]
+    cur_end = jobs[order[0]].end
+    for idx in order[1:]:
+        j = jobs[idx]
+        if j.start < cur_end:
+            cur.append(idx)
+            cur_end = max(cur_end, j.end)
+        else:
+            comps.append(cur)
+            cur = [idx]
+            cur_end = j.end
+    comps.append(cur)
+    return comps

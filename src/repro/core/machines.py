@@ -1,0 +1,134 @@
+"""Machine model: a machine with ``g`` threads of execution.
+
+The paper defines validity as "every machine processes at most ``g``
+jobs at any given time", equivalently the machine has ``g`` threads,
+each processing at most one job at a time.  :class:`Machine` implements
+that thread view because two of the paper's algorithms (FirstFit in 1-D
+and 2-D, Algorithm 3) place jobs on explicit threads.
+
+A machine's *busy time* is the span of its assigned jobs (Section 2:
+``busy_i = span(J_i^s)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .errors import InvalidScheduleError
+from .intervals import union_length
+from .jobs import Job
+
+__all__ = ["Machine", "max_concurrency"]
+
+
+def max_concurrency(jobs: Sequence[Job]) -> int:
+    """Maximum number of jobs simultaneously active, via event sweep.
+
+    Half-open semantics: a job ending at ``t`` does not overlap a job
+    starting at ``t``, so departures are processed before arrivals.
+    """
+    if not jobs:
+        return 0
+    events: List[tuple] = []
+    for j in jobs:
+        events.append((j.start, 1))
+        events.append((j.end, -1))
+    # sort by time; at equal times, -1 (departure) before +1 (arrival)
+    events.sort(key=lambda e: (e[0], e[1]))
+    cur = peak = 0
+    for _, delta in events:
+        cur += delta
+        peak = max(peak, cur)
+    return peak
+
+
+@dataclass
+class Machine:
+    """A single machine with ``g`` threads.
+
+    ``threads[τ]`` is the list of jobs assigned to thread ``τ``; jobs on
+    one thread must be pairwise non-overlapping.  Algorithms that do not
+    care about threads can use :meth:`add` which performs first-fit
+    placement among the machine's threads, or :meth:`add_unchecked`
+    followed by a final validity sweep.
+    """
+
+    g: int
+    machine_id: int = 0
+    threads: List[List[Job]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise InvalidScheduleError(f"capacity g must be >= 1, got {self.g}")
+        if not self.threads:
+            self.threads = [[] for _ in range(self.g)]
+        elif len(self.threads) != self.g:
+            raise InvalidScheduleError(
+                f"machine has {len(self.threads)} threads, expected g={self.g}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> List[Job]:
+        """All jobs on the machine, in thread order."""
+        return [j for t in self.threads for j in t]
+
+    @property
+    def n_jobs(self) -> int:
+        return sum(len(t) for t in self.threads)
+
+    @property
+    def busy_time(self) -> float:
+        """``busy_i`` — span of the machine's job set (0 when empty)."""
+        js = self.jobs
+        if not js:
+            return 0.0
+        return union_length(j.interval for j in js)
+
+    # ------------------------------------------------------------------
+    def thread_fits(self, tau: int, job: Job) -> bool:
+        """Whether ``job`` overlaps no job already on thread ``tau``."""
+        return all(not job.overlaps(other) for other in self.threads[tau])
+
+    def first_fitting_thread(self, job: Job) -> Optional[int]:
+        """Lowest-index thread that can take ``job``, or ``None``."""
+        for tau in range(self.g):
+            if self.thread_fits(tau, job):
+                return tau
+        return None
+
+    def add(self, job: Job) -> int:
+        """First-fit the job onto a thread; returns the thread index.
+
+        Raises :class:`InvalidScheduleError` when no thread fits (the
+        machine would exceed capacity ``g`` at some time).
+        """
+        tau = self.first_fitting_thread(job)
+        if tau is None:
+            raise InvalidScheduleError(
+                f"machine {self.machine_id}: no thread fits {job!r}"
+            )
+        self.threads[tau].append(job)
+        return tau
+
+    def try_add(self, job: Job) -> Optional[int]:
+        """Like :meth:`add` but returns ``None`` instead of raising."""
+        tau = self.first_fitting_thread(job)
+        if tau is not None:
+            self.threads[tau].append(job)
+        return tau
+
+    def add_to_thread(self, tau: int, job: Job) -> None:
+        """Place ``job`` on a specific thread, checking non-overlap."""
+        if not 0 <= tau < self.g:
+            raise InvalidScheduleError(f"thread index {tau} out of range")
+        if not self.thread_fits(tau, job):
+            raise InvalidScheduleError(
+                f"machine {self.machine_id} thread {tau} cannot take {job!r}"
+            )
+        self.threads[tau].append(job)
+
+    def is_valid(self) -> bool:
+        """Re-check capacity with an independent event sweep."""
+        return max_concurrency(self.jobs) <= self.g

@@ -1,0 +1,32 @@
+"""Flexible jobs extension (paper Section 5, cloud-computing bullet).
+
+The base model fixes each job to its interval.  The paper points at the
+generalization where a job has a *processing time* ``p_j <= c_j - s_j``
+and must run for ``p_j`` consecutive units somewhere inside its window
+``[s_j, c_j)`` (cf. [25]).  Choosing start times adds real freedom: the
+scheduler can *align* jobs to overlap and shrink busy time below what
+any fixed-interval schedule achieves.
+
+:mod:`repro.flexible.jobs` defines the model, placements, validity, and
+the generalized lower bounds; :mod:`repro.flexible.greedy` provides a
+busy-time-aware placement heuristic plus the reduction to the base
+problem when windows are tight (``p_j = c_j - s_j``), which the tests
+use to anchor the extension to the paper's algorithms.
+"""
+
+from .jobs import (
+    FlexJob,
+    FlexPlacement,
+    FlexSchedule,
+    flexible_lower_bound,
+)
+from .greedy import align_first_fit, tight_to_instance
+
+__all__ = [
+    "FlexJob",
+    "FlexPlacement",
+    "FlexSchedule",
+    "flexible_lower_bound",
+    "align_first_fit",
+    "tight_to_instance",
+]

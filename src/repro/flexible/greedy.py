@@ -1,0 +1,101 @@
+"""Placement heuristic for flexible jobs + the tight-window reduction.
+
+``align_first_fit`` processes jobs longest-first (the FirstFit order of
+the base model).  For each job it evaluates, on every machine, the
+best-aligned feasible start — candidate starts are the window
+endpoints plus alignments to existing run boundaries on that machine
+(an optimal placement can always be shifted until it hits one of those,
+so the candidate set loses nothing per-machine) — and takes the
+placement with the smallest busy-time increment; a fresh machine is the
+fallback.
+
+When every window is tight (``p_j`` equals the window length) the model
+degenerates to the paper's fixed-interval problem, and
+``tight_to_instance`` converts to a base :class:`~repro.core.instance.
+Instance` so all Section 3 algorithms apply unchanged — the tests pin
+``align_first_fit`` to FirstFit's cost in that regime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import InvalidIntervalError
+from ..core.instance import Instance
+from ..core.intervals import union_length
+from ..core.machines import max_concurrency
+from .jobs import FlexJob, FlexPlacement, FlexSchedule
+
+__all__ = ["align_first_fit", "tight_to_instance"]
+
+
+def tight_to_instance(jobs: Sequence[FlexJob], g: int) -> Instance:
+    """Convert tight-window flexible jobs to a base-model instance."""
+    for j in jobs:
+        if j.slack > 1e-9:
+            raise InvalidIntervalError(
+                f"job {j.job_id} has slack {j.slack}; not a tight instance"
+            )
+    return Instance.from_spans(
+        [(j.window_start, j.window_end) for j in jobs], g
+    )
+
+
+def _candidate_starts(job: FlexJob, placed: List[FlexPlacement]) -> List[float]:
+    """Start times worth trying on a machine: window extremes plus
+    alignments of either run edge to existing run edges."""
+    cands = {job.window_start, job.latest_start}
+    for p in placed:
+        for edge in (p.start, p.end):
+            cands.add(edge)              # align left edge to an edge
+            cands.add(edge - job.proc)   # align right edge to an edge
+    lo, hi = job.window_start, job.latest_start
+    return sorted(c for c in cands if lo - 1e-12 <= c <= hi + 1e-12)
+
+
+def _best_on_machine(
+    job: FlexJob, placed: List[FlexPlacement], g: int
+) -> Optional[Tuple[float, float]]:
+    """(busy-time increment, start) of the best feasible placement, or
+    None when no candidate respects the capacity."""
+    base = union_length(p.interval for p in placed) if placed else 0.0
+    best: Optional[Tuple[float, float]] = None
+    for start in _candidate_starts(job, placed):
+        trial = [p.as_fixed_job() for p in placed]
+        cand = FlexPlacement(job=job, start=start)
+        trial.append(cand.as_fixed_job())
+        if max_concurrency(trial) > g:
+            continue
+        delta = union_length(j.interval for j in trial) - base
+        if best is None or delta < best[0] - 1e-12:
+            best = (delta, start)
+    return best
+
+
+def align_first_fit(jobs: Sequence[FlexJob], g: int) -> FlexSchedule:
+    """Longest-first, cheapest-aligned-increment placement heuristic.
+
+    Always returns a valid complete schedule; cost is at most
+    ``Σ p_j`` (each job adds at most its own processing time) and hence
+    at most ``g ×`` the flexible lower bound — the Proposition 2.1
+    analogue carries over.
+    """
+    sched = FlexSchedule(g=g)
+    ordered = sorted(jobs, key=lambda j: (-j.proc, j.job_id))
+    for job in ordered:
+        best_m: Optional[int] = None
+        best: Optional[Tuple[float, float]] = None
+        for m, placed in sched.machines.items():
+            cand = _best_on_machine(job, placed, g)
+            if cand is not None and (best is None or cand[0] < best[0] - 1e-12):
+                best = cand
+                best_m = m
+        if best is None or best[0] >= job.proc - 1e-12:
+            # A fresh machine costs exactly proc; prefer it on ties so
+            # machine counts stay predictable.
+            fresh = len(sched.machines)
+            sched.place(fresh, job.placed_at(job.window_start))
+        else:
+            sched.place(best_m, job.placed_at(best[1]))
+    sched.validate(list(jobs))
+    return sched

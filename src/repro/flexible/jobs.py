@@ -1,0 +1,154 @@
+"""Flexible-job model: windows, placements, schedules, bounds.
+
+A :class:`FlexJob` must receive ``proc`` consecutive time units inside
+``[window_start, window_end)``.  A :class:`FlexPlacement` fixes its
+actual run ``[start, start + proc)``; a :class:`FlexSchedule` collects
+placements per machine and re-uses the library's sweep machinery for
+validity (≤ g concurrent runs per machine) and cost (union length per
+machine).
+
+Lower bounds (generalizing Observation 2.1):
+
+* parallelism: ``Σ p_j / g`` — processing volume over capacity;
+* longest job: ``max p_j`` — some machine runs that job;
+* both survive because they do not reference fixed intervals.  The
+  span bound does *not* transfer: moving jobs can shrink the union.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core.errors import InvalidIntervalError, InvalidScheduleError
+from ..core.intervals import Interval, union_length
+from ..core.jobs import Job
+from ..core.machines import max_concurrency
+
+__all__ = [
+    "FlexJob",
+    "FlexPlacement",
+    "FlexSchedule",
+    "flexible_lower_bound",
+]
+
+_flex_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class FlexJob:
+    """A job needing ``proc`` consecutive units inside its window."""
+
+    window_start: float
+    window_end: float
+    proc: float
+    job_id: int = field(default_factory=lambda: next(_flex_counter))
+
+    def __post_init__(self) -> None:
+        if not self.window_end > self.window_start:
+            raise InvalidIntervalError(
+                f"flex job {self.job_id}: empty window"
+            )
+        if not 0 < self.proc <= self.window_end - self.window_start + 1e-12:
+            raise InvalidIntervalError(
+                f"flex job {self.job_id}: processing time {self.proc} "
+                f"outside (0, window length]"
+            )
+
+    @property
+    def slack(self) -> float:
+        """How far the run can slide: window length − proc."""
+        return (self.window_end - self.window_start) - self.proc
+
+    @property
+    def latest_start(self) -> float:
+        return self.window_end - self.proc
+
+    def placed_at(self, start: float) -> "FlexPlacement":
+        if not (
+            self.window_start - 1e-12 <= start <= self.latest_start + 1e-12
+        ):
+            raise InvalidScheduleError(
+                f"flex job {self.job_id}: start {start} outside window"
+            )
+        return FlexPlacement(job=self, start=float(start))
+
+
+@dataclass(frozen=True)
+class FlexPlacement:
+    """A flexible job with its chosen start time."""
+
+    job: FlexJob
+    start: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.job.proc
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.end)
+
+    def as_fixed_job(self) -> Job:
+        """The placement as a base-model job (for sweep reuse)."""
+        return Job(start=self.start, end=self.end, job_id=self.job.job_id)
+
+
+@dataclass
+class FlexSchedule:
+    """Machine → placements; cost is total busy time of the runs."""
+
+    g: int
+    machines: Dict[int, List[FlexPlacement]] = field(default_factory=dict)
+
+    def place(self, machine: int, placement: FlexPlacement) -> None:
+        self.machines.setdefault(machine, []).append(placement)
+
+    @property
+    def n_jobs(self) -> int:
+        return sum(len(v) for v in self.machines.values())
+
+    @property
+    def cost(self) -> float:
+        return float(
+            sum(
+                union_length(p.interval for p in ps)
+                for ps in self.machines.values()
+                if ps
+            )
+        )
+
+    def validate(self, universe: Sequence[FlexJob]) -> None:
+        """Windows respected, capacity respected, exact coverage."""
+        seen: Dict[int, int] = {}
+        for m, ps in self.machines.items():
+            for p in ps:
+                j = p.job
+                if not (
+                    j.window_start - 1e-9
+                    <= p.start
+                    <= j.latest_start + 1e-9
+                ):
+                    raise InvalidScheduleError(
+                        f"machine {m}: job {j.job_id} placed outside window"
+                    )
+                seen[j.job_id] = seen.get(j.job_id, 0) + 1
+            fixed = [p.as_fixed_job() for p in ps]
+            if max_concurrency(fixed) > self.g:
+                raise InvalidScheduleError(
+                    f"machine {m} exceeds capacity {self.g}"
+                )
+        uni = {j.job_id for j in universe}
+        if set(seen) != uni or any(c != 1 for c in seen.values()):
+            raise InvalidScheduleError(
+                "flexible schedule does not place every job exactly once"
+            )
+
+
+def flexible_lower_bound(jobs: Sequence[FlexJob], g: int) -> float:
+    """``max(Σ p_j / g, max p_j)`` — valid for any placement choice."""
+    if not jobs:
+        return 0.0
+    total = sum(j.proc for j in jobs)
+    return max(total / g, max(j.proc for j in jobs))

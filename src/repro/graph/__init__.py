@@ -1,0 +1,14 @@
+"""Graph substrate: interval graphs, blossom matching, set cover."""
+
+from .intervalgraph import IntervalGraph
+from .matching import brute_force_matching, matching_weight, max_weight_matching
+from .setcover import greedy_weighted_set_cover, harmonic
+
+__all__ = [
+    "IntervalGraph",
+    "brute_force_matching",
+    "matching_weight",
+    "max_weight_matching",
+    "greedy_weighted_set_cover",
+    "harmonic",
+]

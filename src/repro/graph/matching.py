@@ -1,0 +1,525 @@
+"""Maximum-weight matching in general graphs (Edmonds' blossom algorithm).
+
+Lemma 3.1 of the paper reduces MinBusy on clique instances with
+``g = 2`` to maximum-weight matching in the overlap graph ``G_m``:
+pairing two jobs on one machine saves exactly their overlap length, so
+the maximum saving is the maximum-weight matching.
+
+This module implements the O(n³) primal-dual blossom algorithm in the
+style of Galil's survey / Joris van Rantwijk's reference implementation:
+a sequence of *stages*, each growing an alternating forest of S/T
+labelled (blossom-)vertices, shrinking odd cycles into blossoms,
+adjusting dual variables, and augmenting along zero-slack paths.  It is
+self-contained — no networkx — and is cross-validated in the test suite
+against a brute-force matcher and against networkx's implementation.
+
+Weights may be arbitrary non-negative floats.  The returned matching
+maximizes total weight (not cardinality).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["max_weight_matching", "matching_weight", "brute_force_matching"]
+
+
+def max_weight_matching(
+    edges: Sequence[Tuple[int, int, float]], maxcardinality: bool = False
+) -> List[int]:
+    """Compute a maximum-weight matching.
+
+    Parameters
+    ----------
+    edges:
+        ``(i, j, weight)`` triples with ``i != j`` and non-negative
+        integer vertex ids.  Parallel edges are allowed (the best one
+        wins); self-loops are rejected.
+    maxcardinality:
+        When true, only maximum-cardinality matchings are considered
+        (not needed by the paper's reduction, provided for completeness).
+
+    Returns
+    -------
+    list
+        ``mate`` array: ``mate[v]`` is the vertex matched to ``v`` or
+        ``-1`` if ``v`` is single.  Vertices beyond the largest endpoint
+        mentioned in ``edges`` are absent.
+    """
+    if not edges:
+        return []
+    for (i, j, _w) in edges:
+        if i == j or i < 0 or j < 0:
+            raise ValueError(f"invalid edge ({i}, {j})")
+
+    nedge = len(edges)
+    nvertex = 1 + max(max(i, j) for (i, j, _w) in edges)
+    maxweight = max(0.0, max(float(w) for (_i, _j, w) in edges))
+    edges = [(i, j, float(w)) for (i, j, w) in edges]
+
+    # endpoint[p] is the vertex at endpoint p of edge p // 2.
+    endpoint = [edges[p // 2][p % 2] for p in range(2 * nedge)]
+    # neighbend[v] lists the remote endpoints of edges incident to v.
+    neighbend: List[List[int]] = [[] for _ in range(nvertex)]
+    for k, (i, j, _w) in enumerate(edges):
+        neighbend[i].append(2 * k + 1)
+        neighbend[j].append(2 * k)
+
+    # mate[v] is the remote endpoint of v's matched edge, or -1.
+    mate = nvertex * [-1]
+    # label per top-level blossom: 0 free, 1 = S, 2 = T, 5 = breadcrumb.
+    label = (2 * nvertex) * [0]
+    # labelend[b]: remote endpoint of the edge through which b got its label.
+    labelend = (2 * nvertex) * [-1]
+    # inblossom[v]: top-level blossom containing vertex v.
+    inblossom = list(range(nvertex))
+    blossomparent = (2 * nvertex) * [-1]
+    blossomchilds: List[List[int] | None] = (2 * nvertex) * [None]
+    blossombase = list(range(nvertex)) + nvertex * [-1]
+    blossomendps: List[List[int] | None] = (2 * nvertex) * [None]
+    # bestedge[b]: least-slack edge from b to a different S-blossom.
+    bestedge = (2 * nvertex) * [-1]
+    blossombestedges: List[List[int] | None] = (2 * nvertex) * [None]
+    unusedblossoms = list(range(nvertex, 2 * nvertex))
+    # dual variables (pre-multiplied by 2 relative to the LP duals).
+    dualvar = nvertex * [maxweight] + nvertex * [0.0]
+    allowedge = nedge * [False]
+    queue: List[int] = []
+
+    def slack(k: int) -> float:
+        (i, j, wt) = edges[k]
+        return dualvar[i] + dualvar[j] - 2.0 * wt
+
+    def blossom_leaves(b: int):
+        if b < nvertex:
+            yield b
+        else:
+            for t in blossomchilds[b]:  # type: ignore[union-attr]
+                if t < nvertex:
+                    yield t
+                else:
+                    yield from blossom_leaves(t)
+
+    def assign_label(w: int, t: int, p: int) -> None:
+        b = inblossom[w]
+        label[w] = label[b] = t
+        labelend[w] = labelend[b] = p
+        bestedge[w] = bestedge[b] = -1
+        if t == 1:
+            # S-vertex/blossom: scan its vertices later.
+            queue.extend(blossom_leaves(b))
+        elif t == 2:
+            # T-vertex/blossom: label its mate's blossom S.
+            base = blossombase[b]
+            assign_label(endpoint[mate[base]], 1, mate[base] ^ 1)
+
+    def scan_blossom(v: int, w: int) -> int:
+        """Trace back from v and w; return a common ancestor base vertex
+        (new blossom) or -1 (augmenting path found)."""
+        path = []
+        base = -1
+        while v != -1 or w != -1:
+            b = inblossom[v]
+            if label[b] & 4:
+                base = blossombase[b]
+                break
+            path.append(b)
+            label[b] = 5  # breadcrumb
+            if labelend[b] == -1:
+                v = -1  # reached a single vertex
+            else:
+                v = endpoint[labelend[b]]
+                b = inblossom[v]
+                v = endpoint[labelend[b]]
+            if w != -1:
+                v, w = w, v
+        for b in path:
+            label[b] = 1
+        return base
+
+    def add_blossom(base: int, k: int) -> None:
+        """Shrink the odd cycle through edge k and ``base`` into a new
+        S-blossom."""
+        (v, w, _wt) = edges[k]
+        bb = inblossom[base]
+        bv = inblossom[v]
+        bw = inblossom[w]
+        b = unusedblossoms.pop()
+        blossombase[b] = base
+        blossomparent[b] = -1
+        blossomparent[bb] = b
+        path: List[int] = []
+        endps: List[int] = []
+        # Trace back from v to base.
+        while bv != bb:
+            blossomparent[bv] = b
+            path.append(bv)
+            endps.append(labelend[bv])
+            v = endpoint[labelend[bv]]
+            bv = inblossom[v]
+        path.append(bb)
+        path.reverse()
+        endps.reverse()
+        endps.append(2 * k)
+        # Trace back from w to base.
+        while bw != bb:
+            blossomparent[bw] = b
+            path.append(bw)
+            endps.append(labelend[bw] ^ 1)
+            w = endpoint[labelend[bw]]
+            bw = inblossom[w]
+        blossomchilds[b] = path
+        blossomendps[b] = endps
+        label[b] = 1
+        labelend[b] = labelend[bb]
+        dualvar[b] = 0.0
+        for vv in blossom_leaves(b):
+            if label[inblossom[vv]] == 2:
+                # Former T-vertex becomes S; scan it.
+                queue.append(vv)
+            inblossom[vv] = b
+        # Recompute best-edge lists for the merged blossom.
+        bestedgeto = (2 * nvertex) * [-1]
+        for bv2 in path:
+            if blossombestedges[bv2] is None:
+                nblists = [
+                    [p // 2 for p in neighbend[leaf]]
+                    for leaf in blossom_leaves(bv2)
+                ]
+            else:
+                nblists = [blossombestedges[bv2]]  # type: ignore[list-item]
+            for nblist in nblists:
+                for k2 in nblist:
+                    (i, j, _w2) = edges[k2]
+                    if inblossom[j] == b:
+                        i, j = j, i
+                    bj = inblossom[j]
+                    if (
+                        bj != b
+                        and label[bj] == 1
+                        and (
+                            bestedgeto[bj] == -1
+                            or slack(k2) < slack(bestedgeto[bj])
+                        )
+                    ):
+                        bestedgeto[bj] = k2
+            blossombestedges[bv2] = None
+            bestedge[bv2] = -1
+        blossombestedges[b] = [k2 for k2 in bestedgeto if k2 != -1]
+        bestedge[b] = -1
+        for k2 in blossombestedges[b]:  # type: ignore[union-attr]
+            if bestedge[b] == -1 or slack(k2) < slack(bestedge[b]):
+                bestedge[b] = k2
+
+    def expand_blossom(b: int, endstage: bool) -> None:
+        """Undo the shrinking of blossom b (at end of stage or delta4)."""
+        for s in blossomchilds[b]:  # type: ignore[union-attr]
+            blossomparent[s] = -1
+            if s < nvertex:
+                inblossom[s] = s
+            elif endstage and dualvar[s] == 0:
+                expand_blossom(s, endstage)
+            else:
+                for v in blossom_leaves(s):
+                    inblossom[v] = s
+        # Relabel sub-blossoms of an expanding T-blossom mid-stage.
+        if (not endstage) and label[b] == 2:
+            entrychild = inblossom[endpoint[labelend[b] ^ 1]]
+            j = blossomchilds[b].index(entrychild)  # type: ignore[union-attr]
+            if j & 1:
+                j -= len(blossomchilds[b])  # type: ignore[arg-type]
+                jstep = 1
+                endptrick = 0
+            else:
+                jstep = -1
+                endptrick = 1
+            p = labelend[b]
+            while j != 0:
+                # Relabel the T-sub-blossom.
+                label[endpoint[p ^ 1]] = 0
+                label[
+                    endpoint[blossomendps[b][j - endptrick] ^ endptrick ^ 1]
+                ] = 0
+                assign_label(endpoint[p ^ 1], 2, p)
+                allowedge[blossomendps[b][j - endptrick] // 2] = True
+                j += jstep
+                p = blossomendps[b][j - endptrick] ^ endptrick
+                allowedge[p // 2] = True
+                j += jstep
+            # Relabel the base T-sub-blossom without stepping to its mate.
+            bv = blossomchilds[b][j]  # type: ignore[index]
+            label[endpoint[p ^ 1]] = label[bv] = 2
+            labelend[endpoint[p ^ 1]] = labelend[bv] = p
+            bestedge[bv] = -1
+            j += jstep
+            while blossomchilds[b][j] != entrychild:  # type: ignore[index]
+                bv = blossomchilds[b][j]  # type: ignore[index]
+                if label[bv] == 1:
+                    j += jstep
+                    continue
+                v = -1
+                for v in blossom_leaves(bv):
+                    if label[v] != 0:
+                        break
+                if v != -1 and label[v] != 0:
+                    label[v] = 0
+                    label[endpoint[mate[blossombase[bv]]]] = 0
+                    assign_label(v, 2, labelend[v])
+                j += jstep
+        label[b] = labelend[b] = -1
+        blossomchilds[b] = blossomendps[b] = None
+        blossombase[b] = -1
+        blossombestedges[b] = None
+        bestedge[b] = -1
+        unusedblossoms.append(b)
+
+    def augment_blossom(b: int, v: int) -> None:
+        """Swap matched/unmatched edges along b's cycle to move its base
+        to vertex v."""
+        t = v
+        while blossomparent[t] != b:
+            t = blossomparent[t]
+        if t >= nvertex:
+            augment_blossom(t, v)
+        i = j = blossomchilds[b].index(t)  # type: ignore[union-attr]
+        if i & 1:
+            j -= len(blossomchilds[b])  # type: ignore[arg-type]
+            jstep = 1
+            endptrick = 0
+        else:
+            jstep = -1
+            endptrick = 1
+        while j != 0:
+            j += jstep
+            t = blossomchilds[b][j]  # type: ignore[index]
+            p = blossomendps[b][j - endptrick] ^ endptrick  # type: ignore[index]
+            if t >= nvertex:
+                augment_blossom(t, endpoint[p])
+            j += jstep
+            t = blossomchilds[b][j]  # type: ignore[index]
+            if t >= nvertex:
+                augment_blossom(t, endpoint[p ^ 1])
+            mate[endpoint[p]] = p ^ 1
+            mate[endpoint[p ^ 1]] = p
+        blossomchilds[b] = blossomchilds[b][i:] + blossomchilds[b][:i]  # type: ignore[index,operator]
+        blossomendps[b] = blossomendps[b][i:] + blossomendps[b][:i]  # type: ignore[index,operator]
+        blossombase[b] = blossombase[blossomchilds[b][0]]  # type: ignore[index]
+
+    def augment_matching(k: int) -> None:
+        """Flip matched/unmatched along the augmenting path through edge k."""
+        (v, w, _wt) = edges[k]
+        for (s, p) in ((v, 2 * k + 1), (w, 2 * k)):
+            while True:
+                bs = inblossom[s]
+                if bs >= nvertex:
+                    augment_blossom(bs, s)
+                mate[s] = p
+                if labelend[bs] == -1:
+                    break  # reached a single vertex: end of path
+                t = endpoint[labelend[bs]]
+                bt = inblossom[t]
+                s = endpoint[labelend[bt]]
+                j = endpoint[labelend[bt] ^ 1]
+                if bt >= nvertex:
+                    augment_blossom(bt, j)
+                mate[j] = labelend[bt]
+                p = labelend[bt] ^ 1
+
+    # ------------------------------------------------------------------
+    # main loop: one stage per augmentation
+    # ------------------------------------------------------------------
+    for _stage in range(nvertex):
+        label[:] = (2 * nvertex) * [0]
+        bestedge[:] = (2 * nvertex) * [-1]
+        for i in range(nvertex, 2 * nvertex):
+            blossombestedges[i] = None
+        allowedge[:] = nedge * [False]
+        queue[:] = []
+        for v in range(nvertex):
+            if mate[v] == -1 and label[inblossom[v]] == 0:
+                assign_label(v, 1, -1)
+        augmented = False
+        while True:
+            while queue and not augmented:
+                v = queue.pop()
+                for p in neighbend[v]:
+                    k = p // 2
+                    w = endpoint[p]
+                    if inblossom[v] == inblossom[w]:
+                        continue  # edge internal to a blossom
+                    kslack = 0.0
+                    if not allowedge[k]:
+                        kslack = slack(k)
+                        if kslack <= 1e-12:
+                            allowedge[k] = True
+                    if allowedge[k]:
+                        if label[inblossom[w]] == 0:
+                            assign_label(w, 2, p ^ 1)
+                        elif label[inblossom[w]] == 1:
+                            base = scan_blossom(v, w)
+                            if base >= 0:
+                                add_blossom(base, k)
+                            else:
+                                augment_matching(k)
+                                augmented = True
+                                break
+                        elif label[w] == 0:
+                            label[w] = 2
+                            labelend[w] = p ^ 1
+                    elif label[inblossom[w]] == 1:
+                        b = inblossom[v]
+                        if bestedge[b] == -1 or kslack < slack(bestedge[b]):
+                            bestedge[b] = k
+                    elif label[w] == 0:
+                        if bestedge[w] == -1 or kslack < slack(bestedge[w]):
+                            bestedge[w] = k
+            if augmented:
+                break
+            # Dual update: find the minimum delta over the four cases.
+            deltatype = -1
+            delta = deltaedge = deltablossom = None
+            if not maxcardinality:
+                deltatype = 1
+                delta = min(dualvar[:nvertex])
+            for v in range(nvertex):
+                if label[inblossom[v]] == 0 and bestedge[v] != -1:
+                    d = slack(bestedge[v])
+                    if deltatype == -1 or d < delta:
+                        delta = d
+                        deltatype = 2
+                        deltaedge = bestedge[v]
+            for b in range(2 * nvertex):
+                if (
+                    blossomparent[b] == -1
+                    and label[b] == 1
+                    and bestedge[b] != -1
+                ):
+                    d = slack(bestedge[b]) / 2.0
+                    if deltatype == -1 or d < delta:
+                        delta = d
+                        deltatype = 3
+                        deltaedge = bestedge[b]
+            for b in range(nvertex, 2 * nvertex):
+                if (
+                    blossombase[b] >= 0
+                    and blossomparent[b] == -1
+                    and label[b] == 2
+                    and (deltatype == -1 or dualvar[b] < delta)
+                ):
+                    delta = dualvar[b]
+                    deltatype = 4
+                    deltablossom = b
+            if deltatype == -1:
+                # Only possible with maxcardinality: optimum reached.
+                deltatype = 1
+                delta = max(0.0, min(dualvar[:nvertex]))
+            for v in range(nvertex):
+                lab = label[inblossom[v]]
+                if lab == 1:
+                    dualvar[v] -= delta
+                elif lab == 2:
+                    dualvar[v] += delta
+            for b in range(nvertex, 2 * nvertex):
+                if blossombase[b] >= 0 and blossomparent[b] == -1:
+                    if label[b] == 1:
+                        dualvar[b] += delta
+                    elif label[b] == 2:
+                        dualvar[b] -= delta
+            if deltatype == 1:
+                break  # optimum reached
+            elif deltatype == 2:
+                allowedge[deltaedge] = True
+                (i, j, _wt) = edges[deltaedge]
+                if label[inblossom[i]] == 0:
+                    i, j = j, i
+                queue.append(i)
+            elif deltatype == 3:
+                allowedge[deltaedge] = True
+                (i, j, _wt) = edges[deltaedge]
+                queue.append(i)
+            else:  # deltatype == 4
+                expand_blossom(deltablossom, False)
+        if not augmented:
+            break
+        # End of stage: expand S-blossoms with zero dual.
+        for b in range(nvertex, 2 * nvertex):
+            if (
+                blossomparent[b] == -1
+                and blossombase[b] >= 0
+                and label[b] == 1
+                and dualvar[b] == 0
+            ):
+                expand_blossom(b, True)
+
+    # Translate remote endpoints into partner vertices.
+    for v in range(nvertex):
+        if mate[v] >= 0:
+            mate[v] = endpoint[mate[v]]
+    return mate
+
+
+def matching_weight(
+    edges: Sequence[Tuple[int, int, float]], mate: Sequence[int]
+) -> float:
+    """Total weight of a matching given as a mate array.
+
+    For parallel edges the heaviest edge between a matched pair counts,
+    matching what :func:`max_weight_matching` implicitly selects.
+    """
+    best: Dict[Tuple[int, int], float] = {}
+    for (i, j, w) in edges:
+        key = (min(i, j), max(i, j))
+        if key not in best or w > best[key]:
+            best[key] = float(w)
+    seen: Set[Tuple[int, int]] = set()
+    total = 0.0
+    for v, m in enumerate(mate):
+        if m >= 0 and v < m:
+            pair = (v, m)
+            if pair in best and pair not in seen:
+                total += best[pair]
+                seen.add(pair)
+    return total
+
+
+def brute_force_matching(
+    edges: Sequence[Tuple[int, int, float]]
+) -> Tuple[float, List[Tuple[int, int]]]:
+    """Exact maximum-weight matching by exhaustive search.
+
+    Exponential; for cross-validating :func:`max_weight_matching` on
+    small graphs in the test suite.
+    """
+    best_pairs: List[Tuple[int, int]] = []
+    dedup: Dict[Tuple[int, int], float] = {}
+    for (i, j, w) in edges:
+        key = (min(i, j), max(i, j))
+        if key not in dedup or w > dedup[key]:
+            dedup[key] = float(w)
+    edge_list = sorted(dedup.items())
+
+    best = [0.0, []]  # type: ignore[list-item]
+
+    def rec(idx: int, used: Set[int], weight: float, chosen: List[Tuple[int, int]]):
+        if weight > best[0]:
+            best[0] = weight
+            best[1] = list(chosen)
+        if idx == len(edge_list):
+            return
+        # Upper bound prune: remaining total weight.
+        remaining = sum(w for (_e, w) in edge_list[idx:])
+        if weight + remaining <= best[0]:
+            return
+        (i, j), w = edge_list[idx]
+        if i not in used and j not in used:
+            used.add(i)
+            used.add(j)
+            chosen.append((i, j))
+            rec(idx + 1, used, weight + w, chosen)
+            chosen.pop()
+            used.discard(i)
+            used.discard(j)
+        rec(idx + 1, used, weight, chosen)
+
+    rec(0, set(), 0.0, [])
+    return best[0], best[1]  # type: ignore[return-value]

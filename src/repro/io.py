@@ -1,0 +1,145 @@
+"""Instance serialization: JSON and CSV round-trips.
+
+Downstream users arrive with job lists in files, not Python literals.
+The JSON format is self-describing and round-trips every field the
+library understands (spans, weights, demands, ``g``, optional budget);
+the CSV format is the minimal ``start,end[,weight[,demand]]`` table
+commonly exported from schedulers, with ``g``/budget supplied by the
+caller.
+
+Format (JSON)::
+
+    {
+      "g": 3,
+      "budget": 42.0,            # optional; presence selects BudgetInstance
+      "jobs": [
+        {"start": 0.0, "end": 4.0, "weight": 1.0, "demand": 1},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .core.errors import InstanceError
+from .core.instance import BudgetInstance, Instance
+from .core.jobs import Job
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "load_instance_csv",
+    "save_instance_csv",
+]
+
+AnyInstance = Union[Instance, BudgetInstance]
+
+
+def instance_to_dict(instance: AnyInstance) -> dict:
+    """Serialize an (Budget)Instance to a plain JSON-able dict."""
+    out = {
+        "g": instance.g,
+        "jobs": [
+            {
+                "start": j.start,
+                "end": j.end,
+                "weight": j.weight,
+                "demand": j.demand,
+            }
+            for j in instance.jobs
+        ],
+    }
+    if isinstance(instance, BudgetInstance):
+        out["budget"] = instance.budget
+    return out
+
+
+def instance_from_dict(data: dict) -> AnyInstance:
+    """Deserialize; returns BudgetInstance iff a budget key is present."""
+    try:
+        g = int(data["g"])
+        raw_jobs = data["jobs"]
+    except (KeyError, TypeError) as exc:
+        raise InstanceError(f"malformed instance document: {exc}") from exc
+    jobs = []
+    for i, rec in enumerate(raw_jobs):
+        try:
+            jobs.append(
+                Job(
+                    start=float(rec["start"]),
+                    end=float(rec["end"]),
+                    job_id=int(rec.get("job_id", i)),
+                    weight=float(rec.get("weight", 1.0)),
+                    demand=int(rec.get("demand", 1)),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InstanceError(f"malformed job record #{i}: {exc}") from exc
+    if "budget" in data:
+        return BudgetInstance(
+            jobs=tuple(jobs), g=g, budget=float(data["budget"])
+        )
+    return Instance(jobs=tuple(jobs), g=g)
+
+
+def save_instance(instance: AnyInstance, path: Union[str, Path]) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(
+        json.dumps(instance_to_dict(instance), indent=2) + "\n"
+    )
+
+
+def load_instance(path: Union[str, Path]) -> AnyInstance:
+    """Read an instance from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise InstanceError(f"{path}: not valid JSON ({exc})") from exc
+    return instance_from_dict(data)
+
+
+def load_instance_csv(
+    path: Union[str, Path],
+    g: int,
+    *,
+    budget: Optional[float] = None,
+    has_header: bool = True,
+) -> AnyInstance:
+    """Read jobs from a ``start,end[,weight[,demand]]`` CSV file."""
+    jobs: List[Job] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        rows = list(reader)
+    if has_header and rows:
+        rows = rows[1:]
+    for i, row in enumerate(rows):
+        if not row or all(not c.strip() for c in row):
+            continue
+        try:
+            start, end = float(row[0]), float(row[1])
+            weight = float(row[2]) if len(row) > 2 and row[2].strip() else 1.0
+            demand = int(row[3]) if len(row) > 3 and row[3].strip() else 1
+        except (IndexError, ValueError) as exc:
+            raise InstanceError(f"{path}: bad CSV row {i}: {row!r}") from exc
+        jobs.append(
+            Job(start=start, end=end, job_id=i, weight=weight, demand=demand)
+        )
+    if budget is not None:
+        return BudgetInstance(jobs=tuple(jobs), g=g, budget=budget)
+    return Instance(jobs=tuple(jobs), g=g)
+
+
+def save_instance_csv(instance: AnyInstance, path: Union[str, Path]) -> None:
+    """Write the job table as ``start,end,weight,demand`` CSV."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["start", "end", "weight", "demand"])
+        for j in instance.jobs:
+            writer.writerow([j.start, j.end, j.weight, j.demand])

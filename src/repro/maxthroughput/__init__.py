@@ -1,0 +1,42 @@
+"""MaxThroughput algorithms (paper Section 4) plus exact references."""
+
+from .alg1 import best_prefix_pair, solve_alg1
+from .alg2 import best_window, solve_alg2
+from .combined import COMBINED_RATIO, solve_clique_max_throughput
+from .consecutive_dp import (
+    max_throughput_from_table,
+    most_throughput_consecutive_table,
+    proper_clique_max_throughput_value,
+    solve_proper_clique_max_throughput,
+)
+from .exact import exact_max_throughput_value, solve_exact_max_throughput
+from .greedy import solve_greedy_density, solve_greedy_shortest_first
+from .heads import HeadSplit, prefix_reduced_costs, split_heads
+from .onesided import solve_one_sided_max_throughput
+from .reduction import integerize_instance, min_busy_via_max_throughput
+from .weighted import solve_weighted_proper_clique, weighted_throughput_value
+
+__all__ = [
+    "best_prefix_pair",
+    "solve_alg1",
+    "best_window",
+    "solve_alg2",
+    "COMBINED_RATIO",
+    "solve_clique_max_throughput",
+    "max_throughput_from_table",
+    "most_throughput_consecutive_table",
+    "proper_clique_max_throughput_value",
+    "solve_proper_clique_max_throughput",
+    "exact_max_throughput_value",
+    "solve_exact_max_throughput",
+    "solve_greedy_shortest_first",
+    "solve_greedy_density",
+    "HeadSplit",
+    "prefix_reduced_costs",
+    "split_heads",
+    "solve_one_sided_max_throughput",
+    "integerize_instance",
+    "min_busy_via_max_throughput",
+    "solve_weighted_proper_clique",
+    "weighted_throughput_value",
+]

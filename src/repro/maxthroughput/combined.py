@@ -1,0 +1,32 @@
+"""Theorem 4.1 — combined 4-approximation for clique MaxThroughput.
+
+Run Alg1 (good when ``tput* > 4g``, Lemma 4.1) and Alg2 (good when
+``tput* <= 4g``, Lemma 4.2) and keep the schedule with the larger
+throughput; ties broken by smaller cost.  The result is a
+4-approximation for every clique instance.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import UnsupportedInstanceError
+from ..core.instance import BudgetInstance
+from ..core.schedule import Schedule
+from .alg1 import solve_alg1
+from .alg2 import solve_alg2
+
+__all__ = ["solve_clique_max_throughput", "COMBINED_RATIO"]
+
+COMBINED_RATIO = 4.0
+
+
+def solve_clique_max_throughput(instance: BudgetInstance) -> Schedule:
+    """The paper's combined clique MaxThroughput algorithm (Thm. 4.1)."""
+    if not instance.is_clique:
+        raise UnsupportedInstanceError(
+            "the combined algorithm requires a clique instance"
+        )
+    s1 = solve_alg1(instance)
+    s2 = solve_alg2(instance)
+    if s1.throughput != s2.throughput:
+        return s1 if s1.throughput > s2.throughput else s2
+    return s1 if s1.cost <= s2.cost else s2

@@ -1,0 +1,58 @@
+"""Exact MaxThroughput reference solver (exponential; small instances).
+
+Uses the all-subsets MinBusy DP: for every job subset ``S``, ``f[S]`` is
+the optimal cost of scheduling exactly ``S``; the optimal throughput
+under budget ``T`` is ``max{|S| : f[S] <= T}``.  Exact for *general*
+instances (group validity is checked by concurrency sweep).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.instance import BudgetInstance, Instance
+from ..core.schedule import Schedule
+from ..minbusy.exact import (
+    MAX_EXACT_N,
+    exact_min_busy_all_subsets,
+    solve_exact,
+)
+
+__all__ = ["exact_max_throughput_value", "solve_exact_max_throughput"]
+
+
+def exact_max_throughput_value(instance: BudgetInstance) -> int:
+    """Optimal throughput by exhaustive subset DP (n <= MAX_EXACT_N)."""
+    base = Instance(jobs=instance.jobs, g=instance.g)
+    f = exact_min_busy_all_subsets(base)
+    best = 0
+    T = instance.budget + 1e-9
+    for S, cost in enumerate(f):
+        if cost <= T:
+            k = bin(S).count("1")
+            if k > best:
+                best = k
+    return best
+
+
+def solve_exact_max_throughput(instance: BudgetInstance) -> Schedule:
+    """Optimal schedule by exhaustive subset DP (n <= MAX_EXACT_N)."""
+    base = Instance(jobs=instance.jobs, g=instance.g)
+    jobs = list(base.jobs)
+    f = exact_min_busy_all_subsets(base)
+    T = instance.budget + 1e-9
+    best_S = 0
+    best_k = 0
+    for S, cost in enumerate(f):
+        if cost <= T:
+            k = bin(S).count("1")
+            if k > best_k or (k == best_k and cost < f[best_S]):
+                best_k = k
+                best_S = S
+    if best_S == 0:
+        return Schedule(g=instance.g)
+    chosen = [jobs[i] for i in range(len(jobs)) if best_S >> i & 1]
+    sub = Instance(jobs=tuple(chosen), g=instance.g)
+    sched = solve_exact(sub)
+    sched.validate(instance.jobs)
+    return sched

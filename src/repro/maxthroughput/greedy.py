@@ -1,0 +1,121 @@
+"""Greedy baselines for MaxThroughput on general instances.
+
+The paper's MaxThroughput algorithms target clique / proper-clique /
+one-sided instances; it leaves general instances open.  These two
+heuristics complete the library's coverage so every instance class has
+*some* budgeted solver, and they serve as baselines the specialized
+algorithms must beat on their own classes:
+
+* :func:`solve_greedy_shortest_first` — admit jobs shortest-first,
+  placing each on the machine whose busy time grows least (cheapest-
+  increment placement); stop admitting a job if it would break the
+  budget.  Shortest-first is the classic throughput heuristic: short
+  jobs consume the least budget per unit of throughput.
+* :func:`solve_greedy_density` — same loop, ordered by *marginal* cost
+  at admission time, recomputed lazily: jobs whose interval is already
+  covered by open machines are nearly free and jump the queue.
+
+Both return budget-compliant schedules for arbitrary instances and
+never unschedule an admitted job (monotone admission).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..core.instance import BudgetInstance
+from ..core.intervals import union_length
+from ..core.jobs import Job
+from ..core.machines import max_concurrency
+from ..core.schedule import Schedule
+
+__all__ = ["solve_greedy_shortest_first", "solve_greedy_density"]
+
+
+def _cheapest_placement(
+    groups: Dict[int, List[Job]], job: Job, g: int
+) -> Tuple[float, Optional[int]]:
+    """Lowest busy-time increment over machines (None = fresh machine)."""
+    best_delta = job.length
+    best_m: Optional[int] = None
+    for m, js in groups.items():
+        merged = js + [job]
+        if max_concurrency(merged) > g:
+            continue
+        delta = union_length(j.interval for j in merged) - union_length(
+            j.interval for j in js
+        )
+        if delta < best_delta - 1e-15:
+            best_delta = delta
+            best_m = m
+    return best_delta, best_m
+
+
+def _admit(
+    groups: Dict[int, List[Job]],
+    job: Job,
+    machine: Optional[int],
+) -> None:
+    if machine is None:
+        groups[len(groups)] = [job]
+    else:
+        groups[machine].append(job)
+
+
+def _to_schedule(instance: BudgetInstance, groups: Dict[int, List[Job]]):
+    sched = Schedule(g=instance.g)
+    m_out = 0
+    for _m, js in sorted(groups.items()):
+        if not js:
+            continue
+        for j in js:
+            sched.assign(j, m_out)
+        m_out += 1
+    sched.validate(instance.jobs)
+    if sched.cost > instance.budget + 1e-9:  # pragma: no cover
+        raise AssertionError("greedy exceeded budget")
+    return sched
+
+
+def solve_greedy_shortest_first(instance: BudgetInstance) -> Schedule:
+    """Shortest-job-first admission with cheapest-increment placement."""
+    groups: Dict[int, List[Job]] = {}
+    spent = 0.0
+    for job in sorted(instance.jobs, key=lambda j: (j.length, j.job_id)):
+        delta, machine = _cheapest_placement(groups, job, instance.g)
+        if spent + delta <= instance.budget + 1e-12:
+            _admit(groups, job, machine)
+            spent += delta
+    return _to_schedule(instance, groups)
+
+
+def solve_greedy_density(instance: BudgetInstance) -> Schedule:
+    """Marginal-cost-first admission (lazy-greedy over a heap).
+
+    The marginal cost of a job only *decreases* as machines fill (more
+    chances to overlap existing busy intervals)... it can also increase
+    when capacity blocks the cheap machine, so entries are re-evaluated
+    on pop (standard lazy-greedy: re-push if the cached key is stale).
+    """
+    groups: Dict[int, List[Job]] = {}
+    spent = 0.0
+    heap: List[Tuple[float, int, Job]] = [
+        (j.length, j.job_id, j) for j in instance.jobs
+    ]
+    heapq.heapify(heap)
+    admitted = set()
+    while heap:
+        cached, jid, job = heapq.heappop(heap)
+        if jid in admitted:
+            continue
+        delta, machine = _cheapest_placement(groups, job, instance.g)
+        if delta > cached + 1e-12 and heap and delta > heap[0][0]:
+            heapq.heappush(heap, (delta, jid, job))  # stale: re-queue
+            continue
+        if spent + delta <= instance.budget + 1e-12:
+            _admit(groups, job, machine)
+            admitted.add(jid)
+            spent += delta
+        # Infeasible jobs are dropped (monotone admission).
+    return _to_schedule(instance, groups)

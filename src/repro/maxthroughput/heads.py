@@ -1,0 +1,103 @@
+"""Head/tail machinery for clique MaxThroughput (Section 4.1).
+
+Fix a time ``t`` common to all jobs of a clique instance.  The *left
+part* of job ``J = [s, c)`` is ``[s, t]``, the *right part* ``[t, c]``;
+the longer one is the job's *head* (ties: the left part).  A job is
+left-heavy when its head is its left part.
+
+In the *reduced cost model* each job is replaced by its head; for the
+left-heavy set this is a one-sided instance (all heads end at ``t``), so
+reduced-optimal costs are computable exactly via Observation 3.1.  The
+key inequalities (paper Section 4.1):
+
+    cost̄^s(J) <= cost^s(J) <= 2 · cost̄^s(J).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.errors import UnsupportedInstanceError
+from ..core.intervals import common_point
+from ..core.jobs import Job
+
+__all__ = ["HeadSplit", "split_heads", "prefix_reduced_costs"]
+
+
+@dataclass(frozen=True)
+class HeadSplit:
+    """The left-heavy/right-heavy partition of a clique job set.
+
+    ``left`` and ``right`` are sorted by *ascending head length*, so the
+    prefix of size ``j`` of either list is exactly the paper's
+    ``J^(X, j)`` — the ``j`` jobs with shortest heads.
+    """
+
+    t: float
+    left: Tuple[Job, ...]
+    right: Tuple[Job, ...]
+    left_heads: Tuple[float, ...]
+    right_heads: Tuple[float, ...]
+
+
+def head_length(job: Job, t: float) -> float:
+    """Length of the job's head with respect to the common time ``t``."""
+    return max(t - job.start, job.end - t)
+
+
+def is_left_heavy(job: Job, t: float) -> bool:
+    """Left part is the head (ties go left, per the paper)."""
+    return (t - job.start) >= (job.end - t)
+
+
+def split_heads(jobs: Sequence[Job], t: float | None = None) -> HeadSplit:
+    """Partition a clique job set into left-/right-heavy, heads sorted.
+
+    ``t`` defaults to the midpoint of the common intersection.
+    """
+    if t is None:
+        t = common_point([j.interval for j in jobs])
+        if t is None:
+            raise UnsupportedInstanceError(
+                "head split requires a clique instance (common time)"
+            )
+    left = sorted(
+        (j for j in jobs if is_left_heavy(j, t)),
+        key=lambda j: (head_length(j, t), j.job_id),
+    )
+    right = sorted(
+        (j for j in jobs if not is_left_heavy(j, t)),
+        key=lambda j: (head_length(j, t), j.job_id),
+    )
+    return HeadSplit(
+        t=t,
+        left=tuple(left),
+        right=tuple(right),
+        left_heads=tuple(head_length(j, t) for j in left),
+        right_heads=tuple(head_length(j, t) for j in right),
+    )
+
+
+def prefix_reduced_costs(heads: Sequence[float], g: int) -> List[float]:
+    """``cost̄*(prefix of size j)`` for every ``j = 0..len(heads)``.
+
+    ``heads`` must be sorted ascending (shortest heads first).  The
+    reduced-optimal grouping of a one-sided instance takes the longest
+    ``g`` heads together, the next ``g`` together, etc.; the cost is the
+    sum of group maxima.  For the ascending prefix of size ``j`` these
+    maxima sit at ascending positions ``j-1, j-1-g, j-1-2g, ...``.
+
+    Computed incrementally in O(n) total using the identity
+    ``cost(j) = cost(j - g) + heads[j - 1]`` for ``j > g`` — shifting the
+    prefix by ``g`` shifts every group boundary by one group.
+    """
+    if g < 1:
+        raise ValueError(f"g must be >= 1, got {g}")
+    costs = [0.0]
+    for j in range(1, len(heads) + 1):
+        if j <= g:
+            costs.append(heads[j - 1])
+        else:
+            costs.append(costs[j - g] + heads[j - 1])
+    return costs

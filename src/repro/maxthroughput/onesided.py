@@ -1,0 +1,49 @@
+"""Proposition 4.1 — exact MaxThroughput for one-sided clique instances.
+
+If a schedule of cost ≤ T schedules ``k`` jobs, replacing them by the
+``k`` *shortest* jobs never increases the cost (swap longer for shorter
+within the Observation 3.1 grouping).  Hence some optimal schedule
+schedules the ``j`` shortest jobs for some ``j``; trying every prefix of
+the length-sorted job list (Proposition 2.3 with X = all prefixes) and
+scheduling each optimally via Observation 3.1 is exact.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.errors import UnsupportedInstanceError
+from ..core.instance import BudgetInstance, Instance
+from ..core.schedule import Schedule
+from ..minbusy.base import chunk, group_schedule
+from ..minbusy.onesided import one_sided_optimal_cost
+
+__all__ = ["solve_one_sided_max_throughput"]
+
+
+def solve_one_sided_max_throughput(instance: BudgetInstance) -> Schedule:
+    """Optimal MaxThroughput schedule for a one-sided clique instance."""
+    if instance.one_sided is None:
+        raise UnsupportedInstanceError(
+            "requires a one-sided clique instance (shared start or end)"
+        )
+    jobs = sorted(instance.jobs, key=lambda j: (j.length, j.job_id))
+    g = instance.g
+    T = instance.budget
+
+    best_j = 0
+    # Optimal cost of prefix j is monotone non-decreasing in j: find the
+    # largest feasible prefix.
+    for j in range(1, len(jobs) + 1):
+        cost = one_sided_optimal_cost([jb.length for jb in jobs[:j]], g)
+        if cost <= T + 1e-12:
+            best_j = j
+        else:
+            break
+
+    chosen = jobs[:best_j]
+    # Group the chosen prefix optimally: longest g together, etc.
+    ordered = sorted(chosen, key=lambda j: -j.length)
+    sched = group_schedule(g, chunk(ordered, g))
+    sched.validate(instance.jobs)
+    return sched

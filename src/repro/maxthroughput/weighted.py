@@ -1,0 +1,179 @@
+"""Weighted throughput for proper clique instances (Section 5 extension).
+
+The paper asks whether MaxThroughput extends to weighted throughput.
+The structural lemma needs care:
+
+* Lemma 4.3's *consecutive-in-J* property (machine blocks contain no
+  unscheduled job strictly inside them) does **not** survive weighting.
+  Its proof swaps an unscheduled job ``J_x`` lying inside a machine's
+  span for that machine's leftmost job — count-preserving but not
+  weight-preserving, so the exchange can lose weight.
+* Lemma 3.3's *consecutive-in-the-scheduled-set* property **does**
+  survive: for any fixed scheduled subset ``S`` (itself a proper clique
+  set), some optimal partition of ``S`` gives every machine a block of
+  jobs consecutive in ``S``.  That restructuring never touches which
+  jobs are scheduled, hence never changes the total weight.
+
+So the exact structure is: choose ``S ⊆ J``, partition ``S`` into runs
+(consecutive *in S*; arbitrary unscheduled jobs may sit between and
+even inside a run's hull w.r.t. the full order) of at most ``g`` jobs.
+For a proper clique instance a run's cost is its hull
+``c_last − s_first``, which decomposes incrementally: opening a run at
+job ``i`` costs ``len_i``; extending a run whose last scheduled member
+is ``p < i`` costs ``c_i − c_p`` (ends are sorted in a proper
+instance).
+
+The DP tracks, for every state ``(i, j)`` = "job ``i`` is scheduled as
+the ``j``-th member of the currently open run", the Pareto frontier of
+``(cost, weight)`` values.  Exact; pseudo-polynomial in the number of
+distinct cost sums (polynomial for integer inputs); O(n²·g) frontier
+merges.  EXPERIMENTS.md records the Lemma 4.3 subtlety as finding F2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import UnsupportedInstanceError
+from ..core.instance import BudgetInstance
+from ..core.jobs import Job
+from ..core.schedule import Schedule
+from ..minbusy.base import group_schedule
+
+__all__ = ["solve_weighted_proper_clique", "weighted_throughput_value"]
+
+# A frontier entry: (cost, weight, parent_key, parent_entry_index).
+# parent_key is the (p, j) state the entry extends, or None for "start
+# of schedule"; for entries of the `running` pool the key is re-anchored
+# at the state whose run just closed.
+_Entry = Tuple[float, float, Optional[Tuple[int, int]], int]
+
+
+def _prune(entries: List[_Entry]) -> List[_Entry]:
+    """Pareto frontier: ascending cost, strictly ascending weight."""
+    entries.sort(key=lambda e: (e[0], -e[1]))
+    out: List[_Entry] = []
+    best_w = -1.0
+    for e in entries:
+        if e[1] > best_w + 1e-12:
+            out.append(e)
+            best_w = e[1]
+    return out
+
+
+def _frontiers(
+    jobs: List[Job], g: int
+) -> Dict[Tuple[int, int], List[_Entry]]:
+    """Pareto frontiers for states ``(i, j)``: job ``i`` (0-based index
+    in canonical order) is scheduled as the ``j``-th (1-based) member of
+    the open run.  The "nothing scheduled yet" state is implicit.
+    """
+    n = len(jobs)
+    fronts: Dict[Tuple[int, int], List[_Entry]] = {}
+    # `running`: Pareto pool over "all runs closed by now" schedules,
+    # including the empty one; provenance re-anchored at the closing
+    # state so reconstruction can resume there.
+    running: List[_Entry] = [(0.0, 0.0, None, -1)]
+    for i in range(n):
+        ji = jobs[i]
+        # Open a new run at job i (cost: its own length).
+        fronts[(i, 1)] = _prune(
+            [
+                (c + ji.length, w + ji.weight, pk, pi)
+                for (c, w, pk, pi) in running
+            ]
+        )
+        # Extend an open run whose last scheduled member is p < i.
+        for j in range(2, g + 1):
+            cand: List[_Entry] = []
+            for p in range(i):
+                prev = fronts.get((p, j - 1))
+                if not prev:
+                    continue
+                delta = ji.end - jobs[p].end
+                for idx, (c, w, _pk, _pi) in enumerate(prev):
+                    cand.append((c + delta, w + ji.weight, (p, j - 1), idx))
+            if cand:
+                fronts[(i, j)] = _prune(cand)
+        # Fold the states ending at i into the closed-run pool.
+        closed_here: List[_Entry] = []
+        for j in range(1, g + 1):
+            for idx, e in enumerate(fronts.get((i, j), [])):
+                closed_here.append((e[0], e[1], (i, j), idx))
+        running = _prune(running + closed_here)
+    return fronts
+
+
+def weighted_throughput_value(instance: BudgetInstance) -> float:
+    """Maximum total weight schedulable within the budget (value only)."""
+    if not instance.is_proper_clique:
+        raise UnsupportedInstanceError(
+            "weighted throughput DP requires a proper clique instance"
+        )
+    jobs = list(instance.jobs)
+    if not jobs:
+        return 0.0
+    fronts = _frontiers(jobs, instance.g)
+    best = 0.0
+    T = instance.budget + 1e-9
+    for entries in fronts.values():
+        for c, w, _pk, _pi in entries:
+            if c <= T and w > best:
+                best = w
+    return best
+
+
+def solve_weighted_proper_clique(instance: BudgetInstance) -> Schedule:
+    """Exact weighted-throughput schedule for a proper clique instance.
+
+    Reconstructs the run structure by walking the Pareto provenance
+    chain of the best feasible frontier entry.
+    """
+    if not instance.is_proper_clique:
+        raise UnsupportedInstanceError(
+            "weighted throughput DP requires a proper clique instance"
+        )
+    jobs = list(instance.jobs)
+    g = instance.g
+    if not jobs:
+        return Schedule(g=g)
+    fronts = _frontiers(jobs, g)
+    T = instance.budget + 1e-9
+    best: Optional[_Entry] = None
+    best_key: Optional[Tuple[int, int]] = None
+    for key, entries in fronts.items():
+        for e in entries:
+            if e[0] <= T and (best is None or e[1] > best[1]):
+                best = e
+                best_key = key
+    if best is None or best[1] <= 0.0:
+        return Schedule(g=g)
+
+    # Walk provenance.  An extension parent has key (p, j-1) created by
+    # the extend transition; any other parent key marks a run boundary
+    # (re-anchored closed state from the `running` pool).
+    runs: List[List[int]] = []
+    cur_run: List[int] = []
+    key, entry = best_key, best
+    while entry is not None and key is not None:
+        i, j = key
+        cur_run.append(i)
+        pk, pi = entry[2], entry[3]
+        if pk is None:
+            break
+        if j > 1 and pk[1] == j - 1:
+            key = pk  # same run continues backwards
+        else:
+            runs.append(cur_run)  # run opened at i; resume at closed state
+            cur_run = []
+            key = pk
+        entry = fronts[pk][pi]
+    if cur_run:
+        runs.append(cur_run)
+
+    groups = [[jobs[i] for i in sorted(r)] for r in runs]
+    sched = group_schedule(g, groups)
+    sched.validate(instance.jobs)
+    if sched.cost > instance.budget + 1e-6:  # pragma: no cover
+        raise AssertionError("weighted DP exceeded budget")
+    return sched

@@ -1,0 +1,62 @@
+"""MinBusy algorithms (paper Section 3) plus exact reference solvers."""
+
+from .base import check_result, chunk, group_schedule
+from .bestcut import (
+    best_cut_groups,
+    bestcut_ratio,
+    solve_best_cut,
+    solve_single_cut,
+)
+from .clique_matching import solve_clique_g2_matching
+from .clique_setcover import (
+    lemma32_ratio,
+    lemma32_sound_ratio,
+    solve_clique_setcover,
+)
+from .consecutive_dp import (
+    proper_clique_optimal_cost,
+    solve_find_best_consecutive,
+    solve_proper_clique_dp,
+)
+from .dispatch import SolveResult, solve_min_busy
+from .exact import (
+    MAX_EXACT_N,
+    exact_min_busy_all_subsets,
+    exact_min_busy_cost,
+    solve_exact,
+)
+from .firstfit import first_fit_machines, solve_first_fit
+from .local_search import improve_schedule, solve_first_fit_with_local_search
+from .naive import solve_arbitrary_packing, solve_naive
+from .onesided import one_sided_optimal_cost, solve_one_sided
+
+__all__ = [
+    "check_result",
+    "chunk",
+    "group_schedule",
+    "best_cut_groups",
+    "bestcut_ratio",
+    "solve_best_cut",
+    "solve_single_cut",
+    "solve_clique_g2_matching",
+    "lemma32_ratio",
+    "lemma32_sound_ratio",
+    "solve_clique_setcover",
+    "proper_clique_optimal_cost",
+    "solve_find_best_consecutive",
+    "solve_proper_clique_dp",
+    "SolveResult",
+    "solve_min_busy",
+    "MAX_EXACT_N",
+    "exact_min_busy_all_subsets",
+    "exact_min_busy_cost",
+    "solve_exact",
+    "first_fit_machines",
+    "solve_first_fit",
+    "improve_schedule",
+    "solve_first_fit_with_local_search",
+    "solve_arbitrary_packing",
+    "solve_naive",
+    "one_sided_optimal_cost",
+    "solve_one_sided",
+]

@@ -1,0 +1,47 @@
+"""Shared helpers for MinBusy solvers.
+
+Every MinBusy solver in this package is a function
+``solve(instance: Instance) -> Schedule`` that schedules *all* jobs.
+:func:`group_schedule` builds a schedule from an explicit partition of
+the job list into machine groups — the form in which most of the
+paper's algorithms naturally express their output — and
+:func:`check_result` re-validates the output against the instance
+(used by the dispatcher and the test harness).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..core.instance import Instance
+from ..core.jobs import Job
+from ..core.schedule import Schedule
+
+__all__ = ["group_schedule", "check_result", "chunk"]
+
+
+def group_schedule(g: int, groups: Iterable[Sequence[Job]]) -> Schedule:
+    """Schedule assigning each non-empty group to its own machine."""
+    sched = Schedule(g=g)
+    m = 0
+    for group in groups:
+        if not group:
+            continue
+        for job in group:
+            sched.assign(job, m)
+        m += 1
+    return sched
+
+
+def check_result(instance: Instance, schedule: Schedule) -> Schedule:
+    """Validate a full schedule of the instance; returns it unchanged."""
+    schedule.validate(instance.jobs, require_all=True)
+    return schedule
+
+
+def chunk(seq: Sequence[Job], size: int) -> List[List[Job]]:
+    """Split a sequence into consecutive chunks of ``size`` (last may be
+    shorter)."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    return [list(seq[i : i + size]) for i in range(0, len(seq), size)]

@@ -1,0 +1,101 @@
+"""Algorithm 1 (BestCut) — (2 − 1/g)-approximation for proper instances.
+
+For a proper instance sorted canonically (``J_1 <= ... <= J_n``), every
+offset ``i in {1..g}`` induces the schedule ``s_i`` whose first machine
+takes the first ``i`` jobs and every later machine takes the next ``g``
+consecutive jobs.  The saving of ``s_i`` is the total consecutive
+overlap minus the overlaps cut at group boundaries; averaging over the
+``g`` offsets shows the best one saves at least ``(g-1)/g`` of the total
+consecutive overlap, which by the span bound is at least ``(g-1)/g`` of
+the optimal saving.  Lemma 2.1 converts that to the (2 − 1/g) cost
+ratio (Theorem 3.1), improving the 2-approximation of [13].
+
+The analysis requires a *connected* instance (the span-bound step);
+``solve_best_cut`` therefore solves each connected component separately,
+which never hurts and preserves the guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.errors import UnsupportedInstanceError
+from ..core.instance import Instance
+from ..core.intervals import union_length
+from ..core.jobs import Job
+from ..core.schedule import Schedule
+from .base import check_result, group_schedule
+
+__all__ = ["solve_best_cut", "best_cut_groups", "bestcut_ratio"]
+
+
+def bestcut_ratio(g: int) -> float:
+    """The proven approximation ratio ``2 - 1/g`` of Theorem 3.1."""
+    if g < 1:
+        raise ValueError(f"g must be >= 1, got {g}")
+    return 2.0 - 1.0 / g
+
+
+def best_cut_groups(jobs: List[Job], g: int, offset: int) -> List[List[Job]]:
+    """The grouping of schedule ``s_offset``: first machine gets the
+    first ``offset`` jobs, subsequent machines ``g`` consecutive jobs
+    each (the last one possibly fewer)."""
+    if not 1 <= offset <= g:
+        raise ValueError(f"offset must be in 1..g, got {offset}")
+    groups = [jobs[:offset]]
+    i = offset
+    while i < len(jobs):
+        groups.append(jobs[i : i + g])
+        i += g
+    return [grp for grp in groups if grp]
+
+
+def _solve_component(jobs: List[Job], g: int) -> List[List[Job]]:
+    best_groups: List[List[Job]] | None = None
+    best_cost = float("inf")
+    for offset in range(1, g + 1):
+        groups = best_cut_groups(jobs, g, offset)
+        # Proper + connected + consecutive grouping => each group's span
+        # is its hull, but compute via union for full generality.
+        cost = sum(
+            union_length(j.interval for j in grp) for grp in groups
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best_groups = groups
+    assert best_groups is not None
+    return best_groups
+
+
+def solve_best_cut(instance: Instance) -> Schedule:
+    """BestCut (Algorithm 1): (2 − 1/g)-approximation on proper instances.
+
+    Raises :class:`UnsupportedInstanceError` for non-proper instances.
+    """
+    if not instance.is_proper:
+        raise UnsupportedInstanceError(
+            "BestCut requires a proper instance (no job properly "
+            "contained in another)"
+        )
+    groups: List[List[Job]] = []
+    for comp in instance.components():
+        groups.extend(_solve_component(list(comp.jobs), instance.g))
+    sched = group_schedule(instance.g, groups)
+    return check_result(instance, sched)
+
+
+def solve_single_cut(instance: Instance, offset: int = 1) -> Schedule:
+    """Ablation baseline: a single fixed cut offset instead of best-of-g.
+
+    Still valid, but only guarantees the trivial bounds — experiment E3
+    quantifies how much the best-of-g choice buys.
+    """
+    if not instance.is_proper:
+        raise UnsupportedInstanceError("single-cut requires a proper instance")
+    groups: List[List[Job]] = []
+    for comp in instance.components():
+        groups.extend(
+            best_cut_groups(list(comp.jobs), instance.g, min(offset, instance.g))
+        )
+    sched = group_schedule(instance.g, groups)
+    return check_result(instance, sched)

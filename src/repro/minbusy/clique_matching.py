@@ -1,0 +1,72 @@
+"""Lemma 3.1 — exact polynomial algorithm for clique instances, ``g = 2``.
+
+With ``g = 2`` a valid schedule pairs up jobs (at most two per machine,
+since all jobs of a clique instance pairwise overlap).  Pairing jobs
+``J_i, J_j`` on a machine costs ``span({J_i, J_j}) = len(J_i) +
+len(J_j) - overlap(J_i, J_j)``, i.e. saves exactly the overlap relative
+to scheduling them separately.  Hence minimizing cost is equivalent to
+maximizing the weight of a matching in the overlap graph ``G_m``, which
+the blossom algorithm solves exactly.
+
+The same construction applies verbatim to *general* (non-clique)
+instances as a heuristic — pairs still save their overlap — so the
+solver accepts any instance when ``require_clique=False``; exactness is
+only guaranteed for clique instances (any two jobs can legally share a
+machine there because at most 2 jobs ever run concurrently).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.errors import UnsupportedInstanceError
+from ..core.instance import Instance
+from ..core.jobs import pairwise_overlaps
+from ..core.schedule import Schedule
+from ..graph.matching import max_weight_matching
+from .base import check_result, group_schedule
+
+__all__ = ["solve_clique_g2_matching"]
+
+
+def solve_clique_g2_matching(
+    instance: Instance, *, require_clique: bool = True
+) -> Schedule:
+    """Exact MinBusy for clique instances with g = 2 (Lemma 3.1).
+
+    Raises :class:`UnsupportedInstanceError` when ``g != 2`` or — unless
+    ``require_clique=False`` — when the instance is not a clique.
+    """
+    if instance.g != 2:
+        raise UnsupportedInstanceError(
+            f"matching algorithm requires g = 2, got g = {instance.g}"
+        )
+    if require_clique and not instance.is_clique:
+        raise UnsupportedInstanceError(
+            "matching algorithm is exact only for clique instances; "
+            "pass require_clique=False to use it as a heuristic"
+        )
+
+    jobs = list(instance.jobs)
+    n = len(jobs)
+    edges: List[Tuple[int, int, float]] = [
+        (i, j, w) for (i, j, w) in pairwise_overlaps(jobs) if w > 0
+    ]
+    if not edges:
+        # No overlapping pair saves anything: one job per machine.
+        return check_result(
+            instance, group_schedule(instance.g, ([j] for j in jobs))
+        )
+    mate = max_weight_matching(edges)
+    groups: List[List] = []
+    used = [False] * n
+    for v in range(len(mate)):
+        m = mate[v]
+        if m >= 0 and v < m:
+            groups.append([jobs[v], jobs[m]])
+            used[v] = used[m] = True
+    for v in range(n):
+        if not used[v]:
+            groups.append([jobs[v]])
+    sched = group_schedule(instance.g, groups)
+    return check_result(instance, sched)

@@ -1,0 +1,156 @@
+"""Lemma 3.2 — set-cover based approximation for clique instances.
+
+For a clique instance a schedule is valid iff every machine gets at most
+``g`` jobs, so MinBusy is exactly minimum-weight set cover of ``J`` by
+subsets ``Q`` with ``|Q| <= g`` and weight ``span(Q)``.  For fixed ``g``
+all ``O(n^g)`` subsets are enumerated and the classic greedy gives an
+``H_g``-approximation.
+
+The paper's refinement subtracts the parallelism bound from the weights:
+``weight(Q) = span(Q) - len(Q)/g`` (the *excess* cost).  Combining the
+greedy guarantee on the excess with the length bound yields the improved
+ratio ``g·H_g / (H_g + g - 1)`` — below 2 for ``g <= 6``.  Both weight
+schemes are implemented; the ablation of experiment E2 compares them.
+
+A set cover may cover a job twice; the final schedule assigns each job
+to the first chosen set containing it, which can only shrink spans.
+The returned cost is therefore never worse than the cover's weight.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import FrozenSet, List, Tuple
+
+from ..core.errors import UnsupportedInstanceError
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..graph.setcover import greedy_weighted_set_cover, harmonic
+from .base import check_result, group_schedule
+
+__all__ = [
+    "solve_clique_setcover",
+    "lemma32_ratio",
+    "lemma32_sound_ratio",
+    "enumeration_size",
+    "MAX_ENUMERATION",
+]
+
+# Enumerating all <=g subsets is O(n^g); refuse clearly oversized inputs
+# rather than hanging.  n=60, g=3 -> ~36k sets; n=25, g=4 -> ~15k sets.
+MAX_ENUMERATION = 2_000_000
+
+
+def enumeration_size(n: int, g: int) -> int:
+    """Number of candidate sets ``sum_{k=1..min(g,n)} C(n, k)``."""
+    return sum(comb(n, size) for size in range(1, min(g, n) + 1))
+
+
+def lemma32_ratio(g: int) -> float:
+    """The ratio ``g·H_g / (H_g + g - 1)`` *claimed* by Lemma 3.2.
+
+    Reproduction finding F1 (see EXPERIMENTS.md): the lemma's accounting
+    assumes the greedy set-cover output is a partition, but the reduced
+    weights ``span(Q) - len(Q)/g`` are not monotone under removing jobs
+    from a set, so deduplicating an overlapping cover can cost more than
+    the cover's weight.  A 3-job counterexample (g = 3, jobs
+    ``(-2,14), (-1,1), (-1,5)``) drives every natural greedy variant to
+    ratio 1.5 > 1.4348 = claimed.  Use :func:`lemma32_sound_ratio` for a
+    bound our implementation provably meets.
+    """
+    if g < 1:
+        raise ValueError(f"g must be >= 1, got {g}")
+    hg = harmonic(g)
+    return g * hg / (hg + g - 1)
+
+
+def lemma32_sound_ratio(g: int) -> float:
+    """A ratio the set-cover algorithm provably achieves: ``min(H_g+1, g)``.
+
+    For the partition-producing greedy (``dedup='during'``): for any set
+    ``S`` of the optimal partition, its restriction to uncovered jobs is
+    an available candidate of weight at most ``span(S)`` (span, unlike
+    the reduced weight, is monotone), so Chvátal's charging gives
+    ``Σ weight(chosen) <= H_g · Σ span(S) = H_g · cost*``; adding the
+    parallelism bound ``PB <= cost*`` yields
+    ``cost = Σ weight + PB <= (H_g + 1) · cost*``.  The length bound
+    caps the ratio at ``g`` (Proposition 2.1).
+    """
+    if g < 1:
+        raise ValueError(f"g must be >= 1, got {g}")
+    return min(harmonic(g) + 1.0, float(g))
+
+
+def _enumerate_sets(
+    instance: Instance, reduced_weights: bool
+) -> List[Tuple[FrozenSet[int], float]]:
+    jobs = instance.jobs
+    n = len(jobs)
+    g = instance.g
+    count = enumeration_size(n, g)
+    if count > MAX_ENUMERATION:
+        raise UnsupportedInstanceError(
+            f"set-cover enumeration would create {count} sets "
+            f"(> {MAX_ENUMERATION}); use a smaller n or g"
+        )
+    sets: List[Tuple[FrozenSet[int], float]] = []
+    for size in range(1, min(g, n) + 1):
+        for combo in combinations(range(n), size):
+            members = [jobs[i] for i in combo]
+            # For a clique set, the span is the hull (all jobs share a time).
+            span = max(j.end for j in members) - min(j.start for j in members)
+            if reduced_weights:
+                w = span - sum(j.length for j in members) / g
+            else:
+                w = span
+            sets.append((frozenset(combo), max(0.0, w)))
+    return sets
+
+
+def solve_clique_setcover(
+    instance: Instance,
+    *,
+    reduced_weights: bool = True,
+    dedup: str = "during",
+) -> Schedule:
+    """MinBusy on a clique instance via greedy weighted set cover.
+
+    ``reduced_weights=True`` (default) is the paper's Lemma 3.2 variant
+    with ratio ``g·H_g/(H_g+g-1)``; ``False`` uses plain span weights
+    (plain ``H_g`` guarantee) for the ablation.
+
+    ``dedup`` controls how overlapping covers are avoided:
+
+    * ``"during"`` (default): the greedy only picks sets fully contained
+      in the uncovered universe, so its output is a partition and the
+      lemma's weight accounting applies to the schedule directly.
+    * ``"end"``: the paper-literal reading — run plain greedy set cover,
+      then assign each job to the first chosen set containing it.  With
+      reduced weights this can exceed the claimed ratio (see
+      EXPERIMENTS.md, finding F1): dropping a duplicated job from a set
+      raises its reduced weight by up to ``len/g``.
+    """
+    if not instance.is_clique:
+        raise UnsupportedInstanceError(
+            "set-cover algorithm requires a clique instance"
+        )
+    if dedup not in ("during", "end"):
+        raise ValueError(f"dedup must be 'during' or 'end', got {dedup!r}")
+    jobs = instance.jobs
+    if not jobs:
+        return Schedule(g=instance.g)
+    sets = _enumerate_sets(instance, reduced_weights)
+    chosen = greedy_weighted_set_cover(
+        range(len(jobs)), sets, subsets_only=(dedup == "during")
+    )
+    # De-duplicate: each job goes to the first chosen set covering it.
+    assigned = set()
+    groups: List[List] = []
+    for idx in chosen:
+        members = [i for i in sorted(sets[idx][0]) if i not in assigned]
+        if members:
+            assigned.update(members)
+            groups.append([jobs[i] for i in members])
+    sched = group_schedule(instance.g, groups)
+    return check_result(instance, sched)

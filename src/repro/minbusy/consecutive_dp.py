@@ -1,0 +1,153 @@
+"""Theorem 3.2 / Algorithm 2 — exact DP for proper clique instances.
+
+Lemma 3.3 shows some optimal schedule of a proper clique instance
+assigns *consecutive* jobs (in canonical order) to every machine.  The
+optimal consecutive partition is then found by dynamic programming in
+O(n·g):
+
+    best(i) = min over block sizes j in 1..min(g, i) of
+              best(i - j) + span(J_{i-j+1} .. J_i)
+
+where for a proper clique instance the span of a consecutive block is
+its hull ``c_i - s_{i-j+1}`` (all jobs share a common time, so the union
+is one interval).
+
+Two implementations are provided and cross-tested:
+
+* :func:`solve_proper_clique_dp` — the clean block DP above,
+* :func:`solve_find_best_consecutive` — the paper's Algorithm 2 verbatim
+  (table ``cost*(i, j)`` with the ``|J_i| - |I_{i-1}|`` increment).
+
+Both return optimal schedules; the test suite checks them against the
+exact exponential solver and against each other.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.errors import UnsupportedInstanceError
+from ..core.instance import Instance
+from ..core.jobs import Job
+from ..core.schedule import Schedule
+from .base import check_result, group_schedule
+
+__all__ = [
+    "solve_proper_clique_dp",
+    "solve_find_best_consecutive",
+    "proper_clique_optimal_cost",
+]
+
+_INF = float("inf")
+
+
+def _require_proper_clique(instance: Instance) -> None:
+    if not instance.is_proper_clique:
+        raise UnsupportedInstanceError(
+            "the consecutive DP requires a proper clique instance"
+        )
+
+
+def proper_clique_optimal_cost(instance: Instance) -> float:
+    """Optimal MinBusy cost of a proper clique instance (O(n·g))."""
+    _require_proper_clique(instance)
+    jobs = list(instance.jobs)  # canonical order J_1 <= ... <= J_n
+    n = len(jobs)
+    if n == 0:
+        return 0.0
+    g = instance.g
+    best = [0.0] + [_INF] * n
+    for i in range(1, n + 1):
+        end_i = jobs[i - 1].end
+        for j in range(1, min(g, i) + 1):
+            start_block = jobs[i - j].start
+            cand = best[i - j] + (end_i - start_block)
+            if cand < best[i]:
+                best[i] = cand
+    return best[n]
+
+
+def solve_proper_clique_dp(instance: Instance) -> Schedule:
+    """Optimal schedule for a proper clique instance via the block DP."""
+    _require_proper_clique(instance)
+    jobs = list(instance.jobs)
+    n = len(jobs)
+    if n == 0:
+        return Schedule(g=instance.g)
+    g = instance.g
+    best = [0.0] + [_INF] * n
+    choice = [0] * (n + 1)  # block size ending at i in the optimum
+    for i in range(1, n + 1):
+        end_i = jobs[i - 1].end
+        for j in range(1, min(g, i) + 1):
+            cand = best[i - j] + (end_i - jobs[i - j].start)
+            if cand < best[i]:
+                best[i] = cand
+                choice[i] = j
+    # Reconstruct blocks right to left.
+    groups: List[List[Job]] = []
+    i = n
+    while i > 0:
+        j = choice[i]
+        groups.append(jobs[i - j : i])
+        i -= j
+    groups.reverse()
+    sched = group_schedule(instance.g, groups)
+    return check_result(instance, sched)
+
+
+def solve_find_best_consecutive(instance: Instance) -> Schedule:
+    """The paper's Algorithm 2 (FindBestConsecutive), table-for-table.
+
+    ``cost(i, j)`` is the minimum cost of scheduling the first ``i``
+    jobs with the last machine holding exactly the last ``j`` jobs:
+
+        cost(i, 1) = |J_i| + cost*(i-1)
+        cost(i, j) = cost(i-1, j-1) + |J_i| - |I_{i-1}|   (j >= 2)
+
+    where ``I_{i-1}`` is the overlap of ``J_{i-1}`` and ``J_i`` and
+    ``cost*(i) = min_j cost(i, j)``.
+    """
+    _require_proper_clique(instance)
+    jobs = list(instance.jobs)
+    n = len(jobs)
+    if n == 0:
+        return Schedule(g=instance.g)
+    g = instance.g
+    if n <= g:
+        # All jobs fit one machine (clique: validity is just group size).
+        sched = group_schedule(instance.g, [jobs])
+        return check_result(instance, sched)
+
+    # cost[i][j] for i in 1..n, j in 1..min(g, i); 1-based indices.
+    cost = [[_INF] * (g + 1) for _ in range(n + 1)]
+    cost[1][1] = jobs[0].length
+    best_prev = cost[1][1]
+    best_tbl = [0.0] * (n + 1)
+    best_tbl[1] = best_prev
+    for i in range(2, n + 1):
+        ji = jobs[i - 1]
+        overlap_prev = max(
+            0.0, min(jobs[i - 2].end, ji.end) - max(jobs[i - 2].start, ji.start)
+        )
+        cost[i][1] = ji.length + best_tbl[i - 1]
+        for j in range(2, min(g, i) + 1):
+            if cost[i - 1][j - 1] < _INF:
+                cost[i][j] = cost[i - 1][j - 1] + ji.length - overlap_prev
+        best_tbl[i] = min(cost[i][1 : min(g, i) + 1])
+
+    # Reconstruct: find optimal j at i = n, then walk back.
+    groups: List[List[Job]] = []
+    i = n
+    while i > 0:
+        best_j = 1
+        best_v = cost[i][1]
+        for j in range(2, min(g, i) + 1):
+            if cost[i][j] < best_v:
+                best_v = cost[i][j]
+                best_j = j
+        groups.append(jobs[i - best_j : i])
+        i -= best_j
+    groups.reverse()
+    sched = group_schedule(instance.g, groups)
+    return check_result(instance, sched)

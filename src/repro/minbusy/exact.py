@@ -1,0 +1,179 @@
+"""Exact reference solvers for MinBusy (exponential; small instances).
+
+MinBusy asks for a minimum-cost partition of the job set into machine
+groups whose concurrency never exceeds ``g``.  Two exact engines:
+
+* :func:`exact_min_busy_cost` / :func:`solve_exact` — bitmask dynamic
+  program over subsets: ``f(S) = min over valid groups Q ⊆ S containing
+  the lowest-indexed job of S of span(Q) + f(S \\ Q)``.  Enumerating
+  only groups that contain the lowest set bit makes each partition
+  counted once; memoization bounds work by O(3^n) group/subset pairs.
+  Practical to n ≈ 16.
+
+* :func:`exact_min_busy_all_subsets` — the same DP tabulated for *all*
+  subsets, used as ground truth for MaxThroughput (the best throughput
+  within budget T is ``max{|S| : f(S) <= T}``).
+
+Groups are validated by concurrency sweep, not just size, so the solver
+is exact for *general* instances (for clique instances the two
+coincide).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.instance import Instance
+from ..core.intervals import union_length
+from ..core.jobs import Job
+from ..core.machines import max_concurrency
+from ..core.schedule import Schedule
+from .base import check_result, group_schedule
+
+__all__ = [
+    "solve_exact",
+    "exact_min_busy_cost",
+    "exact_min_busy_all_subsets",
+    "MAX_EXACT_N",
+]
+
+# The subset DP touches O(3^n) (group, remainder) pairs; in pure Python
+# n = 16 is ~ a minute, n <= 13 is interactive.  Refuse anything larger.
+MAX_EXACT_N = 16
+
+
+def _group_cost_and_valid(
+    jobs: Sequence[Job], mask: int, g: int
+) -> Tuple[float, bool]:
+    members = [jobs[i] for i in range(len(jobs)) if mask >> i & 1]
+    if max_concurrency(members) > g:
+        return 0.0, False
+    return union_length(j.interval for j in members), True
+
+
+def _enumerate_valid_groups(
+    jobs: Sequence[Job], g: int
+) -> Dict[int, float]:
+    """All non-empty job subsets that fit one machine, with their span.
+
+    Enumerated by BFS over subset extension so that invalid supersets of
+    invalid sets are pruned early (adding a job never lowers peak
+    concurrency).
+    """
+    n = len(jobs)
+    valid: Dict[int, float] = {}
+    frontier = []
+    for i in range(n):
+        m = 1 << i
+        valid[m] = jobs[i].length
+        frontier.append(m)
+    while frontier:
+        nxt = []
+        for mask in frontier:
+            high = mask.bit_length()  # extend only with higher indices
+            for i in range(high, n):
+                m2 = mask | (1 << i)
+                if m2 in valid:
+                    continue
+                cost, ok = _group_cost_and_valid(jobs, m2, g)
+                if ok:
+                    valid[m2] = cost
+                    nxt.append(m2)
+        frontier = nxt
+    return valid
+
+
+def exact_min_busy_cost(instance: Instance) -> float:
+    """Optimal MinBusy cost by exact subset DP (n <= MAX_EXACT_N)."""
+    cost, _groups = _exact_with_groups(instance)
+    return cost
+
+
+def solve_exact(instance: Instance) -> Schedule:
+    """Optimal MinBusy schedule by exact subset DP (n <= MAX_EXACT_N)."""
+    _cost, groups = _exact_with_groups(instance)
+    sched = group_schedule(instance.g, groups)
+    return check_result(instance, sched)
+
+
+def _exact_with_groups(instance: Instance) -> Tuple[float, List[List[Job]]]:
+    jobs = list(instance.jobs)
+    n = len(jobs)
+    if n == 0:
+        return 0.0, []
+    if n > MAX_EXACT_N:
+        raise ValueError(
+            f"exact solver limited to n <= {MAX_EXACT_N}, got n = {n}"
+        )
+    g = instance.g
+    valid = _enumerate_valid_groups(jobs, g)
+
+    full = (1 << n) - 1
+    INF = float("inf")
+    f = [INF] * (full + 1)
+    pick = [0] * (full + 1)
+    f[0] = 0.0
+    for S in range(1, full + 1):
+        low = (S & -S).bit_length() - 1
+        rest = S & ~(1 << low)
+        # Iterate over subsets Q of S that contain `low`:
+        # Q = {low} ∪ (subset of rest).
+        sub = rest
+        best = INF
+        best_q = 0
+        while True:
+            Q = sub | (1 << low)
+            c = valid.get(Q)
+            if c is not None and f[S ^ Q] + c < best:
+                best = f[S ^ Q] + c
+                best_q = Q
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        f[S] = best
+        pick[S] = best_q
+
+    groups: List[List[Job]] = []
+    S = full
+    while S:
+        Q = pick[S]
+        groups.append([jobs[i] for i in range(n) if Q >> i & 1])
+        S ^= Q
+    return f[full], groups
+
+
+def exact_min_busy_all_subsets(instance: Instance) -> List[float]:
+    """``f[S]`` = optimal MinBusy cost of the sub-instance ``S`` for all
+    job subsets ``S`` (bitmask index).  Ground truth for MaxThroughput:
+    ``tput*(T) = max{popcount(S) : f[S] <= T}``.
+    """
+    jobs = list(instance.jobs)
+    n = len(jobs)
+    if n > MAX_EXACT_N:
+        raise ValueError(
+            f"exact solver limited to n <= {MAX_EXACT_N}, got n = {n}"
+        )
+    g = instance.g
+    valid = _enumerate_valid_groups(jobs, g)
+    full = (1 << n) - 1
+    INF = float("inf")
+    f = [INF] * (full + 1)
+    f[0] = 0.0
+    for S in range(1, full + 1):
+        low = (S & -S).bit_length() - 1
+        rest = S & ~(1 << low)
+        sub = rest
+        best = INF
+        while True:
+            Q = sub | (1 << low)
+            c = valid.get(Q)
+            if c is not None:
+                cand = f[S ^ Q] + c
+                if cand < best:
+                    best = cand
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        f[S] = best
+    return f

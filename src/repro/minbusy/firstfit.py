@@ -1,0 +1,46 @@
+"""1-D FirstFit — the baseline of Flammini et al. [13].
+
+Sort jobs in non-increasing order of length and place each on the first
+thread of the first machine that accommodates it.  [13] proves this is a
+4-approximation for general 1-D instances and a 2-approximation for
+proper and for clique instances.  The paper under reproduction improves
+on those bounds for clique (Lemma 3.2, g ≤ 6) and proper (Theorem 3.1)
+instances; FirstFit is the comparator in experiments E2, E3 and E15.
+
+The 2-D generalization (Algorithm 3 of the paper) lives in
+``repro.rect.firstfit2d``; this 1-D version shares its structure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.instance import Instance
+from ..core.jobs import Job
+from ..core.machines import Machine
+from ..core.schedule import Schedule
+from .base import check_result, group_schedule
+
+__all__ = ["solve_first_fit", "first_fit_machines"]
+
+
+def first_fit_machines(jobs: List[Job], g: int) -> List[Machine]:
+    """Run FirstFit and return the machines with their thread structure."""
+    ordered = sorted(jobs, key=lambda j: (-j.length, j.start, j.job_id))
+    machines: List[Machine] = []
+    for job in ordered:
+        for m in machines:
+            if m.try_add(job) is not None:
+                break
+        else:
+            m = Machine(g=g, machine_id=len(machines))
+            m.add(job)
+            machines.append(m)
+    return machines
+
+
+def solve_first_fit(instance: Instance) -> Schedule:
+    """FirstFit baseline ([13]): 4-approx general, 2-approx proper/clique."""
+    machines = first_fit_machines(list(instance.jobs), instance.g)
+    sched = group_schedule(instance.g, (m.jobs for m in machines))
+    return check_result(instance, sched)

@@ -1,0 +1,49 @@
+"""Trivial schedules and Proposition 2.1.
+
+The schedule ``s̄`` assigning every job to its own machine has cost
+``len(J)``; by the parallelism bound (Observation 2.1) *any* valid
+schedule — including this one — is a g-approximation (Proposition 2.1).
+These serve as the weakest baselines in every experiment.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from .base import check_result, chunk, group_schedule
+
+__all__ = ["solve_naive", "solve_arbitrary_packing"]
+
+
+def solve_naive(instance: Instance) -> Schedule:
+    """One job per machine (the schedule ``s̄`` of Section 2).
+
+    Cost is exactly ``len(J)``; saving is 0.
+    """
+    sched = group_schedule(instance.g, ([j] for j in instance.jobs))
+    return check_result(instance, sched)
+
+
+def solve_arbitrary_packing(instance: Instance) -> Schedule:
+    """First-fit jobs greedily in canonical order, ignoring lengths.
+
+    A deliberately unsophisticated packing: open machines left to right,
+    place each job on the first machine whose threads can take it.  Still
+    a g-approximation by Proposition 2.1; used as the "any schedule"
+    witness in experiment E10.
+    """
+    from ..core.machines import Machine
+
+    machines = []
+    for job in instance.jobs:
+        placed = False
+        for m in machines:
+            if m.try_add(job) is not None:
+                placed = True
+                break
+        if not placed:
+            m = Machine(g=instance.g, machine_id=len(machines))
+            m.add(job)
+            machines.append(m)
+    sched = group_schedule(instance.g, (m.jobs for m in machines))
+    return check_result(instance, sched)

@@ -1,0 +1,44 @@
+"""Observation 3.1 — exact algorithm for one-sided clique instances.
+
+A one-sided clique instance has all jobs sharing a start time (or,
+symmetrically, a completion time).  Sorting jobs by non-increasing
+length and grouping them ``g`` at a time is optimal: each machine's busy
+time equals the length of its longest job, and the exchange argument
+shows no grouping beats taking the longest ``g`` together.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import UnsupportedInstanceError
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from .base import check_result, chunk, group_schedule
+
+__all__ = ["solve_one_sided", "one_sided_optimal_cost"]
+
+
+def solve_one_sided(instance: Instance) -> Schedule:
+    """Optimal schedule for a one-sided clique instance (Obs. 3.1)."""
+    if instance.one_sided is None:
+        raise UnsupportedInstanceError(
+            "solve_one_sided requires a one-sided clique instance "
+            "(all jobs sharing a start time or a completion time)"
+        )
+    ordered = sorted(instance.jobs, key=lambda j: -j.length)
+    groups = chunk(ordered, instance.g)
+    sched = group_schedule(instance.g, groups)
+    return check_result(instance, sched)
+
+
+def one_sided_optimal_cost(lengths, g: int) -> float:
+    """Optimal total busy time for a one-sided instance given job lengths.
+
+    Equals the sum of every g-th length when sorted non-increasingly
+    (each group's busy time is its longest job's length).  Used by the
+    MaxThroughput reduced-cost machinery of Section 4.1 without having
+    to materialize jobs.
+    """
+    if g < 1:
+        raise ValueError(f"g must be >= 1, got {g}")
+    ordered = sorted(lengths, reverse=True)
+    return float(sum(ordered[i] for i in range(0, len(ordered), g)))

@@ -1,0 +1,30 @@
+"""Rectangular (2-D) jobs: Section 3.4 of the paper."""
+
+from .area import union_area, union_area_montecarlo
+from .bucket import (
+    PAPER_BETA,
+    bucket_first_fit,
+    bucket_of,
+    theorem33_constant,
+)
+from .firstfit2d import first_fit_2d, first_fit_ratio_bounds
+from .rectangles import Rect, gamma, make_rects, rects_total_area
+from .schedule2d import RectMachine, RectSchedule, max_rect_concurrency
+
+__all__ = [
+    "union_area",
+    "union_area_montecarlo",
+    "PAPER_BETA",
+    "bucket_first_fit",
+    "bucket_of",
+    "theorem33_constant",
+    "first_fit_2d",
+    "first_fit_ratio_bounds",
+    "Rect",
+    "gamma",
+    "make_rects",
+    "rects_total_area",
+    "RectMachine",
+    "RectSchedule",
+    "max_rect_concurrency",
+]

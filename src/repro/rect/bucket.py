@@ -1,0 +1,78 @@
+"""Algorithm 4 — BucketFirstFit and Theorem 3.3.
+
+Partition rectangles into buckets by ``len1`` so that within a bucket
+``γ₁ <= β``, run FirstFit separately per bucket on fresh machines, and
+concatenate.  Each bucket is a (6β+4)-approximation against the global
+optimum, and there are at most ``⌈log_β γ₁⌉`` buckets, giving
+
+    cost <= (log_β γ₁ + 2) · (6β + 4) · OPT
+          = ((6β+4)/log β · log γ₁ + O(β)) · OPT.
+
+With the paper's choice β = 3.3 the leading constant is
+``(6·3.3+4)/log₂ 3.3 ≈ 13.82``; combined with the universal
+g-approximation of Proposition 2.1 this yields the
+``min(g, 13.82·log min(γ₁,γ₂) + O(1))`` bound of Theorem 3.3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from .firstfit2d import first_fit_2d
+from .rectangles import Rect
+from .schedule2d import RectSchedule
+
+__all__ = [
+    "bucket_first_fit",
+    "bucket_of",
+    "theorem33_constant",
+    "PAPER_BETA",
+]
+
+PAPER_BETA = 3.3
+
+
+def theorem33_constant(beta: float = PAPER_BETA) -> float:
+    """The leading constant ``(6β+4)/log₂ β`` of Theorem 3.3 (≈13.82
+    at β = 3.3)."""
+    if beta <= 1:
+        raise ValueError(f"beta must be > 1, got {beta}")
+    return (6.0 * beta + 4.0) / math.log2(beta)
+
+
+def bucket_of(len1: float, min_len1: float, beta: float) -> int:
+    """Bucket index ``b >= 1`` with ``min_len1·β^(b-1) <= len1 <= min_len1·β^b``.
+
+    The paper's bucket ranges overlap at powers of β; we resolve the tie
+    downward (a rectangle exactly at a boundary joins the lower bucket),
+    which keeps every bucket's within-bucket γ₁ at most β.
+    """
+    if len1 < min_len1:
+        raise ValueError("len1 below the minimum length")
+    ratio = len1 / min_len1
+    if ratio <= 1.0:
+        return 1
+    b = math.ceil(math.log(ratio) / math.log(beta) - 1e-12)
+    return max(1, b)
+
+
+def bucket_first_fit(
+    rects: Sequence[Rect], g: int, beta: float = PAPER_BETA
+) -> RectSchedule:
+    """BucketFirstFit(J, g, β): FirstFit per ``len1`` bucket (Alg. 4)."""
+    if beta <= 1:
+        raise ValueError(f"beta must be > 1, got {beta}")
+    if not rects:
+        return RectSchedule(g=g)
+    min_len1 = min(r.len1 for r in rects)
+    buckets: Dict[int, List[Rect]] = {}
+    for r in rects:
+        buckets.setdefault(bucket_of(r.len1, min_len1, beta), []).append(r)
+    machines = []
+    for b in sorted(buckets):
+        sub = first_fit_2d(buckets[b], g)
+        for m in sub.machines:
+            m.machine_id = len(machines)
+            machines.append(m)
+    return RectSchedule(g=g, machines=machines)

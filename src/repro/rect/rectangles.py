@@ -1,0 +1,110 @@
+"""Rectangular (2-D) jobs — Section 3.4.
+
+A 2-D job is an axis-parallel rectangle ``[s1, c1) × [s2, c2)``; think
+"daily time window × date range" for periodic jobs.  Definitions 3.1 and
+3.2: ``len_k`` is the projection length in dimension ``k``,
+``len = len1 · len2`` (area), and ``span`` of a set is the area of its
+union.  Overlap follows the same more-than-a-boundary rule as 1-D: two
+rectangles overlap iff their intersection has positive area.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core.errors import InvalidIntervalError
+from ..core.intervals import Interval
+
+__all__ = ["Rect", "make_rects", "gamma", "rects_total_area"]
+
+_rect_counter = itertools.count()
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """An axis-parallel rectangle job ``[x0, x1) × [y0, y1)``."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    rect_id: int = field(default_factory=lambda: next(_rect_counter))
+
+    def __post_init__(self) -> None:
+        for v in (self.x0, self.y0, self.x1, self.y1):
+            if not math.isfinite(v):
+                raise InvalidIntervalError("rectangle endpoints must be finite")
+        if not (self.x1 > self.x0 and self.y1 > self.y0):
+            raise InvalidIntervalError(
+                f"rectangle must have positive extent, got "
+                f"[{self.x0},{self.x1})x[{self.y0},{self.y1})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def len1(self) -> float:
+        """Projection length in dimension 1 (x)."""
+        return self.x1 - self.x0
+
+    @property
+    def len2(self) -> float:
+        """Projection length in dimension 2 (y)."""
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        """``len(I) = len1 · len2`` (Definition 3.1)."""
+        return self.len1 * self.len2
+
+    def projection(self, k: int) -> Interval:
+        """``π_k(I)`` — the projection interval in dimension k ∈ {1, 2}."""
+        if k == 1:
+            return Interval(self.x0, self.x1)
+        if k == 2:
+            return Interval(self.y0, self.y1)
+        raise ValueError(f"dimension must be 1 or 2, got {k}")
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Positive-area intersection."""
+        return (
+            min(self.x1, other.x1) > max(self.x0, other.x0)
+            and min(self.y1, other.y1) > max(self.y0, other.y0)
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        dx = min(self.x1, other.x1) - max(self.x0, other.x0)
+        dy = min(self.y1, other.y1) - max(self.y0, other.y0)
+        return max(0.0, dx) * max(0.0, dy)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def mirrored_x(self) -> "Rect":
+        """The rectangle ``-A`` of the Figure 3 construction: x-negated."""
+        return Rect(-self.x1, self.y0, -self.x0, self.y1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Rect#{self.rect_id}[{self.x0},{self.x1})x[{self.y0},{self.y1})"
+        )
+
+
+def make_rects(coords: Iterable[Tuple[float, float, float, float]]) -> List[Rect]:
+    """Build rectangles with consecutive ids from (x0, y0, x1, y1) tuples."""
+    return [Rect(x0, y0, x1, y1, rect_id=i) for i, (x0, y0, x1, y1) in enumerate(coords)]
+
+
+def gamma(rects: Sequence[Rect], k: int) -> float:
+    """``γ_k`` — ratio of longest to shortest extent in dimension k."""
+    if not rects:
+        raise InvalidIntervalError("gamma of an empty set is undefined")
+    lens = [r.len1 if k == 1 else r.len2 for r in rects]
+    return max(lens) / min(lens)
+
+
+def rects_total_area(rects: Iterable[Rect]) -> float:
+    """``len(J)`` for rectangle sets — sum of areas."""
+    return float(sum(r.area for r in rects))

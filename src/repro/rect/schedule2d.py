@@ -1,0 +1,126 @@
+"""Schedules of rectangular jobs.
+
+Mirrors :class:`repro.core.schedule.Schedule` for 2-D jobs: a machine's
+busy "time" is the *area* of the union of its rectangles (Definition
+3.2), and validity means no thread processes two overlapping rectangles
+with more than ``g`` rectangles covering any point of a machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import InvalidScheduleError
+from .area import union_area
+from .rectangles import Rect, rects_total_area
+
+__all__ = ["RectMachine", "RectSchedule", "max_rect_concurrency"]
+
+
+def max_rect_concurrency(rects: Sequence[Rect]) -> int:
+    """Maximum number of rectangles covering a single point.
+
+    Checked at intersection-cell representatives: candidate points are
+    (x-midpoints × y-midpoints) of the compressed grid restricted to
+    cells where some rectangle lives.  Exact because coverage is
+    constant on grid cells.  O(n · cells); used by validators only.
+    """
+    if not rects:
+        return 0
+    xs = sorted({r.x0 for r in rects} | {r.x1 for r in rects})
+    ys = sorted({r.y0 for r in rects} | {r.y1 for r in rects})
+    best = 0
+    for i in range(len(xs) - 1):
+        mx = 0.5 * (xs[i] + xs[i + 1])
+        col = [r for r in rects if r.x0 <= mx < r.x1]
+        if len(col) <= best:
+            continue
+        for j in range(len(ys) - 1):
+            my = 0.5 * (ys[j] + ys[j + 1])
+            cnt = sum(1 for r in col if r.y0 <= my < r.y1)
+            best = max(best, cnt)
+    return best
+
+
+@dataclass
+class RectMachine:
+    """A 2-D machine with ``g`` threads (Algorithm 3 places on threads)."""
+
+    g: int
+    machine_id: int = 0
+    threads: List[List[Rect]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise InvalidScheduleError(f"capacity g must be >= 1, got {self.g}")
+        if not self.threads:
+            self.threads = [[] for _ in range(self.g)]
+
+    @property
+    def rects(self) -> List[Rect]:
+        return [r for t in self.threads for r in t]
+
+    @property
+    def busy_area(self) -> float:
+        return union_area(self.rects)
+
+    def thread_fits(self, tau: int, rect: Rect) -> bool:
+        return all(not rect.overlaps(other) for other in self.threads[tau])
+
+    def try_add(self, rect: Rect) -> Optional[int]:
+        for tau in range(self.g):
+            if self.thread_fits(tau, rect):
+                self.threads[tau].append(rect)
+                return tau
+        return None
+
+
+@dataclass
+class RectSchedule:
+    """Assignment of rectangles to machines; cost = total busy area."""
+
+    g: int
+    machines: List[RectMachine] = field(default_factory=list)
+
+    @property
+    def cost(self) -> float:
+        return float(sum(m.busy_area for m in self.machines))
+
+    @property
+    def n_rects(self) -> int:
+        return sum(len(m.rects) for m in self.machines)
+
+    def machine_areas(self) -> List[float]:
+        return [m.busy_area for m in self.machines]
+
+    def is_valid(self) -> bool:
+        return all(
+            max_rect_concurrency(m.rects) <= self.g for m in self.machines
+        )
+
+    def validate(self, universe: Sequence[Rect] | None = None) -> None:
+        for m in self.machines:
+            peak = max_rect_concurrency(m.rects)
+            if peak > self.g:
+                raise InvalidScheduleError(
+                    f"2-D machine {m.machine_id}: {peak} > g={self.g} "
+                    "rectangles cover one point"
+                )
+            # Thread discipline: no two rects of a thread overlap.
+            for tau, thread in enumerate(m.threads):
+                for i in range(len(thread)):
+                    for j in range(i + 1, len(thread)):
+                        if thread[i].overlaps(thread[j]):
+                            raise InvalidScheduleError(
+                                f"2-D machine {m.machine_id} thread {tau}: "
+                                "overlapping rectangles on one thread"
+                            )
+        if universe is not None:
+            scheduled = [r for m in self.machines for r in m.rects]
+            if len(scheduled) != len(universe) or set(
+                r.rect_id for r in scheduled
+            ) != set(r.rect_id for r in universe):
+                raise InvalidScheduleError(
+                    "2-D schedule does not cover the instance exactly"
+                )

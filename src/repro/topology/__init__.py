@@ -1,0 +1,26 @@
+"""Topology extensions (paper Section 5): trees and rings."""
+
+from .ring import RingJob, arc_overlaps, ring_union_area
+from .ring_firstfit import (
+    RingMachine,
+    RingSchedule,
+    ring_bucket_first_fit,
+    ring_first_fit,
+)
+from .tree import PathJob, Tree
+from .tree_greedy import TreeSet, tree_one_sided_greedy, tree_schedule_cost
+
+__all__ = [
+    "RingJob",
+    "arc_overlaps",
+    "ring_union_area",
+    "RingMachine",
+    "RingSchedule",
+    "ring_bucket_first_fit",
+    "ring_first_fit",
+    "PathJob",
+    "Tree",
+    "TreeSet",
+    "tree_one_sided_greedy",
+    "tree_schedule_cost",
+]

@@ -1,0 +1,142 @@
+"""Trees and path-jobs (Section 5, optical networks on tree topologies).
+
+In the regenerator-placement application a job is a *path* in a tree
+(the route of a lightpath); the busy "time" of a machine is the total
+edge length of the union of its paths, and grooming capacity ``g``
+bounds how many paths may share a regenerator set.
+
+:class:`Tree` is a self-contained weighted tree (no networkx): parent
+pointers from a BFS rooting, LCA by ancestor walking with depth, and
+path extraction as edge sets.  Edge lengths default to 1 (hop count).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..core.errors import InstanceError
+
+__all__ = ["Tree", "PathJob"]
+
+Edge = Tuple[int, int]  # canonical (min, max) node pair
+
+
+def _canon(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass
+class Tree:
+    """A weighted tree on nodes ``0..n-1``."""
+
+    n: int
+    edges: Dict[Edge, float] = field(default_factory=dict)
+    _adj: Dict[int, List[int]] = field(default_factory=dict, repr=False)
+    _parent: List[int] = field(default_factory=list, repr=False)
+    _depth: List[int] = field(default_factory=list, repr=False)
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edge_list: Iterable[Tuple[int, int] | Tuple[int, int, float]]
+    ) -> "Tree":
+        edges: Dict[Edge, float] = {}
+        adj: Dict[int, List[int]] = {i: [] for i in range(n)}
+        for e in edge_list:
+            if len(e) == 2:
+                u, v = e  # type: ignore[misc]
+                w = 1.0
+            else:
+                u, v, w = e  # type: ignore[misc]
+            if not (0 <= u < n and 0 <= v < n) or u == v:
+                raise InstanceError(f"invalid tree edge ({u}, {v})")
+            if w <= 0:
+                raise InstanceError(f"edge ({u},{v}) must have positive length")
+            edges[_canon(u, v)] = float(w)
+            adj[u].append(v)
+            adj[v].append(u)
+        if len(edges) != n - 1:
+            raise InstanceError(
+                f"a tree on {n} nodes needs {n - 1} edges, got {len(edges)}"
+            )
+        tree = cls(n=n, edges=edges, _adj=adj)
+        tree._root()
+        return tree
+
+    @classmethod
+    def path_graph(cls, n: int) -> "Tree":
+        """The line topology: nodes 0-1-2-...-(n-1), unit edges."""
+        return cls.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+    @classmethod
+    def random_tree(cls, n: int, seed: int = 0) -> "Tree":
+        """Uniform random recursive tree (each node attaches to a
+        uniformly random earlier node)."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        edge_list = [(int(rng.integers(0, i)), i) for i in range(1, n)]
+        return cls.from_edges(n, edge_list)
+
+    # ------------------------------------------------------------------
+    def _root(self) -> None:
+        """BFS from node 0: parent pointers + depths (connectivity check)."""
+        parent = [-1] * self.n
+        depth = [-1] * self.n
+        depth[0] = 0
+        q = deque([0])
+        seen = 1
+        while q:
+            u = q.popleft()
+            for v in self._adj[u]:
+                if depth[v] == -1:
+                    depth[v] = depth[u] + 1
+                    parent[v] = u
+                    q.append(v)
+                    seen += 1
+        if seen != self.n:
+            raise InstanceError("edge set does not form a connected tree")
+        self._parent = parent
+        self._depth = depth
+
+    def edge_length(self, u: int, v: int) -> float:
+        return self.edges[_canon(u, v)]
+
+    def path_edges(self, u: int, v: int) -> FrozenSet[Edge]:
+        """Edges of the unique u–v path (via LCA walk)."""
+        out: Set[Edge] = set()
+        a, b = u, v
+        while self._depth[a] > self._depth[b]:
+            out.add(_canon(a, self._parent[a]))
+            a = self._parent[a]
+        while self._depth[b] > self._depth[a]:
+            out.add(_canon(b, self._parent[b]))
+            b = self._parent[b]
+        while a != b:
+            out.add(_canon(a, self._parent[a]))
+            out.add(_canon(b, self._parent[b]))
+            a = self._parent[a]
+            b = self._parent[b]
+        return frozenset(out)
+
+    def path_length(self, u: int, v: int) -> float:
+        return sum(self.edges[e] for e in self.path_edges(u, v))
+
+    def edges_length(self, edge_set: Iterable[Edge]) -> float:
+        return float(sum(self.edges[e] for e in edge_set))
+
+
+@dataclass(frozen=True)
+class PathJob:
+    """A lightpath demand: the path between two tree nodes."""
+
+    u: int
+    v: int
+    job_id: int = 0
+
+    def edges(self, tree: Tree) -> FrozenSet[Edge]:
+        return tree.path_edges(self.u, self.v)
+
+    def length(self, tree: Tree) -> float:
+        return tree.path_length(self.u, self.v)

@@ -1,0 +1,68 @@
+"""Tree-topology generalization of Observation 3.1 (Section 5).
+
+The paper sketches how the one-sided-clique algorithm extends to trees:
+process paths in non-increasing length, maintain *current sets*; the
+*opening path* of a set is the first (longest) path it received; a set
+is **possible** for a new path ``J`` when ``J`` is contained in the
+set's opening path and the set holds fewer than ``g`` paths; each new
+path joins the possible set with the most paths, or opens a new set.
+
+The machine cost of a set is the union length of its paths, which —
+because every member is contained in the opening path — equals... is at
+most the opening path's length; we compute the exact union.
+
+On a path graph with all paths sharing an endpoint this reduces exactly
+to Observation 3.1, which the test suite verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from .tree import Edge, PathJob, Tree
+
+__all__ = ["TreeSet", "tree_one_sided_greedy", "tree_schedule_cost"]
+
+
+@dataclass
+class TreeSet:
+    """A machine in the tree greedy: opening path + members."""
+
+    opening_edges: FrozenSet[Edge]
+    members: List[PathJob] = field(default_factory=list)
+
+    def union_edges(self, tree: Tree) -> Set[Edge]:
+        out: Set[Edge] = set()
+        for p in self.members:
+            out |= p.edges(tree)
+        return out
+
+
+def tree_one_sided_greedy(
+    tree: Tree, paths: Sequence[PathJob], g: int
+) -> List[TreeSet]:
+    """The paper's tree extension of the Observation 3.1 greedy."""
+    ordered = sorted(
+        paths, key=lambda p: (-p.length(tree), p.job_id)
+    )
+    sets: List[TreeSet] = []
+    for p in ordered:
+        p_edges = p.edges(tree)
+        best: TreeSet | None = None
+        for s in sets:
+            if len(s.members) < g and p_edges <= s.opening_edges:
+                if best is None or len(s.members) > len(best.members):
+                    best = s
+        if best is None:
+            best = TreeSet(opening_edges=p_edges)
+            sets.append(best)
+        best.members.append(p)
+    return sets
+
+
+def tree_schedule_cost(tree: Tree, sets: Sequence[TreeSet]) -> float:
+    """Total busy length: sum over sets of the union of member paths."""
+    return float(
+        sum(tree.edges_length(s.union_edges(tree)) for s in sets)
+    )

@@ -1,0 +1,45 @@
+"""Workload generators: random, adversarial, application-flavoured."""
+
+from .adversarial import (
+    fig3_firstfit_lower_bound,
+    fig3_instance,
+    fig3_opt_upper_bound,
+    fig3_optimal_groups,
+    fig3_rect_types,
+    staircase_proper_instance,
+)
+from .applications import (
+    cloud_requests,
+    energy_windows,
+    optical_line_demands,
+    optical_ring_demands,
+)
+from .generators import (
+    random_clique_instance,
+    random_demand_instance,
+    random_general_instance,
+    random_one_sided_instance,
+    random_proper_clique_instance,
+    random_proper_instance,
+    random_rects,
+)
+
+__all__ = [
+    "fig3_firstfit_lower_bound",
+    "fig3_instance",
+    "fig3_opt_upper_bound",
+    "fig3_optimal_groups",
+    "fig3_rect_types",
+    "staircase_proper_instance",
+    "cloud_requests",
+    "energy_windows",
+    "optical_line_demands",
+    "optical_ring_demands",
+    "random_clique_instance",
+    "random_demand_instance",
+    "random_general_instance",
+    "random_one_sided_instance",
+    "random_proper_clique_instance",
+    "random_proper_instance",
+    "random_rects",
+]

@@ -1,0 +1,136 @@
+"""Adversarial / worst-case instances from the paper's proofs.
+
+* :func:`fig3_instance` — the Figure 3 lower-bound construction for 2-D
+  FirstFit (Lemma 3.5): ``g(g-3)`` copies of the square ``X`` and ``g``
+  copies of each of ``A, B, C, D, E, -A, -B, -C``, emitted in exactly
+  the order that forces FirstFit (which breaks ``len2`` ties by input
+  order) to fill ``g`` machines of span ``≈ 4(1+2γ₁)(3)`` each, while
+  the optimum packs by type at cost ``4(g-3) + 24γ₁ + 8``.
+* :func:`fig3_optimal_groups` — that packing-by-type solution, used as
+  the OPT upper bound in experiment E5.
+* :func:`staircase_proper_instance` — a heavily-overlapping proper
+  instance on which cut-based algorithms are stressed (experiment E3's
+  ablation of BestCut vs single cut).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.instance import Instance
+from ..rect.rectangles import Rect
+
+__all__ = [
+    "fig3_rect_types",
+    "fig3_instance",
+    "fig3_optimal_groups",
+    "fig3_opt_upper_bound",
+    "fig3_firstfit_lower_bound",
+    "staircase_proper_instance",
+]
+
+
+def fig3_rect_types(gamma1: float, eps: float) -> Dict[str, Tuple[float, float, float, float]]:
+    """The eight rectangle types of equation (6) plus ``X``.
+
+    Returned as ``name -> (x0, y0, x1, y1)``; mirrored types are
+    ``-A, -B, -C``.  Requires ``gamma1 >= 1`` and ``0 < eps < 1``.
+    """
+    if gamma1 < 1:
+        raise ValueError(f"gamma1 must be >= 1, got {gamma1}")
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    A = (1 - eps, 1 - eps, 1 + 2 * gamma1 - eps, 3 - eps)
+    B = (1 - eps, -1.0, 1 + 2 * gamma1 - eps, 1.0)
+    C = (1 - eps, -3 + eps, 1 + 2 * gamma1 - eps, -1 + eps)
+    D = (-1.0, 1 - eps, 1.0, 3 - eps)
+    E = (-1.0, -3 + eps, 1.0, -1 + eps)
+    X = (-1.0, -1.0, 1.0, 1.0)
+
+    def neg(r: Tuple[float, float, float, float]) -> Tuple[float, float, float, float]:
+        x0, y0, x1, y1 = r
+        return (-x1, y0, -x0, y1)
+
+    return {
+        "A": A,
+        "B": B,
+        "C": C,
+        "D": D,
+        "E": E,
+        "X": X,
+        "-A": neg(A),
+        "-B": neg(B),
+        "-C": neg(C),
+    }
+
+
+# The per-round placement order that defeats FirstFit (paper, proof of
+# Lemma 3.5): the X's first, then the type jobs in this sequence.
+_ROUND_ORDER = ["A", "C", "-A", "-C", "B", "-B", "D", "E"]
+
+
+def fig3_instance(g: int, gamma1: float = 1.0, eps: float = 0.5) -> List[Rect]:
+    """The full Figure 3 instance, ids in FirstFit's adversarial order.
+
+    Requires ``g >= 4`` (the construction reserves ``g - 3`` threads for
+    the ``X`` squares).  All rectangles have ``len2 = 2``; FirstFit
+    breaks the tie by input order, which is exactly the order the
+    paper's footnote 2 enforces by perturbation.
+    """
+    if g < 4:
+        raise ValueError(f"Figure 3 construction requires g >= 4, got {g}")
+    types = fig3_rect_types(gamma1, eps)
+    rects: List[Rect] = []
+    rid = 0
+    for _round in range(g):
+        for _ in range(g - 3):
+            x0, y0, x1, y1 = types["X"]
+            rects.append(Rect(x0, y0, x1, y1, rect_id=rid))
+            rid += 1
+        for name in _ROUND_ORDER:
+            x0, y0, x1, y1 = types[name]
+            rects.append(Rect(x0, y0, x1, y1, rect_id=rid))
+            rid += 1
+    return rects
+
+
+def fig3_optimal_groups(rects: List[Rect], g: int) -> List[List[Rect]]:
+    """The pack-by-type solution: g X's per machine, g copies of each
+    type per machine.  Valid because identical rectangles stack up to
+    depth exactly g per machine."""
+    by_key: Dict[Tuple[float, float, float, float], List[Rect]] = {}
+    for r in rects:
+        by_key.setdefault((r.x0, r.y0, r.x1, r.y1), []).append(r)
+    groups: List[List[Rect]] = []
+    for key in sorted(by_key):
+        members = by_key[key]
+        for i in range(0, len(members), g):
+            groups.append(members[i : i + g])
+    return groups
+
+
+def fig3_opt_upper_bound(g: int, gamma1: float, eps: float) -> float:
+    """The paper's closed-form OPT upper bound ``4(g-3) + 24γ₁ + 8``."""
+    return 4.0 * (g - 3) + 24.0 * gamma1 + 8.0
+
+
+def fig3_firstfit_lower_bound(g: int, gamma1: float, eps: float) -> float:
+    """The paper's closed-form FirstFit cost ``4g(1+2γ₁-ε)(3-ε)``."""
+    return 4.0 * g * (1 + 2 * gamma1 - eps) * (3 - eps)
+
+
+def staircase_proper_instance(
+    n: int, g: int, *, shift: float = 1.0, length: float = 50.0
+) -> Instance:
+    """Proper instance of heavily overlapping shifted copies.
+
+    Job ``k`` is ``[k·shift, k·shift + length)``; consecutive overlaps
+    are ``length - shift`` each, so cut placement matters: each cut
+    forfeits a large overlap, which is what separates BestCut from a
+    fixed single cut (experiment E3).
+    """
+    if length <= shift:
+        raise ValueError("length must exceed shift for overlapping stairs")
+    return Instance.from_spans(
+        [(k * shift, k * shift + length) for k in range(n)], g
+    )

@@ -1,0 +1,138 @@
+"""Application-flavoured workloads (paper Section 1, "Applications").
+
+Synthetic but structurally faithful stand-ins for the three application
+domains that motivate the paper.  None of them requires external data —
+the paper itself runs no experiments — but they exercise the same code
+paths a practitioner would:
+
+* **cloud**: virtual-machine lease requests with diurnal arrival bursts
+  (clients pay per machine-hour; MinBusy = minimize the bill,
+  MaxThroughput = serve the most requests within a budget).
+* **energy**: batch compute windows on a cluster where busy time is
+  energy drawn; proper-ized variant models rolling maintenance windows.
+* **optical (line)**: lightpaths on a line network: a lightpath between
+  sites u < v is the interval ``[u, v)``; busy length is regenerator
+  cost, ``g`` is the grooming factor.
+* **optical (ring)**: arc demands on a ring network over time
+  (:class:`repro.topology.ring.RingJob`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..topology.ring import RingJob
+
+__all__ = [
+    "cloud_requests",
+    "energy_windows",
+    "optical_line_demands",
+    "optical_ring_demands",
+]
+
+
+def cloud_requests(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    day_hours: float = 24.0,
+    peak_hour: float = 14.0,
+    mean_lease: float = 3.0,
+) -> Instance:
+    """VM lease requests with a diurnal arrival peak.
+
+    Arrival times are a mixture of uniform background and a Gaussian
+    burst around ``peak_hour``; lease durations are exponential with
+    mean ``mean_lease`` hours (truncated to [0.25, 12]).
+    """
+    rng = np.random.default_rng(seed)
+    n_burst = n // 2
+    arr_burst = rng.normal(peak_hour, 1.5, n_burst)
+    arr_bg = rng.uniform(0.0, day_hours, n - n_burst)
+    arrivals = np.clip(np.concatenate([arr_burst, arr_bg]), 0.0, day_hours)
+    leases = np.clip(rng.exponential(mean_lease, n), 0.25, 12.0)
+    return Instance.from_spans(
+        [(float(a), float(a + L)) for a, L in zip(arrivals, leases)], g
+    )
+
+
+def energy_windows(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    horizon: float = 168.0,
+    window: float = 20.0,
+) -> Instance:
+    """Weekly batch windows: moderately overlapping, roughly uniform.
+
+    Durations cluster around ``window`` hours with ±30% spread — the
+    narrow spread makes most instances proper or near-proper, matching
+    the rolling-window structure the BestCut analysis targets.
+    """
+    rng = np.random.default_rng(seed)
+    starts = np.sort(rng.uniform(0.0, horizon, n))
+    durs = window * rng.uniform(0.7, 1.3, n)
+    ends = starts + durs
+    # Force properness: monotone ends (rolling maintenance windows).
+    # Strictly increasing ends: accumulate first (monotone), then add a
+    # strictly increasing epsilon so no two ends tie (ties with distinct
+    # starts would break properness).
+    ends = np.maximum.accumulate(ends) + np.arange(n) * 1e-6
+    return Instance.from_spans(
+        [(float(s), float(e)) for s, e in zip(starts, ends)], g
+    )
+
+
+def optical_line_demands(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    n_sites: int = 64,
+) -> Instance:
+    """Lightpath demands on a line network of ``n_sites`` nodes.
+
+    A demand between sites ``u < v`` occupies the interval ``[u, v)``;
+    total busy length models regenerator hardware cost under grooming
+    factor ``g`` (paper Section 1).
+    """
+    rng = np.random.default_rng(seed)
+    spans: List[Tuple[float, float]] = []
+    for _ in range(n):
+        u, v = sorted(rng.choice(n_sites, size=2, replace=False))
+        spans.append((float(u), float(v)))
+    return Instance.from_spans(spans, g)
+
+
+def optical_ring_demands(
+    n: int,
+    *,
+    seed: int = 0,
+    circumference: float = 16.0,
+    horizon: float = 48.0,
+    max_arc_frac: float = 0.45,
+) -> List[RingJob]:
+    """Timed arc demands on a ring network (Section 5 ring extension)."""
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        a0 = float(rng.uniform(0.0, circumference))
+        alen = float(rng.uniform(0.05, max_arc_frac) * circumference)
+        t0 = float(rng.uniform(0.0, horizon - 1.0))
+        dur = float(rng.uniform(0.5, 8.0))
+        jobs.append(
+            RingJob(
+                a0=a0,
+                alen=alen,
+                t0=t0,
+                t1=min(t0 + dur, horizon),
+                circumference=circumference,
+                job_id=i,
+            )
+        )
+    return jobs

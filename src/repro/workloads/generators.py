@@ -1,0 +1,223 @@
+"""Seeded random instance generators for every instance class.
+
+All randomness flows through ``numpy.random.Generator`` created from an
+explicit seed, so every experiment is reproducible.  Generators can emit
+integer endpoints (``integral=True``) so that exact solvers and the
+Proposition 2.2 reduction can compare costs without float error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.instance import BudgetInstance, Instance
+from ..core.jobs import Job, make_jobs
+from ..rect.rectangles import Rect
+
+__all__ = [
+    "random_general_instance",
+    "random_clique_instance",
+    "random_proper_instance",
+    "random_proper_clique_instance",
+    "random_one_sided_instance",
+    "random_rects",
+    "random_demand_instance",
+]
+
+
+def _maybe_round(arr: np.ndarray, integral: bool) -> np.ndarray:
+    return np.round(arr) if integral else arr
+
+
+def random_general_instance(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    horizon: float = 100.0,
+    min_len: float = 1.0,
+    max_len: float = 30.0,
+    integral: bool = False,
+) -> Instance:
+    """Uniform random intervals over a horizon (general instance class)."""
+    rng = np.random.default_rng(seed)
+    lens = _maybe_round(rng.uniform(min_len, max_len, n), integral)
+    lens = np.maximum(lens, 1.0 if integral else min_len)
+    starts = _maybe_round(rng.uniform(0.0, horizon, n), integral)
+    return Instance.from_spans(
+        [(float(s), float(s + L)) for s, L in zip(starts, lens)], g
+    )
+
+
+def random_clique_instance(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    max_left: float = 50.0,
+    max_right: float = 50.0,
+    integral: bool = False,
+) -> Instance:
+    """Clique instance: every job straddles time 0.
+
+    Left extents in ``(0, max_left]``, right extents in ``(0, max_right]``
+    so that every job contains an open neighbourhood of 0.
+    """
+    rng = np.random.default_rng(seed)
+    lefts = _maybe_round(rng.uniform(0.5, max_left, n), integral)
+    rights = _maybe_round(rng.uniform(0.5, max_right, n), integral)
+    lefts = np.maximum(lefts, 1.0 if integral else 0.5)
+    rights = np.maximum(rights, 1.0 if integral else 0.5)
+    return Instance.from_spans(
+        [(-float(a), float(b)) for a, b in zip(lefts, rights)], g
+    )
+
+
+def random_proper_instance(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    horizon: float = 100.0,
+    length: float = 25.0,
+    jitter: float = 8.0,
+    integral: bool = False,
+) -> Instance:
+    """Proper instance: starts sorted, lengths jittered but kept
+    order-compatible so no job properly contains another.
+
+    Construction: draw sorted starts, then draw ends as
+    ``start + length + eps_i`` where the cumulative ends are forced
+    non-decreasing (and strictly increasing where starts strictly
+    increase).  This guarantees the proper property by construction.
+    """
+    rng = np.random.default_rng(seed)
+    starts = np.sort(_maybe_round(rng.uniform(0.0, horizon, n), integral))
+    ends = np.empty(n)
+    prev_end = -np.inf
+    step = 1.0 if integral else 1e-3
+    for i in range(n):
+        e = starts[i] + length + rng.uniform(-jitter, jitter)
+        if integral:
+            e = round(e)
+        lo = max(starts[i] + (1.0 if integral else 0.5), prev_end + (
+            step if (i > 0 and starts[i] > starts[i - 1]) else 0.0
+        ))
+        # Equal starts must produce equal ends for strict properness.
+        if i > 0 and starts[i] == starts[i - 1]:
+            e = ends[i - 1]
+        else:
+            e = max(e, lo)
+        ends[i] = e
+        prev_end = e
+    return Instance.from_spans(
+        [(float(s), float(e)) for s, e in zip(starts, ends)], g
+    )
+
+
+def random_proper_clique_instance(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    spread: float = 40.0,
+    integral: bool = False,
+) -> Instance:
+    """Proper clique instance: all jobs contain time 0, starts/ends sorted
+    consistently.
+
+    Starts drawn in ``[-spread, 0)`` sorted ascending; ends drawn in
+    ``(0, spread]`` sorted ascending and paired in order — sorted starts
+    with sorted ends is automatically proper, and straddling 0 makes it
+    a clique.
+
+    With ``integral=True`` endpoints are sampled *without replacement*
+    from the integer grid (widened to ``max(spread, n)`` points when
+    necessary): duplicate starts or ends after rounding would let one
+    job properly contain another, silently breaking properness.
+    """
+    rng = np.random.default_rng(seed)
+    if integral:
+        width = int(max(spread, n))
+        starts = np.sort(rng.choice(np.arange(-width, 0), n, replace=False))
+        ends = np.sort(rng.choice(np.arange(1, width + 1), n, replace=False))
+    else:
+        starts = np.minimum(np.sort(rng.uniform(-spread, -0.5, n)), -0.5)
+        ends = np.maximum(np.sort(rng.uniform(0.5, spread, n)), 0.5)
+    return Instance.from_spans(
+        [(float(s), float(e)) for s, e in zip(starts, ends)], g
+    )
+
+
+def random_one_sided_instance(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    side: str = "left",
+    max_len: float = 50.0,
+    integral: bool = False,
+) -> Instance:
+    """One-sided clique instance: shared start (``side='left'``) or
+    shared completion time (``side='right'``)."""
+    rng = np.random.default_rng(seed)
+    lens = _maybe_round(rng.uniform(0.5, max_len, n), integral)
+    lens = np.maximum(lens, 1.0 if integral else 0.5)
+    if side == "left":
+        spans = [(0.0, float(L)) for L in lens]
+    elif side == "right":
+        spans = [(-float(L), 0.0) for L in lens]
+    else:
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    return Instance.from_spans(spans, g)
+
+
+def random_rects(
+    n: int,
+    *,
+    seed: int = 0,
+    horizon: float = 100.0,
+    gamma1: float = 8.0,
+    gamma2: float = 8.0,
+    base1: float = 1.0,
+    base2: float = 1.0,
+) -> List[Rect]:
+    """Random rectangles with controlled extent ratios.
+
+    ``len1`` is drawn log-uniformly in ``[base1, base1·gamma1]`` and
+    ``len2`` in ``[base2, base2·gamma2]``, so the instance's γ values
+    are at most the requested ones (and typically close to them).
+    """
+    rng = np.random.default_rng(seed)
+    len1 = base1 * np.exp(rng.uniform(0.0, np.log(gamma1), n))
+    len2 = base2 * np.exp(rng.uniform(0.0, np.log(gamma2), n))
+    x0 = rng.uniform(0.0, horizon, n)
+    y0 = rng.uniform(0.0, horizon, n)
+    return [
+        Rect(float(x), float(y), float(x + a), float(y + b), rect_id=i)
+        for i, (x, y, a, b) in enumerate(zip(x0, y0, len1, len2))
+    ]
+
+
+def random_demand_instance(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    horizon: float = 100.0,
+    max_len: float = 30.0,
+    max_demand: int | None = None,
+) -> Instance:
+    """General instance with per-job demands in ``1..max_demand``."""
+    rng = np.random.default_rng(seed)
+    max_demand = max_demand or g
+    lens = rng.uniform(1.0, max_len, n)
+    starts = rng.uniform(0.0, horizon, n)
+    demands = rng.integers(1, max_demand + 1, n)
+    return Instance.from_spans(
+        [(float(s), float(s + L)) for s, L in zip(starts, lens)],
+        g,
+        demands=[int(d) for d in demands],
+    )

@@ -1,0 +1,151 @@
+"""Tests for the analysis layer: independent verification, empirical
+ratio measurement, and table formatting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ratios import (
+    RatioSample,
+    measure_ratio,
+    measure_ratios,
+    summarize,
+)
+from repro.analysis.stats import Table, format_table, geometric_mean
+from repro.analysis.verify import (
+    recompute_cost,
+    verify_budget_schedule,
+    verify_min_busy_schedule,
+)
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import BudgetInstance, Instance
+from repro.core.schedule import Schedule
+from repro.minbusy import solve_first_fit, solve_naive
+from repro.workloads import random_general_instance, random_clique_instance
+
+
+class TestVerifyMinBusy:
+    def test_accepts_valid(self):
+        inst = random_general_instance(12, 3, seed=0)
+        sched = solve_first_fit(inst)
+        cost = verify_min_busy_schedule(inst, sched)
+        assert cost == pytest.approx(sched.cost)
+
+    def test_rejects_missing_job(self):
+        inst = random_general_instance(5, 2, seed=1)
+        sched = solve_naive(inst)
+        sched.unassign(inst.jobs[0])
+        with pytest.raises(InvalidScheduleError):
+            verify_min_busy_schedule(inst, sched)
+
+    def test_rejects_overloaded_machine(self):
+        inst = Instance.from_spans([(0, 2), (0, 2), (0, 2)], g=2)
+        sched = Schedule(g=2)
+        for j in inst.jobs:
+            sched.assign(j, 0)  # 3 concurrent on capacity 2
+        with pytest.raises(InvalidScheduleError):
+            verify_min_busy_schedule(inst, sched)
+
+    def test_recompute_matches_schedule_cost(self):
+        inst = random_general_instance(20, 3, seed=2)
+        sched = solve_first_fit(inst)
+        assert recompute_cost(sched) == pytest.approx(sched.cost)
+
+
+class TestVerifyBudget:
+    def test_accepts_within_budget(self):
+        inst = random_clique_instance(8, 2, seed=0)
+        bi = inst.with_budget(inst.total_length)
+        sched = solve_naive(inst)
+        tput, cost = verify_budget_schedule(bi, sched)
+        assert tput == 8
+        assert cost <= bi.budget + 1e-9
+
+    def test_rejects_budget_violation(self):
+        inst = random_clique_instance(8, 2, seed=0)
+        bi = inst.with_budget(0.5 * inst.total_length)
+        sched = solve_naive(inst)  # costs len(J) > T
+        with pytest.raises(InvalidScheduleError):
+            verify_budget_schedule(bi, sched)
+
+    def test_rejects_foreign_jobs(self):
+        inst = random_clique_instance(5, 2, seed=1)
+        bi = inst.with_budget(1000.0)
+        sched = Schedule(g=2)
+        from repro.core.jobs import Job
+
+        sched.assign(Job(start=0.0, end=1.0, job_id=999), 0)
+        with pytest.raises(InvalidScheduleError):
+            verify_budget_schedule(bi, sched)
+
+
+class TestRatioHarness:
+    def test_exact_reference_small(self):
+        inst = random_general_instance(8, 2, seed=0)
+        s = measure_ratio(inst, solve_first_fit)
+        assert s.exact_reference
+        assert s.ratio >= 1.0 - 1e-9
+
+    def test_bound_reference_large(self):
+        inst = random_general_instance(40, 3, seed=0)
+        s = measure_ratio(inst, solve_first_fit)
+        assert not s.exact_reference
+        assert s.ratio >= 1.0 - 1e-9  # FirstFit is never below the LB
+
+    def test_force_bound(self):
+        inst = random_general_instance(8, 2, seed=0)
+        s = measure_ratio(inst, solve_first_fit, force_bound=True)
+        assert not s.exact_reference
+
+    def test_measure_many_and_summarize(self):
+        insts = [random_general_instance(8, 2, seed=s) for s in range(4)]
+        samples = measure_ratios(insts, solve_first_fit)
+        agg = summarize(samples)
+        assert agg["count"] == 4
+        assert 1.0 - 1e-9 <= agg["mean"] <= agg["max"]
+        assert agg["all_exact"]
+
+    def test_summarize_empty(self):
+        assert summarize([])["count"] == 0
+
+    def test_ratio_sample_zero_reference(self):
+        s = RatioSample(n=0, g=1, cost=0.0, reference=0.0, exact_reference=True)
+        assert s.ratio == 1.0
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_ignores_nonpositive(self):
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_empty_nan(self):
+        import math
+
+        assert math.isnan(geometric_mean([]))
+
+    def test_table_rendering(self):
+        t = Table("demo", ["a", "b"])
+        t.add(1, 2.34567)
+        t.add("x", 5)
+        out = t.render()
+        assert "demo" in out
+        assert "2.346" in out  # 4 significant digits
+        assert out.count("\n") >= 4
+
+    def test_table_wrong_arity(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_format_table_alignment(self):
+        out = format_table("t", ["col"], [["longvalue"], ["s"]])
+        lines = [ln for ln in out.splitlines() if ln]
+        # Title, header, rule, rows.
+        assert lines[0] == "== t =="
+        assert lines[1].startswith("col")
+        assert set(lines[2]) == {"-"}
+        assert lines[3] == "longvalue"

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable, so they run in-process (fast) with output captured.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report, not a blank run
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "cloud_scheduling",
+        "energy_aware",
+        "optical_grooming",
+        "periodic_jobs_2d",
+    } <= names

@@ -1,0 +1,292 @@
+"""Tests for Algorithms 3 and 4 (2-D FirstFit and BucketFirstFit) and
+the Figure 3 adversarial construction (Lemmas 3.4 and 3.5).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.rect import Rect, bucket_first_fit, first_fit_2d, union_area
+from repro.rect.bucket import PAPER_BETA, bucket_of, theorem33_constant
+from repro.rect.firstfit2d import first_fit_ratio_bounds
+from repro.rect.rectangles import gamma, make_rects, rects_total_area
+from repro.rect.schedule2d import max_rect_concurrency
+from repro.workloads import random_rects
+from repro.workloads.adversarial import (
+    fig3_firstfit_lower_bound,
+    fig3_instance,
+    fig3_opt_upper_bound,
+    fig3_optimal_groups,
+    fig3_rect_types,
+)
+
+
+class TestFirstFit2D:
+    def test_sorts_by_len2_descending(self):
+        rects = make_rects([(0, 0, 1, 1), (10, 0, 11, 5), (20, 0, 21, 3)])
+        sched = first_fit_2d(rects, 2)
+        first_machine = sched.machines[0]
+        # The len2=5 rect is placed first.
+        assert any(r.len2 == 5.0 for r in first_machine.threads[0])
+
+    def test_disjoint_rects_share_thread(self):
+        rects = make_rects([(0, 0, 1, 1), (5, 5, 6, 6), (10, 0, 11, 1)])
+        sched = first_fit_2d(rects, 1)
+        assert len(sched.machines) == 1
+        assert sched.cost == pytest.approx(3.0)
+
+    def test_identical_rects_fill_threads_then_new_machine(self):
+        rects = [Rect(0, 0, 1, 1, rect_id=i) for i in range(5)]
+        sched = first_fit_2d(rects, 2)
+        assert len(sched.machines) == 3
+        assert sched.cost == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("g", [1, 3, 8])
+    def test_valid_and_complete(self, seed, g):
+        rects = random_rects(30, seed=seed)
+        sched = first_fit_2d(rects, g)
+        sched.validate(rects)
+        assert sched.n_rects == 30
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_g_approximation_certificate(self, seed):
+        """Proposition 2.1 analogue in 2-D: cost <= len(J) and
+        cost >= span so ratio <= g via the parallelism bound."""
+        g = 4
+        rects = random_rects(25, seed=seed)
+        sched = first_fit_2d(rects, g)
+        lower = max(union_area(rects), rects_total_area(rects) / g)
+        assert sched.cost <= rects_total_area(rects) + 1e-9
+        assert sched.cost <= g * lower + 1e-9
+
+    def test_empty(self):
+        sched = first_fit_2d([], 3)
+        assert sched.cost == 0.0
+        assert sched.n_rects == 0
+
+    def test_ratio_bounds_helper(self):
+        rects = make_rects([(0, 0, 1, 1), (0, 0, 2, 1)])
+        lo, hi = first_fit_ratio_bounds(rects)
+        assert lo == pytest.approx(6 * 2 + 3)
+        assert hi == pytest.approx(6 * 2 + 4)
+
+
+class TestLemma34:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("g", [2, 4])
+    def test_consecutive_machine_span_bound(self, seed, g):
+        """span(J_{i+1}) <= (6γ₁+3)/g · len(J_i) for FirstFit machines."""
+        rects = random_rects(40, seed=seed, gamma1=4.0, gamma2=4.0)
+        g1 = gamma(rects, 1)
+        sched = first_fit_2d(rects, g)
+        machines = sched.machines
+        for i in range(len(machines) - 1):
+            span_next = machines[i + 1].busy_area
+            len_prev = rects_total_area(machines[i].rects)
+            assert span_next <= (6 * g1 + 3) / g * len_prev + 1e-9
+
+
+class TestBucketOf:
+    def test_first_bucket(self):
+        assert bucket_of(1.0, 1.0, 2.0) == 1
+        assert bucket_of(1.5, 1.0, 2.0) == 1
+        assert bucket_of(2.0, 1.0, 2.0) == 1  # boundary goes down
+
+    def test_later_buckets(self):
+        assert bucket_of(2.1, 1.0, 2.0) == 2
+        assert bucket_of(4.0, 1.0, 2.0) == 2
+        assert bucket_of(4.1, 1.0, 2.0) == 3
+
+    def test_within_bucket_gamma_at_most_beta(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        beta = PAPER_BETA
+        lens = np.exp(rng.uniform(0, 8, 200))
+        min_len = float(lens.min())
+        buckets = {}
+        for L in lens:
+            buckets.setdefault(bucket_of(float(L), min_len, beta), []).append(
+                float(L)
+            )
+        for bs in buckets.values():
+            assert max(bs) / min(bs) <= beta + 1e-9
+
+    def test_below_min_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_of(0.5, 1.0, 2.0)
+
+
+class TestBucketFirstFit:
+    def test_constant(self):
+        assert theorem33_constant(3.3) == pytest.approx(
+            (6 * 3.3 + 4) / math.log2(3.3)
+        )
+        assert theorem33_constant() == pytest.approx(13.82, abs=0.1)
+        with pytest.raises(ValueError):
+            theorem33_constant(1.0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_valid_and_complete(self, seed):
+        rects = random_rects(40, seed=seed, gamma1=64.0)
+        sched = bucket_first_fit(rects, 4)
+        sched.validate(rects)
+        assert sched.n_rects == 40
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_theorem33_certificate(self, seed):
+        """cost <= min(g, C·log γ₁ + O(1)) · LB with the Obs. 2.1 LB."""
+        g = 4
+        rects = random_rects(50, seed=seed, gamma1=32.0, gamma2=32.0)
+        g1 = min(gamma(rects, 1), gamma(rects, 2))
+        sched = bucket_first_fit(rects, g)
+        lb = max(union_area(rects), rects_total_area(rects) / g)
+        bound = min(
+            float(g),
+            theorem33_constant() * max(1.0, math.log2(g1)) + 2 * (6 * 3.3 + 4),
+        )
+        assert sched.cost <= bound * lb + 1e-9
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError):
+            bucket_first_fit(random_rects(5), 2, beta=0.9)
+
+    def test_empty(self):
+        assert bucket_first_fit([], 2).cost == 0.0
+
+    def test_single_bucket_equals_firstfit(self):
+        """When γ₁ <= β the bucketing is a no-op."""
+        rects = random_rects(25, seed=7, gamma1=2.0)
+        a = bucket_first_fit(rects, 3, beta=3.3)
+        b = first_fit_2d(rects, 3)
+        assert a.cost == pytest.approx(b.cost)
+
+    def test_machine_ids_renumbered(self):
+        rects = random_rects(30, seed=8, gamma1=64.0)
+        sched = bucket_first_fit(rects, 3)
+        ids = [m.machine_id for m in sched.machines]
+        assert ids == list(range(len(ids)))
+
+
+class TestFig3Construction:
+    def test_types_geometry(self):
+        types = fig3_rect_types(1.0, 0.5)
+        assert set(types) == {"A", "B", "C", "D", "E", "X", "-A", "-B", "-C"}
+        # All have len2 = 2 (the tie FirstFit breaks by input order).
+        for name, (x0, y0, x1, y1) in types.items():
+            assert y1 - y0 == pytest.approx(2.0), name
+        # len1: A,B,C are 2γ₁; D,E,X are 2.
+        for name in ("A", "B", "C", "-A", "-B", "-C"):
+            x0, _y0, x1, _y1 = types[name]
+            assert x1 - x0 == pytest.approx(2.0)
+        for name in ("D", "E", "X"):
+            x0, _y0, x1, _y1 = types[name]
+            assert x1 - x0 == pytest.approx(2.0)
+
+    def test_types_gamma_scales(self):
+        types = fig3_rect_types(4.0, 0.5)
+        for name in ("A", "B", "C"):
+            x0, _y0, x1, _y1 = types[name]
+            assert x1 - x0 == pytest.approx(8.0)
+
+    def test_paper_intersection_facts(self):
+        """The bullet list below equation (6)."""
+        types = {
+            k: Rect(*v) for k, v in fig3_rect_types(2.0, 0.5).items()
+        }
+        A, B, C, D, E, X = (
+            types["A"],
+            types["B"],
+            types["C"],
+            types["D"],
+            types["E"],
+            types["X"],
+        )
+        nA, nB, nC = types["-A"], types["-B"], types["-C"]
+        # A, C, -A, -C pairwise disjoint.
+        import itertools
+
+        for u, v in itertools.combinations([A, C, nA, nC], 2):
+            assert not u.overlaps(v)
+        assert not D.overlaps(E)
+        assert not B.overlaps(nB)
+        # X intersects every other type.
+        for other in (A, B, C, D, E, nA, nB, nC):
+            assert X.overlaps(other)
+        # A, B, D pairwise intersecting; C, B, E pairwise intersecting.
+        for u, v in itertools.combinations([A, B, D], 2):
+            assert u.overlaps(v)
+        for u, v in itertools.combinations([C, B, E], 2):
+            assert u.overlaps(v)
+
+    def test_instance_size(self):
+        g = 6
+        rects = fig3_instance(g, 1.0)
+        assert len(rects) == g * (g - 3) + 8 * g
+
+    def test_requires_g_at_least_4(self):
+        with pytest.raises(ValueError):
+            fig3_instance(3)
+        with pytest.raises(ValueError):
+            fig3_rect_types(0.5, 0.5)
+        with pytest.raises(ValueError):
+            fig3_rect_types(1.0, 1.5)
+
+    @pytest.mark.parametrize("g", [4, 6, 8])
+    def test_firstfit_fills_g_machines(self, g):
+        rects = fig3_instance(g, 1.0, eps=0.5)
+        sched = first_fit_2d(rects, g)
+        assert len(sched.machines) == g
+        # Every machine holds one round: (g-3) X's + 8 type rects.
+        for m in sched.machines:
+            assert len(m.rects) == (g - 3) + 8
+
+    @pytest.mark.parametrize("g", [4, 6])
+    def test_firstfit_cost_matches_closed_form(self, g):
+        gamma1, eps = 1.0, 0.5
+        rects = fig3_instance(g, gamma1, eps=eps)
+        sched = first_fit_2d(rects, g)
+        assert sched.cost == pytest.approx(
+            fig3_firstfit_lower_bound(g, gamma1, eps), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("g", [4, 6])
+    def test_optimal_groups_cost_matches_closed_form(self, g):
+        gamma1, eps = 1.0, 0.5
+        rects = fig3_instance(g, gamma1, eps=eps)
+        groups = fig3_optimal_groups(rects, g)
+        cost = sum(union_area(grp) for grp in groups)
+        assert cost <= fig3_opt_upper_bound(g, gamma1, eps) + 1e-9
+        # Groups are valid machines: depth <= g.
+        for grp in groups:
+            assert max_rect_concurrency(grp) <= g
+
+    def test_ratio_approaches_6gamma_plus_3(self):
+        """With growing g and shrinking ε the measured ratio grows
+        toward 6γ₁+3 along the paper's formula
+        ``(1+2γ₁-ε)(3-ε) / (1 + (6γ₁-1)/g)`` and never exceeds it."""
+        gamma1 = 1.0
+        limit = 6 * gamma1 + 3
+
+        def measured(g: int, eps: float) -> float:
+            rects = fig3_instance(g, gamma1, eps=eps)
+            ff = first_fit_2d(rects, g).cost
+            opt_ub = sum(
+                union_area(grp) for grp in fig3_optimal_groups(rects, g)
+            )
+            return ff / opt_ub
+
+        r4 = measured(4, 0.2)
+        r8 = measured(8, 0.1)
+        r24 = measured(24, 0.01)
+        assert r4 < r8 < r24 < limit
+        # Closed-form check at the largest point.
+        formula = (1 + 2 * gamma1 - 0.01) * (3 - 0.01) / (
+            1 + (6 * gamma1 - 1) / 24
+        )
+        assert r24 == pytest.approx(formula, rel=1e-6)
+        # And it is already most of the way to the limit.
+        assert r24 > 0.8 * limit

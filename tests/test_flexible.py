@@ -1,0 +1,163 @@
+"""Tests for the flexible-jobs extension (Section 5, jobs with
+processing time p_j inside a window)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidIntervalError, InvalidScheduleError
+from repro.flexible import (
+    FlexJob,
+    FlexSchedule,
+    align_first_fit,
+    flexible_lower_bound,
+    tight_to_instance,
+)
+
+
+def windowed(ws, we, p, jid):
+    return FlexJob(window_start=ws, window_end=we, proc=p, job_id=jid)
+
+
+class TestFlexJob:
+    def test_validation(self):
+        with pytest.raises(InvalidIntervalError):
+            windowed(0, 0, 1, 0)  # empty window
+        with pytest.raises(InvalidIntervalError):
+            windowed(0, 4, 5, 0)  # proc > window
+        with pytest.raises(InvalidIntervalError):
+            windowed(0, 4, 0, 0)  # zero proc
+
+    def test_slack_and_latest_start(self):
+        j = windowed(2, 10, 3, 0)
+        assert j.slack == 5.0
+        assert j.latest_start == 7.0
+
+    def test_placement_bounds(self):
+        j = windowed(0, 10, 4, 0)
+        assert j.placed_at(0.0).end == 4.0
+        assert j.placed_at(6.0).end == 10.0
+        with pytest.raises(InvalidScheduleError):
+            j.placed_at(6.5)
+        with pytest.raises(InvalidScheduleError):
+            j.placed_at(-0.5)
+
+
+class TestFlexSchedule:
+    def test_cost_and_validate(self):
+        a = windowed(0, 10, 4, 0)
+        b = windowed(0, 10, 4, 1)
+        s = FlexSchedule(g=1)
+        s.place(0, a.placed_at(0.0))
+        s.place(0, b.placed_at(4.0))  # back to back, same machine
+        s.validate([a, b])
+        assert s.cost == pytest.approx(8.0)
+
+    def test_capacity_enforced(self):
+        a = windowed(0, 4, 4, 0)
+        b = windowed(0, 4, 4, 1)
+        s = FlexSchedule(g=1)
+        s.place(0, a.placed_at(0.0))
+        s.place(0, b.placed_at(0.0))
+        with pytest.raises(InvalidScheduleError):
+            s.validate([a, b])
+
+    def test_coverage_enforced(self):
+        a = windowed(0, 4, 2, 0)
+        b = windowed(0, 4, 2, 1)
+        s = FlexSchedule(g=2)
+        s.place(0, a.placed_at(0.0))
+        with pytest.raises(InvalidScheduleError):
+            s.validate([a, b])
+
+
+class TestLowerBound:
+    def test_empty(self):
+        assert flexible_lower_bound([], 3) == 0.0
+
+    def test_max_of_volume_and_longest(self):
+        jobs = [windowed(0, 10, 6, 0), windowed(0, 10, 2, 1)]
+        assert flexible_lower_bound(jobs, 2) == pytest.approx(6.0)
+        assert flexible_lower_bound(jobs, 8) == pytest.approx(6.0)
+        jobs = [windowed(0, 10, 3, i) for i in range(8)]
+        assert flexible_lower_bound(jobs, 2) == pytest.approx(12.0)
+
+
+class TestAlignFirstFit:
+    def test_alignment_exploits_slack(self):
+        """Sliding the second job toward the first saves busy time the
+        fixed-interval model cannot: runs [0,4) and [2,6) overlap by 2
+        even though the greedy anchored the first job at its window
+        start (the jointly-optimal 4.0 needs repositioning job 1, which
+        a one-pass greedy does not do)."""
+        a = windowed(0, 10, 4, 0)
+        b = windowed(2, 12, 4, 1)
+        sched = align_first_fit([a, b], g=2)
+        assert sched.cost == pytest.approx(6.0)  # vs 8 with no slack use
+
+    def test_alignment_full_overlap_when_reachable(self):
+        """When the second window allows it, the greedy aligns runs
+        exactly and the pair costs one processing time."""
+        a = windowed(0, 10, 4, 0)
+        b = windowed(0, 8, 4, 1)
+        sched = align_first_fit([a, b], g=2)
+        assert sched.cost == pytest.approx(4.0)
+
+    def test_tight_windows_match_firstfit(self):
+        """Zero slack degenerates to the paper's fixed-interval model."""
+        from repro.minbusy import solve_first_fit
+
+        jobs = [
+            windowed(0.0, 5.0, 5.0, 0),
+            windowed(1.0, 4.0, 3.0, 1),
+            windowed(3.0, 9.0, 6.0, 2),
+            windowed(8.0, 12.0, 4.0, 3),
+        ]
+        sched = align_first_fit(jobs, g=2)
+        base = solve_first_fit(tight_to_instance(jobs, 2))
+        assert sched.cost == pytest.approx(base.cost)
+
+    def test_tight_to_instance_rejects_slack(self):
+        with pytest.raises(InvalidIntervalError):
+            tight_to_instance([windowed(0, 10, 4, 0)], 2)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid_complete_and_g_bounded(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        jobs = []
+        for i in range(25):
+            ws = float(rng.uniform(0, 50))
+            wl = float(rng.uniform(2, 20))
+            p = float(rng.uniform(1, wl))
+            jobs.append(windowed(ws, ws + wl, p, i))
+        g = 3
+        sched = align_first_fit(jobs, g)  # validates internally
+        assert sched.n_jobs == 25
+        lb = flexible_lower_bound(jobs, g)
+        assert lb - 1e-9 <= sched.cost <= g * lb + 1e-9
+        assert sched.cost <= sum(j.proc for j in jobs) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_slack_never_hurts(self, seed):
+        """Widening every window (same p_j) never increases the
+        heuristic's cost: more freedom, at least as much alignment."""
+        import numpy as np
+
+        rng = np.random.default_rng(100 + seed)
+        tight, loose = [], []
+        for i in range(18):
+            ws = float(rng.uniform(0, 40))
+            p = float(rng.uniform(1, 10))
+            tight.append(windowed(ws, ws + p, p, i))
+            loose.append(windowed(ws - 3, ws + p + 3, p, i))
+        g = 3
+        cost_tight = align_first_fit(tight, g).cost
+        cost_loose = align_first_fit(loose, g).cost
+        assert cost_loose <= cost_tight + 1e-9
+
+    def test_single_job(self):
+        sched = align_first_fit([windowed(0, 10, 4, 0)], 2)
+        assert sched.cost == pytest.approx(4.0)
+        assert sched.n_jobs == 1

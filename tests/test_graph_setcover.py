@@ -1,0 +1,140 @@
+"""Tests for the interval graph and greedy weighted set cover."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.jobs import make_jobs
+from repro.graph.intervalgraph import IntervalGraph
+from repro.graph.setcover import greedy_weighted_set_cover, harmonic
+
+
+class TestIntervalGraph:
+    def test_edges_and_weights(self):
+        jobs = make_jobs([(0, 4), (2, 6), (5, 8)])
+        G = IntervalGraph.from_jobs(jobs)
+        assert G.n_vertices == 3
+        assert G.n_edges == 2
+        assert G.weight(0, 1) == pytest.approx(2.0)
+        assert G.weight(0, 2) == 0.0
+
+    def test_degree(self):
+        jobs = make_jobs([(0, 10), (1, 2), (3, 4)])
+        G = IntervalGraph.from_jobs(jobs)
+        assert G.degree(0) == 2
+        assert G.degree(1) == 1
+
+    def test_is_clique(self):
+        assert IntervalGraph.from_jobs(make_jobs([(-1, 1), (-2, 2)])).is_clique()
+        assert not IntervalGraph.from_jobs(make_jobs([(0, 1), (2, 3)])).is_clique()
+
+    def test_components(self):
+        G = IntervalGraph.from_jobs(make_jobs([(0, 1), (5, 6)]))
+        assert len(G.components()) == 2
+
+    def test_clique_number_equals_peak(self):
+        jobs = make_jobs([(0, 5), (1, 6), (2, 7), (10, 11)])
+        G = IntervalGraph.from_jobs(jobs)
+        assert G.max_clique_size_lower_bound() == 3
+
+
+def _brute_force_cover(universe, sets):
+    best = None
+    idxs = range(len(sets))
+    for r in range(1, len(sets) + 1):
+        for combo in itertools.combinations(idxs, r):
+            covered = set()
+            for i in combo:
+                covered |= sets[i][0]
+            if covered >= set(universe):
+                w = sum(sets[i][1] for i in combo)
+                if best is None or w < best:
+                    best = w
+    return best
+
+
+class TestHarmonic:
+    def test_values(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_zero(self):
+        assert harmonic(0) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+
+class TestGreedySetCover:
+    def test_empty_universe(self):
+        assert greedy_weighted_set_cover([], []) == []
+
+    def test_single_set(self):
+        sets = [(frozenset({1, 2}), 3.0)]
+        assert greedy_weighted_set_cover([1, 2], sets) == [0]
+
+    def test_prefers_cheap_per_element(self):
+        sets = [
+            (frozenset({1, 2, 3}), 3.0),  # 1.0 per element
+            (frozenset({1}), 0.5),
+            (frozenset({2}), 0.5),
+            (frozenset({3}), 0.5),  # 0.5 per element each
+        ]
+        chosen = greedy_weighted_set_cover([1, 2, 3], sets)
+        assert sorted(chosen) == [1, 2, 3]
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(ValueError):
+            greedy_weighted_set_cover([1, 2], [(frozenset({1}), 1.0)])
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            greedy_weighted_set_cover([1], [(frozenset({1}), -1.0)])
+
+    def test_result_is_a_cover(self):
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            n = int(rng.integers(1, 10))
+            universe = set(range(n))
+            sets = []
+            for _ in range(int(rng.integers(1, 12))):
+                size = int(rng.integers(1, max(2, n)))
+                els = frozenset(
+                    int(x) for x in rng.choice(n, size=min(size, n), replace=False)
+                )
+                sets.append((els, float(rng.uniform(0, 10))))
+            sets.append((frozenset(universe), 100.0))  # guarantee coverable
+            chosen = greedy_weighted_set_cover(universe, sets)
+            covered = set()
+            for i in chosen:
+                covered |= sets[i][0]
+            assert covered >= universe
+            assert len(set(chosen)) == len(chosen)  # no repeats
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_hk_guarantee_on_random_systems(self, seed):
+        """Greedy weight <= H_k * optimal cover weight (Chvátal)."""
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(2, 8))
+        universe = set(range(n))
+        k_max = int(rng.integers(1, 4))
+        sets = []
+        for _ in range(int(rng.integers(3, 10))):
+            size = int(rng.integers(1, k_max + 1))
+            els = frozenset(
+                int(x) for x in rng.choice(n, size=min(size, n), replace=False)
+            )
+            sets.append((els, float(rng.integers(1, 20))))
+        # make coverable with singletons
+        for e in universe:
+            sets.append((frozenset({e}), float(rng.integers(1, 20))))
+        k = max(len(s[0]) for s in sets)
+        chosen = greedy_weighted_set_cover(universe, sets)
+        greedy_w = sum(sets[i][1] for i in chosen)
+        opt = _brute_force_cover(universe, sets)
+        assert greedy_w <= harmonic(k) * opt + 1e-9

@@ -1,0 +1,140 @@
+"""Tests for Instance/BudgetInstance and Observation 2.1 bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    certified_ratio,
+    combined_lower_bound,
+    length_bound,
+    parallelism_bound,
+    saving_ratio_to_cost_ratio,
+    span_bound,
+)
+from repro.core.errors import InstanceError
+from repro.core.instance import BudgetInstance, Instance
+from repro.minbusy import solve_first_fit, solve_naive
+from repro.workloads import (
+    random_clique_instance,
+    random_general_instance,
+    random_proper_clique_instance,
+    random_proper_instance,
+)
+from tests.conftest import brute_force_min_busy
+
+
+class TestInstance:
+    def test_canonical_sort(self):
+        inst = Instance.from_spans([(5, 9), (0, 3)], g=2)
+        assert inst.jobs[0].start == 0
+
+    def test_rejects_bad_g(self):
+        with pytest.raises(InstanceError):
+            Instance.from_spans([(0, 1)], g=0)
+
+    def test_predicates_cached(self, tiny_clique_instance):
+        assert tiny_clique_instance.is_clique
+        assert not tiny_clique_instance.is_proper
+
+    def test_proper_clique(self, tiny_proper_clique_instance):
+        assert tiny_proper_clique_instance.is_proper_clique
+
+    def test_one_sided_detection(self):
+        inst = Instance.from_spans([(0, 3), (0, 8)], g=2)
+        assert inst.one_sided == "left"
+
+    def test_components_roundtrip(self):
+        inst = Instance.from_spans([(0, 1), (5, 6), (0.5, 2)], g=2)
+        comps = inst.components()
+        assert sorted(c.n for c in comps) == [1, 2]
+        assert sum(c.n for c in comps) == inst.n
+
+    def test_is_connected(self):
+        assert Instance.from_spans([(0, 2), (1, 3)], g=1).is_connected
+        assert not Instance.from_spans([(0, 1), (2, 3)], g=1).is_connected
+
+    def test_with_budget(self):
+        inst = Instance.from_spans([(0, 1)], g=1)
+        bi = inst.with_budget(5.0)
+        assert isinstance(bi, BudgetInstance)
+        assert bi.budget == 5.0
+
+    def test_repr_mentions_class(self, tiny_proper_clique_instance):
+        assert "clique" in repr(tiny_proper_clique_instance)
+
+    def test_budget_rejects_negative(self):
+        with pytest.raises(InstanceError):
+            BudgetInstance.from_spans([(0, 1)], g=1, budget=-1.0)
+
+    def test_budget_min_busy_instance(self):
+        bi = BudgetInstance.from_spans([(0, 1)], g=2, budget=3.0)
+        assert bi.min_busy_instance.g == 2
+
+
+class TestBounds:
+    def test_parallelism_bound_value(self):
+        inst = Instance.from_spans([(0, 4), (0, 4)], g=2)
+        assert parallelism_bound(inst) == pytest.approx(4.0)
+
+    def test_span_bound_value(self):
+        inst = Instance.from_spans([(0, 4), (2, 6)], g=2)
+        assert span_bound(inst) == pytest.approx(6.0)
+
+    def test_length_bound_value(self):
+        inst = Instance.from_spans([(0, 4), (2, 6)], g=2)
+        assert length_bound(inst) == pytest.approx(8.0)
+
+    def test_lemma21_transfer(self):
+        # rho = 1 (optimal saving) => ratio 1; rho -> inf => ratio -> g.
+        assert saving_ratio_to_cost_ratio(1.0, 5) == pytest.approx(1.0)
+        assert saving_ratio_to_cost_ratio(1e9, 5) == pytest.approx(5.0, rel=1e-6)
+
+    def test_lemma21_bestcut_value(self):
+        # rho = g/(g-1) (BestCut's saving ratio) => 2 - 1/g.
+        g = 4
+        assert saving_ratio_to_cost_ratio(g / (g - 1), g) == pytest.approx(
+            2 - 1 / g
+        )
+
+    def test_lemma21_rejects_rho_below_1(self):
+        with pytest.raises(ValueError):
+            saving_ratio_to_cost_ratio(0.5, 2)
+
+    def test_certified_ratio(self):
+        inst = Instance.from_spans([(0, 4), (2, 6)], g=2)
+        assert certified_ratio(inst, 8.0) == pytest.approx(8.0 / 6.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_obs21_sandwich_on_random_instances(self, seed):
+        """Observation 2.1: every schedule's cost lies in the sandwich."""
+        inst = random_general_instance(12, 3, seed=seed)
+        for solver in (solve_naive, solve_first_fit):
+            cost = solver(inst).cost
+            assert cost >= span_bound(inst) - 1e-9
+            assert cost >= parallelism_bound(inst) - 1e-9
+            assert cost <= length_bound(inst) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_prop21_any_schedule_is_g_approx(self, seed):
+        """Proposition 2.1 against the true optimum (tiny instances)."""
+        inst = random_general_instance(7, 2, seed=seed, horizon=20.0)
+        opt = brute_force_min_busy(inst.jobs, inst.g)
+        for solver in (solve_naive, solve_first_fit):
+            cost = solver(inst).cost
+            assert cost <= inst.g * opt + 1e-6
+
+    @pytest.mark.parametrize(
+        "gen",
+        [
+            random_clique_instance,
+            random_proper_instance,
+            random_proper_clique_instance,
+        ],
+    )
+    def test_lower_bound_below_optimum(self, gen):
+        inst = gen(8, 2, seed=3)
+        opt = brute_force_min_busy(inst.jobs, inst.g)
+        assert combined_lower_bound(inst) <= opt + 1e-9

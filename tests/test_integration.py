@@ -1,0 +1,200 @@
+"""Integration tests: end-to-end flows across modules.
+
+These mirror how a downstream user composes the library: generate an
+application workload, dispatch, verify independently, cross-check the
+two problem families against each other, and sanity-check every
+algorithm on every instance class it accepts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Instance,
+    solve_min_busy,
+)
+from repro.analysis.ratios import measure_ratio
+from repro.analysis.verify import (
+    verify_budget_schedule,
+    verify_min_busy_schedule,
+)
+from repro.core.bounds import combined_lower_bound
+from repro.maxthroughput import (
+    exact_max_throughput_value,
+    proper_clique_max_throughput_value,
+    solve_clique_max_throughput,
+    solve_one_sided_max_throughput,
+    solve_proper_clique_max_throughput,
+)
+from repro.minbusy import (
+    exact_min_busy_cost,
+    solve_best_cut,
+    solve_first_fit,
+    solve_min_busy,
+    solve_naive,
+)
+from repro.minbusy.naive import solve_arbitrary_packing
+from repro.workloads import (
+    random_clique_instance,
+    random_general_instance,
+    random_one_sided_instance,
+    random_proper_clique_instance,
+    random_proper_instance,
+)
+from repro.workloads.applications import (
+    cloud_requests,
+    energy_windows,
+    optical_line_demands,
+)
+
+ALL_GENERATORS = [
+    random_general_instance,
+    random_clique_instance,
+    random_proper_instance,
+    random_proper_clique_instance,
+    random_one_sided_instance,
+]
+
+
+class TestDispatcherEndToEnd:
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_class_solves_and_verifies(self, gen, seed):
+        inst = gen(20, 3, seed=seed)
+        result = solve_min_busy(inst)
+        cost = verify_min_busy_schedule(inst, result.schedule)
+        assert cost <= inst.total_length + 1e-9
+        assert cost >= combined_lower_bound(inst) - 1e-9
+
+    @pytest.mark.parametrize(
+        "app", [cloud_requests, energy_windows, optical_line_demands]
+    )
+    @pytest.mark.parametrize("seed", range(2))
+    def test_application_workloads(self, app, seed):
+        inst = app(40, 4, seed=seed)
+        result = solve_min_busy(inst)
+        verify_min_busy_schedule(inst, result.schedule)
+        # Dispatcher must beat (or match) both trivial baselines.
+        assert result.cost <= solve_naive(inst).cost + 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dispatch_beats_arbitrary_packing_on_cliques(self, seed):
+        inst = random_clique_instance(16, 3, seed=seed)
+        assert (
+            solve_min_busy(inst).cost
+            <= solve_arbitrary_packing(inst).cost + 1e-9
+        )
+
+
+class TestComponentDecomposition:
+    def test_solving_components_equals_solving_whole(self):
+        """MinBusy decomposes over connected components (Section 2)."""
+        inst = Instance.from_spans(
+            [(0, 3), (1, 4), (2, 5), (100, 103), (101, 104)], g=2
+        )
+        whole = exact_min_busy_cost(inst)
+        parts = sum(exact_min_busy_cost(c) for c in inst.components())
+        assert whole == pytest.approx(parts)
+
+    def test_bestcut_on_disconnected_matches_componentwise(self):
+        inst = Instance.from_spans(
+            [(0, 2), (1, 3), (50, 52), (51, 53), (52, 54)], g=2
+        )
+        assert inst.is_proper
+        got = solve_best_cut(inst).cost
+        parts = sum(solve_best_cut(c).cost for c in inst.components())
+        assert got == pytest.approx(parts)
+
+
+class TestCrossProblemConsistency:
+    """MinBusy and MaxThroughput answers must cohere on shared inputs."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_budget_at_opt_cost_schedules_everything(self, seed):
+        inst = random_proper_clique_instance(10, 3, seed=seed)
+        opt = exact_min_busy_cost(inst)
+        bi = inst.with_budget(opt + 1e-9)
+        assert proper_clique_max_throughput_value(bi) == inst.n
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_budget_below_opt_leaves_jobs_out(self, seed):
+        inst = random_proper_clique_instance(10, 3, seed=seed)
+        opt = exact_min_busy_cost(inst)
+        bi = inst.with_budget(0.999 * opt)
+        assert proper_clique_max_throughput_value(bi) < inst.n
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_families_agree_at_full_budget(self, seed):
+        inst = random_clique_instance(8, 2, seed=seed)
+        opt = exact_min_busy_cost(inst)
+        assert exact_max_throughput_value(inst.with_budget(opt)) == inst.n
+        assert (
+            exact_max_throughput_value(inst.with_budget(opt * 0.99)) < inst.n
+        )
+
+
+class TestSpecializedVsExactSolvers:
+    """Each specialized exact solver agrees with the generic reference
+    on its own class — the end-to-end version of the per-module tests."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_one_sided_throughput_chain(self, seed):
+        inst = random_one_sided_instance(9, 3, seed=seed)
+        for frac in (0.35, 0.7):
+            bi = inst.with_budget(frac * exact_min_busy_cost(inst))
+            a = solve_one_sided_max_throughput(bi)
+            verify_budget_schedule(bi, a)
+            assert a.throughput == exact_max_throughput_value(bi)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_proper_clique_throughput_chain(self, seed):
+        inst = random_proper_clique_instance(9, 2, seed=seed)
+        for frac in (0.4, 0.8):
+            bi = inst.with_budget(frac * exact_min_busy_cost(inst))
+            sched = solve_proper_clique_max_throughput(bi)
+            verify_budget_schedule(bi, sched)
+            assert sched.throughput == exact_max_throughput_value(bi)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_clique_approx_within_4x_of_dp_on_proper_cliques(self, seed):
+        """On proper cliques both Thm 4.1 (approx) and Thm 4.2 (exact)
+        apply; the approximation must be within its factor of the DP."""
+        inst = random_proper_clique_instance(12, 3, seed=seed)
+        lb = combined_lower_bound(inst)
+        bi = inst.with_budget(1.2 * lb)
+        approx = solve_clique_max_throughput(bi).throughput
+        exact = proper_clique_max_throughput_value(bi)
+        assert 4 * approx >= exact
+
+
+class TestRatioHarnessEndToEnd:
+    def test_firstfit_measured_over_mixed_workloads(self):
+        samples = []
+        for seed in range(4):
+            inst = random_general_instance(9, 3, seed=seed)
+            samples.append(measure_ratio(inst, solve_first_fit))
+        assert all(s.ratio <= 4.0 + 1e-9 for s in samples)
+
+    def test_dispatcher_never_worse_than_firstfit_much(self):
+        """The dispatcher may route to a specialized algorithm; on its
+        own turf it must not lose to the generic baseline by more than
+        the baseline's guarantee gap."""
+        for seed in range(4):
+            inst = random_proper_instance(15, 3, seed=seed)
+            d = solve_min_busy(inst).cost
+            f = solve_first_fit(inst).cost
+            # BestCut guarantee (2 - 1/g) vs FirstFit's proper-instance
+            # guarantee 2: allow the small proven slack only.
+            assert d <= 2.0 * combined_lower_bound(inst) + 1e-9
+            assert d <= f * 2.0 + 1e-9
+
+
+class TestSplitNormalizationIntegration:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_firstfit_machines_can_be_normalized(self, seed):
+        inst = random_general_instance(25, 3, seed=seed)
+        sched = solve_first_fit(inst)
+        norm = sched.split_noncontiguous()
+        verify_min_busy_schedule(inst, norm)
+        assert norm.cost == pytest.approx(sched.cost)

@@ -1,0 +1,77 @@
+"""Tests for the interval-graph view (repro.graph.intervalgraph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.jobs import make_jobs
+from repro.graph.intervalgraph import IntervalGraph
+from repro.workloads import random_clique_instance, random_general_instance
+
+
+class TestConstruction:
+    def test_edges_match_pairwise_overlaps(self):
+        jobs = make_jobs([(0, 4), (2, 6), (5, 9), (10, 12)])
+        g = IntervalGraph.from_jobs(jobs)
+        assert g.n_vertices == 4
+        pairs = {(i, j) for i, j, _w in g.edges}
+        assert pairs == {(0, 1), (1, 2)}
+
+    def test_weights_are_overlap_lengths(self):
+        jobs = make_jobs([(0, 4), (2, 6)])
+        g = IntervalGraph.from_jobs(jobs)
+        assert g.weight(0, 1) == pytest.approx(2.0)
+        assert g.weight(1, 0) == pytest.approx(2.0)
+
+    def test_non_adjacent_weight_zero(self):
+        jobs = make_jobs([(0, 1), (5, 6)])
+        g = IntervalGraph.from_jobs(jobs)
+        assert g.weight(0, 1) == 0.0
+        assert g.n_edges == 0
+
+    def test_touching_intervals_not_adjacent(self):
+        # Half-open semantics: [0,2) and [2,4) share only a point.
+        jobs = make_jobs([(0, 2), (2, 4)])
+        g = IntervalGraph.from_jobs(jobs)
+        assert g.n_edges == 0
+
+    def test_degree(self):
+        jobs = make_jobs([(0, 10), (1, 3), (4, 6), (7, 9)])
+        g = IntervalGraph.from_jobs(jobs)
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_empty(self):
+        g = IntervalGraph.from_jobs([])
+        assert g.n_vertices == 0
+        assert g.n_edges == 0
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clique_recognition_matches_instance(self, seed):
+        inst = random_clique_instance(12, 2, seed=seed)
+        g = IntervalGraph.from_jobs(list(inst.jobs))
+        assert g.is_clique() == inst.is_clique
+
+    def test_non_clique(self):
+        jobs = make_jobs([(0, 2), (1, 3), (5, 7)])
+        assert not IntervalGraph.from_jobs(jobs).is_clique()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_components_match_instance(self, seed):
+        inst = random_general_instance(20, 2, seed=seed)
+        g = IntervalGraph.from_jobs(list(inst.jobs))
+        assert len(g.components()) == len(inst.components())
+
+    def test_max_clique_is_peak_concurrency(self):
+        from repro.core.machines import max_concurrency
+
+        jobs = make_jobs([(0, 5), (1, 6), (2, 7), (10, 11)])
+        g = IntervalGraph.from_jobs(jobs)
+        assert g.max_clique_size_lower_bound() == max_concurrency(jobs) == 3
+
+    def test_clique_number_of_full_clique(self):
+        inst = random_clique_instance(9, 2, seed=1)
+        g = IntervalGraph.from_jobs(list(inst.jobs))
+        assert g.max_clique_size_lower_bound() == 9

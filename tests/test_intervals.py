@@ -1,0 +1,220 @@
+"""Unit + property tests for the interval algebra substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidIntervalError
+from repro.core.intervals import (
+    Interval,
+    common_point,
+    intervals_span,
+    merge_intervals,
+    total_length,
+    union_length,
+    union_length_arrays,
+)
+
+
+# ----------------------------------------------------------------------
+# Interval basics
+# ----------------------------------------------------------------------
+class TestInterval:
+    def test_length(self):
+        assert Interval(1.0, 4.5).length == 3.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(2.0, 2.0)
+
+    def test_rejects_reversed(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(3.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(float("nan"), 1.0)
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(0.0, float("inf"))
+
+    def test_half_open_contains_point(self):
+        iv = Interval(1, 3)
+        assert iv.contains_point(1)
+        assert iv.contains_point(2.999)
+        assert not iv.contains_point(3)  # completion time excluded
+
+    def test_touching_intervals_do_not_overlap(self):
+        # Paper Definition 2.2: intersection must exceed one point.
+        assert not Interval(0, 2).overlaps(Interval(2, 4))
+
+    def test_overlap_symmetry(self):
+        a, b = Interval(0, 3), Interval(2, 5)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_intersection_length(self):
+        assert Interval(0, 3).intersection_length(Interval(2, 5)) == 1.0
+        assert Interval(0, 2).intersection_length(Interval(2, 5)) == 0.0
+        assert Interval(0, 10).intersection_length(Interval(2, 5)) == 3.0
+
+    def test_intersection_interval(self):
+        assert Interval(0, 3).intersection(Interval(2, 5)) == Interval(2, 3)
+        assert Interval(0, 2).intersection(Interval(2, 5)) is None
+
+    def test_containment(self):
+        assert Interval(0, 10).contains(Interval(2, 5))
+        assert Interval(0, 10).properly_contains(Interval(2, 5))
+        assert Interval(0, 10).contains(Interval(0, 10))
+        assert not Interval(0, 10).properly_contains(Interval(0, 10))
+        # Shared endpoint still proper containment.
+        assert Interval(0, 10).properly_contains(Interval(0, 5))
+
+    def test_ordering_lexicographic(self):
+        assert Interval(0, 5) < Interval(1, 2)
+        assert Interval(1, 2) < Interval(1, 3)
+
+    def test_shifted(self):
+        assert Interval(1, 3).shifted(2.5) == Interval(3.5, 5.5)
+
+    def test_hull(self):
+        assert Interval(0, 2).hull(Interval(5, 7)) == Interval(0, 7)
+
+
+# ----------------------------------------------------------------------
+# aggregates
+# ----------------------------------------------------------------------
+class TestUnion:
+    def test_union_empty(self):
+        assert union_length([]) == 0.0
+
+    def test_union_disjoint(self):
+        assert union_length([Interval(0, 1), Interval(5, 7)]) == 3.0
+
+    def test_union_nested(self):
+        assert union_length([Interval(0, 10), Interval(2, 5)]) == 10.0
+
+    def test_union_chain(self):
+        ivs = [Interval(i, i + 2) for i in range(5)]
+        assert union_length(ivs) == 6.0
+
+    def test_union_touching_merges(self):
+        merged = merge_intervals([Interval(0, 1), Interval(1, 2)])
+        assert merged == [Interval(0, 2)]
+
+    def test_merge_preserves_components(self):
+        merged = merge_intervals(
+            [Interval(0, 1), Interval(3, 4), Interval(0.5, 1.5)]
+        )
+        assert merged == [Interval(0, 1.5), Interval(3, 4)]
+
+    def test_total_length(self):
+        assert total_length([Interval(0, 1), Interval(0, 4)]) == 5.0
+
+    def test_span_hull(self):
+        assert intervals_span([Interval(5, 6), Interval(0, 1)]) == Interval(0, 6)
+
+    def test_span_empty_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            intervals_span([])
+
+
+class TestVectorizedUnion:
+    def test_matches_reference_simple(self):
+        starts = np.array([0.0, 1.0, 5.0])
+        ends = np.array([2.0, 3.0, 6.0])
+        assert union_length_arrays(starts, ends) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert union_length_arrays(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidIntervalError):
+            union_length_arrays(np.array([0.0]), np.array([1.0, 2.0]))
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(InvalidIntervalError):
+            union_length_arrays(np.array([1.0]), np.array([1.0]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-100, 100), st.integers(1, 50)
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_matches_pure_python(self, pairs):
+        ivs = [Interval(s, s + L) for s, L in pairs]
+        ref = union_length(ivs)
+        vec = union_length_arrays(
+            np.array([iv.start for iv in ivs], dtype=float),
+            np.array([iv.end for iv in ivs], dtype=float),
+        )
+        assert vec == pytest.approx(ref)
+
+
+class TestCommonPoint:
+    def test_clique_has_common_point(self):
+        ivs = [Interval(-2, 1), Interval(-1, 3), Interval(0, 5)]
+        t = common_point(ivs)
+        assert t is not None
+        assert all(iv.contains_point(t) for iv in ivs)
+
+    def test_disjoint_no_common_point(self):
+        assert common_point([Interval(0, 1), Interval(2, 3)]) is None
+
+    def test_touching_no_common_point(self):
+        # Sharing a single endpoint is not a common processing time.
+        assert common_point([Interval(0, 2), Interval(2, 4)]) is None
+
+    def test_empty_is_none(self):
+        assert common_point([]) is None
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-50, 50), st.integers(1, 30)),
+        min_size=1,
+        max_size=25,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_union_between_max_length_and_total(pairs):
+    """span bounds: max single length <= union <= sum of lengths."""
+    ivs = [Interval(s, s + L) for s, L in pairs]
+    u = union_length(ivs)
+    assert max(iv.length for iv in ivs) - 1e-9 <= u <= total_length(ivs) + 1e-9
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-50, 50), st.integers(1, 30)),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_union_is_idempotent_under_duplication(pairs):
+    ivs = [Interval(s, s + L) for s, L in pairs]
+    assert union_length(ivs + ivs) == pytest.approx(union_length(ivs))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-50, 50), st.integers(1, 30)),
+        min_size=1,
+        max_size=15,
+    ),
+    st.integers(-20, 20),
+)
+@settings(max_examples=100, deadline=None)
+def test_union_translation_invariant(pairs, delta):
+    ivs = [Interval(s, s + L) for s, L in pairs]
+    shifted = [iv.shifted(delta) for iv in ivs]
+    assert union_length(shifted) == pytest.approx(union_length(ivs))

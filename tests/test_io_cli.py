@@ -1,0 +1,198 @@
+"""Tests for instance serialization (repro.io) and the CLI (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import InstanceError
+from repro.core.instance import BudgetInstance, Instance
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_instance_csv,
+    save_instance,
+    save_instance_csv,
+)
+from repro.workloads import random_general_instance
+
+
+class TestJsonRoundTrip:
+    def test_instance_round_trip(self, tmp_path):
+        inst = random_general_instance(12, 3, seed=0)
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        back = load_instance(path)
+        assert isinstance(back, Instance)
+        assert back.g == inst.g
+        assert [(j.start, j.end) for j in back.jobs] == [
+            (j.start, j.end) for j in inst.jobs
+        ]
+
+    def test_budget_instance_round_trip(self, tmp_path):
+        inst = BudgetInstance.from_spans(
+            [(0, 2), (1, 3)], 2, 7.5, weights=[2.0, 1.0]
+        )
+        path = tmp_path / "bi.json"
+        save_instance(inst, path)
+        back = load_instance(path)
+        assert isinstance(back, BudgetInstance)
+        assert back.budget == 7.5
+        assert sorted(j.weight for j in back.jobs) == [1.0, 2.0]
+
+    def test_demands_preserved(self):
+        inst = Instance.from_spans([(0, 1), (0, 2)], g=4, demands=[2, 3])
+        back = instance_from_dict(instance_to_dict(inst))
+        assert sorted(j.demand for j in back.jobs) == [2, 3]
+
+    def test_malformed_document(self):
+        with pytest.raises(InstanceError):
+            instance_from_dict({"jobs": []})  # missing g
+        with pytest.raises(InstanceError):
+            instance_from_dict({"g": 2, "jobs": [{"start": 0}]})
+
+    def test_invalid_json_file(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(InstanceError):
+            load_instance(p)
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        inst = Instance.from_spans(
+            [(0, 4), (1, 5)], g=2, weights=[1.0, 3.0], demands=[1, 2]
+        )
+        p = tmp_path / "jobs.csv"
+        save_instance_csv(inst, p)
+        back = load_instance_csv(p, 2)
+        assert back.n == 2
+        assert sorted(j.weight for j in back.jobs) == [1.0, 3.0]
+        assert sorted(j.demand for j in back.jobs) == [1, 2]
+
+    def test_minimal_two_columns(self, tmp_path):
+        p = tmp_path / "jobs.csv"
+        p.write_text("start,end\n0,4\n1,5\n")
+        back = load_instance_csv(p, 3)
+        assert back.n == 2 and back.g == 3
+        assert all(j.weight == 1.0 and j.demand == 1 for j in back.jobs)
+
+    def test_with_budget(self, tmp_path):
+        p = tmp_path / "jobs.csv"
+        p.write_text("start,end\n0,4\n")
+        back = load_instance_csv(p, 2, budget=9.0)
+        assert isinstance(back, BudgetInstance)
+        assert back.budget == 9.0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "jobs.csv"
+        p.write_text("start,end\n0,4\n\n1,5\n")
+        assert load_instance_csv(p, 2).n == 2
+
+    def test_bad_row(self, tmp_path):
+        p = tmp_path / "jobs.csv"
+        p.write_text("start,end\nzero,4\n")
+        with pytest.raises(InstanceError):
+            load_instance_csv(p, 2)
+
+
+class TestCli:
+    def _write_instance(self, tmp_path, budget=None):
+        inst = random_general_instance(10, 3, seed=1)
+        if budget is not None:
+            inst = inst.with_budget(budget)
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        return path
+
+    def test_solve_text(self, tmp_path, capsys):
+        path = self._write_instance(tmp_path)
+        assert main(["solve", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out and "total busy" in out
+
+    def test_solve_json(self, tmp_path, capsys):
+        path = self._write_instance(tmp_path)
+        assert main(["solve", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["problem"] == "minbusy"
+        assert doc["cost"] >= doc["lower_bound"] - 1e-9
+        assert len(doc["assignment"]) == doc["n"]
+
+    def test_throughput_with_flag_budget(self, tmp_path, capsys):
+        path = self._write_instance(tmp_path)
+        assert main(["throughput", str(path), "--budget", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduled" in out
+
+    def test_throughput_budget_in_file(self, tmp_path, capsys):
+        path = self._write_instance(tmp_path, budget=55.0)
+        assert main(["throughput", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["problem"] == "maxthroughput"
+        assert doc["cost"] <= doc["budget"] + 1e-9
+
+    def test_throughput_missing_budget_errors(self, tmp_path):
+        path = self._write_instance(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["throughput", str(path)])
+
+    def test_classify(self, tmp_path, capsys):
+        path = self._write_instance(tmp_path)
+        assert main(["classify", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n"] == 10
+        assert "is_clique" in doc
+
+    def test_generate_then_solve(self, tmp_path, capsys):
+        out = tmp_path / "gen.json"
+        assert (
+            main(
+                [
+                    "generate",
+                    "proper-clique",
+                    "--n",
+                    "8",
+                    "--g",
+                    "2",
+                    "-o",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["solve", str(out), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["algorithm"] == "proper_clique_dp"
+
+    def test_csv_requires_g(self, tmp_path):
+        p = tmp_path / "jobs.csv"
+        p.write_text("start,end\n0,4\n")
+        with pytest.raises(SystemExit):
+            main(["solve", str(p)])
+
+    def test_csv_solve(self, tmp_path, capsys):
+        p = tmp_path / "jobs.csv"
+        p.write_text("start,end\n0,4\n1,5\n2,6\n")
+        assert main(["solve", str(p), "--g", "2"]) == 0
+        assert "total busy" in capsys.readouterr().out
+
+    def test_g_override(self, tmp_path, capsys):
+        path = self._write_instance(tmp_path)
+        assert main(["classify", str(path), "--g", "7", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["g"] == 7
+
+    def test_throughput_routes_by_class(self, tmp_path, capsys):
+        from repro.workloads import random_one_sided_instance
+
+        inst = random_one_sided_instance(8, 2, seed=0).with_budget(30.0)
+        path = tmp_path / "os.json"
+        save_instance(inst, path)
+        assert main(["throughput", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "one_sided" in doc["algorithm"]

@@ -1,0 +1,213 @@
+"""Unit + property tests for jobs and structural predicates."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidIntervalError
+from repro.core.jobs import (
+    Job,
+    connected_components,
+    is_clique_set,
+    is_one_sided,
+    is_proper_set,
+    jobs_span,
+    jobs_total_length,
+    make_jobs,
+    one_sided_kind,
+    pairwise_overlaps,
+    sort_jobs,
+)
+
+job_lists = st.lists(
+    st.tuples(st.integers(-60, 60), st.integers(1, 40)),
+    min_size=1,
+    max_size=20,
+).map(lambda pairs: make_jobs([(s, s + L) for s, L in pairs]))
+
+
+class TestJob:
+    def test_basic_fields(self):
+        j = Job(start=1.0, end=4.0, job_id=7, weight=2.0, demand=3)
+        assert j.length == 3.0
+        assert j.interval.start == 1.0
+        assert j.weight == 2.0 and j.demand == 3
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(InvalidIntervalError):
+            Job(start=2.0, end=2.0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(InvalidIntervalError):
+            Job(start=0.0, end=1.0, weight=-1.0)
+
+    def test_rejects_zero_demand(self):
+        with pytest.raises(InvalidIntervalError):
+            Job(start=0.0, end=1.0, demand=0)
+
+    def test_overlap_half_open(self):
+        a = Job(start=0, end=2, job_id=0)
+        b = Job(start=2, end=4, job_id=1)
+        assert not a.overlaps(b)
+        assert a.overlap_length(b) == 0.0
+
+    def test_make_jobs_ids_consecutive(self):
+        jobs = make_jobs([(0, 1), (1, 2), (2, 3)])
+        assert [j.job_id for j in jobs] == [0, 1, 2]
+
+    def test_make_jobs_weights_demands(self):
+        jobs = make_jobs([(0, 1), (1, 2)], weights=[3.0, 4.0], demands=[2, 1])
+        assert jobs[0].weight == 3.0 and jobs[1].demand == 1
+
+    def test_make_jobs_length_mismatch(self):
+        with pytest.raises(InvalidIntervalError):
+            make_jobs([(0, 1)], weights=[1.0, 2.0])
+
+    def test_sort_jobs_canonical(self):
+        jobs = make_jobs([(5, 9), (0, 3), (0, 2)])
+        ordered = sort_jobs(jobs)
+        assert [(j.start, j.end) for j in ordered] == [(0, 2), (0, 3), (5, 9)]
+
+
+class TestPredicates:
+    def test_clique_true(self):
+        assert is_clique_set(make_jobs([(-1, 1), (-2, 3), (0, 4)]))
+
+    def test_clique_false(self):
+        assert not is_clique_set(make_jobs([(0, 1), (2, 3)]))
+
+    def test_clique_touching_not_clique(self):
+        assert not is_clique_set(make_jobs([(0, 2), (2, 4)]))
+
+    def test_clique_singleton_and_empty(self):
+        assert is_clique_set(make_jobs([(0, 1)]))
+        assert is_clique_set([])
+
+    def test_proper_true(self):
+        assert is_proper_set(make_jobs([(0, 3), (1, 4), (2, 6)]))
+
+    def test_proper_duplicates_allowed(self):
+        assert is_proper_set(make_jobs([(0, 3), (0, 3)]))
+
+    def test_proper_nested_false(self):
+        assert not is_proper_set(make_jobs([(0, 10), (2, 5)]))
+
+    def test_proper_shared_start_false(self):
+        assert not is_proper_set(make_jobs([(0, 5), (0, 3)]))
+
+    def test_proper_shared_end_false(self):
+        assert not is_proper_set(make_jobs([(0, 5), (2, 5)]))
+
+    def test_proper_brute_force_equivalence(self):
+        """is_proper_set agrees with the O(n^2) definition."""
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        for _ in range(80):
+            n = int(rng.integers(2, 8))
+            jobs = make_jobs(
+                [
+                    (int(s), int(s) + int(L))
+                    for s, L in zip(
+                        rng.integers(0, 10, n), rng.integers(1, 8, n)
+                    )
+                ]
+            )
+            brute = not any(
+                a.properly_contains(b)
+                for a, b in itertools.permutations(jobs, 2)
+            )
+            assert is_proper_set(jobs) == brute
+
+    def test_one_sided_left(self):
+        assert one_sided_kind(make_jobs([(0, 3), (0, 7)])) == "left"
+
+    def test_one_sided_right(self):
+        assert one_sided_kind(make_jobs([(-3, 0), (-7, 0)])) == "right"
+
+    def test_one_sided_none_for_general_clique(self):
+        assert one_sided_kind(make_jobs([(-1, 2), (-2, 1)])) is None
+
+    def test_one_sided_requires_clique(self):
+        # Same start but... same start is automatically a clique; test a
+        # non-clique with same length instead.
+        assert one_sided_kind(make_jobs([(0, 1), (5, 6)])) is None
+
+    def test_is_one_sided_wrapper(self):
+        assert is_one_sided(make_jobs([(0, 1), (0, 9)]))
+
+
+class TestOverlapsAndComponents:
+    def test_pairwise_overlaps_matches_brute_force(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            n = int(rng.integers(1, 12))
+            jobs = make_jobs(
+                [
+                    (int(s), int(s) + int(L))
+                    for s, L in zip(
+                        rng.integers(0, 30, n), rng.integers(1, 15, n)
+                    )
+                ]
+            )
+            got = {(i, j): w for i, j, w in pairwise_overlaps(jobs)}
+            for i in range(n):
+                for j in range(i + 1, n):
+                    w = jobs[i].overlap_length(jobs[j])
+                    if w > 0:
+                        assert got.get((i, j)) == pytest.approx(w)
+                    else:
+                        assert (i, j) not in got
+
+    def test_components_disjoint(self):
+        jobs = make_jobs([(0, 1), (5, 6), (0.5, 0.9)])
+        comps = connected_components(jobs)
+        assert sorted(len(c) for c in comps) == [1, 2]
+
+    def test_components_chain_connected(self):
+        jobs = make_jobs([(0, 2), (1, 3), (2.5, 5)])
+        assert len(connected_components(jobs)) == 1
+
+    def test_components_touching_split(self):
+        # [0,2) and [2,4) do not overlap => separate components.
+        jobs = make_jobs([(0, 2), (2, 4)])
+        assert len(connected_components(jobs)) == 2
+
+    def test_components_empty(self):
+        assert connected_components([]) == []
+
+    @given(job_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_components_partition_all_jobs(self, jobs):
+        comps = connected_components(jobs)
+        flat = sorted(i for c in comps for i in c)
+        assert flat == list(range(len(jobs)))
+
+    @given(job_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_no_overlap_across_components(self, jobs):
+        comps = connected_components(jobs)
+        for a, b in itertools.combinations(range(len(comps)), 2):
+            for i in comps[a]:
+                for j in comps[b]:
+                    assert not jobs[i].overlaps(jobs[j])
+
+
+@given(job_lists)
+@settings(max_examples=100, deadline=None)
+def test_span_le_total_length(jobs):
+    assert jobs_span(jobs) <= jobs_total_length(jobs) + 1e-9
+
+
+@given(job_lists)
+@settings(max_examples=100, deadline=None)
+def test_clique_set_iff_pairwise_overlap(jobs):
+    """Helly property: pairwise overlap iff common point (interval graphs)."""
+    pairwise = all(a.overlaps(b) for a, b in itertools.combinations(jobs, 2))
+    assert is_clique_set(jobs) == pairwise

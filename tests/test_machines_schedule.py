@@ -1,0 +1,182 @@
+"""Tests for the machine/thread model and the Schedule object."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidScheduleError
+from repro.core.jobs import make_jobs
+from repro.core.machines import Machine, max_concurrency
+from repro.core.schedule import Schedule
+
+
+class TestMaxConcurrency:
+    def test_empty(self):
+        assert max_concurrency([]) == 0
+
+    def test_disjoint(self):
+        assert max_concurrency(make_jobs([(0, 1), (2, 3)])) == 1
+
+    def test_nested(self):
+        assert max_concurrency(make_jobs([(0, 10), (1, 2), (3, 4)])) == 2
+
+    def test_all_overlap(self):
+        assert max_concurrency(make_jobs([(0, 5), (1, 6), (2, 7)])) == 3
+
+    def test_touching_not_concurrent(self):
+        # [0,2) ends exactly when [2,4) starts: max concurrency 1.
+        assert max_concurrency(make_jobs([(0, 2), (2, 4)])) == 1
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(1, 10)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_pointwise_check(self, pairs):
+        jobs = make_jobs([(s, s + L) for s, L in pairs])
+        # Check at midpoints of elementary intervals.
+        times = sorted({j.start for j in jobs} | {j.end for j in jobs})
+        peak = 0
+        for a, b in zip(times, times[1:]):
+            m = 0.5 * (a + b)
+            peak = max(peak, sum(1 for j in jobs if j.start <= m < j.end))
+        assert max_concurrency(jobs) == peak
+
+
+class TestMachine:
+    def test_add_uses_first_free_thread(self):
+        m = Machine(g=2)
+        a, b, c = make_jobs([(0, 4), (1, 5), (4.5, 6)])
+        assert m.add(a) == 0
+        assert m.add(b) == 1  # overlaps a
+        assert m.add(c) == 0  # fits after a on thread 0
+        assert m.n_jobs == 3
+
+    def test_add_raises_when_full(self):
+        m = Machine(g=1)
+        a, b = make_jobs([(0, 4), (1, 5)])
+        m.add(a)
+        with pytest.raises(InvalidScheduleError):
+            m.add(b)
+
+    def test_try_add_returns_none(self):
+        m = Machine(g=1)
+        a, b = make_jobs([(0, 4), (1, 5)])
+        assert m.try_add(a) == 0
+        assert m.try_add(b) is None
+
+    def test_busy_time_union(self):
+        m = Machine(g=2)
+        for j in make_jobs([(0, 4), (1, 5)]):
+            m.add(j)
+        assert m.busy_time == pytest.approx(5.0)
+
+    def test_busy_time_empty(self):
+        assert Machine(g=3).busy_time == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(InvalidScheduleError):
+            Machine(g=0)
+
+    def test_add_to_thread_checks_overlap(self):
+        m = Machine(g=2)
+        a, b = make_jobs([(0, 4), (1, 5)])
+        m.add_to_thread(0, a)
+        with pytest.raises(InvalidScheduleError):
+            m.add_to_thread(0, b)
+        m.add_to_thread(1, b)
+        assert m.is_valid()
+
+    def test_add_to_thread_range(self):
+        m = Machine(g=2)
+        (a,) = make_jobs([(0, 1)])
+        with pytest.raises(InvalidScheduleError):
+            m.add_to_thread(5, a)
+
+
+class TestSchedule:
+    def test_cost_two_machines(self):
+        jobs = make_jobs([(0, 4), (1, 5), (10, 12)])
+        s = Schedule.from_groups(2, [[jobs[0], jobs[1]], [jobs[2]]])
+        assert s.cost == pytest.approx(5.0 + 2.0)
+        assert s.throughput == 3
+        assert s.n_machines() == 2
+
+    def test_validity_detects_overload(self):
+        jobs = make_jobs([(0, 5), (1, 6), (2, 7)])
+        s = Schedule.from_groups(2, [jobs])  # 3 concurrent on one machine
+        assert not s.is_valid()
+        with pytest.raises(InvalidScheduleError):
+            s.validate()
+
+    def test_validate_universe_extra_job(self):
+        jobs = make_jobs([(0, 1), (2, 3)])
+        s = Schedule(g=1)
+        s.assign(jobs[0], 0)
+        s.assign(jobs[1], 1)
+        with pytest.raises(InvalidScheduleError):
+            s.validate([jobs[0]])
+
+    def test_validate_require_all(self):
+        jobs = make_jobs([(0, 1), (2, 3)])
+        s = Schedule(g=1)
+        s.assign(jobs[0], 0)
+        with pytest.raises(InvalidScheduleError):
+            s.validate(jobs, require_all=True)
+        s.validate(jobs)  # partial is fine without require_all
+
+    def test_saving(self):
+        jobs = make_jobs([(0, 4), (1, 5)])
+        s = Schedule.from_groups(2, [jobs])
+        assert s.saving() == pytest.approx(8.0 - 5.0)
+
+    def test_weighted_throughput(self):
+        jobs = make_jobs([(0, 1), (2, 3)], weights=[2.0, 5.0])
+        s = Schedule.from_groups(1, [[jobs[0]], [jobs[1]]])
+        assert s.weighted_throughput == pytest.approx(7.0)
+
+    def test_busy_components_and_split(self):
+        jobs = make_jobs([(0, 1), (5, 6)])
+        s = Schedule.from_groups(2, [jobs])  # one machine, two busy periods
+        assert s.busy_components(0) == 2
+        split = s.split_noncontiguous()
+        assert split.n_machines() == 2
+        assert split.cost == pytest.approx(s.cost)
+        assert split.is_valid()
+
+    def test_merged_with(self):
+        a, b = make_jobs([(0, 1), (2, 3)])
+        s1 = Schedule.from_groups(2, [[a]])
+        s2 = Schedule.from_groups(2, [[b]])
+        merged = s1.merged_with(s2)
+        assert merged.throughput == 2
+        assert merged.n_machines() == 2
+
+    def test_merged_with_duplicate_raises(self):
+        (a,) = make_jobs([(0, 1)])
+        s1 = Schedule.from_groups(2, [[a]])
+        s2 = Schedule.from_groups(2, [[a]])
+        with pytest.raises(InvalidScheduleError):
+            s1.merged_with(s2)
+
+    def test_merged_with_mismatched_g(self):
+        (a,) = make_jobs([(0, 1)])
+        with pytest.raises(InvalidScheduleError):
+            Schedule(g=1).merged_with(Schedule(g=2))
+
+    def test_unassign(self):
+        (a,) = make_jobs([(0, 1)])
+        s = Schedule(g=1)
+        s.assign(a, 0)
+        s.unassign(a)
+        assert s.throughput == 0
+
+    def test_summary_smoke(self):
+        (a,) = make_jobs([(0, 1)])
+        s = Schedule.from_groups(1, [[a]])
+        assert "machines=1" in s.summary()

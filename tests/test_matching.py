@@ -1,0 +1,151 @@
+"""Validation of the from-scratch blossom max-weight matching.
+
+Cross-checks three ways: (1) exhaustive brute force on small random
+graphs, (2) networkx's reference implementation on larger random
+graphs, (3) structural properties (matching validity, non-negativity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.matching import (
+    brute_force_matching,
+    matching_weight,
+    max_weight_matching,
+)
+
+
+def _random_graph(rng, n, p, max_w=20, integer=True):
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                w = (
+                    int(rng.integers(0, max_w + 1))
+                    if integer
+                    else float(rng.uniform(0, max_w))
+                )
+                edges.append((i, j, w))
+    return edges
+
+
+def _assert_valid_matching(mate):
+    for v, m in enumerate(mate):
+        if m >= 0:
+            assert mate[m] == v, "matching must be symmetric"
+            assert m != v
+
+
+class TestBlossomBasics:
+    def test_empty(self):
+        assert max_weight_matching([]) == []
+
+    def test_single_edge(self):
+        mate = max_weight_matching([(0, 1, 5.0)])
+        assert mate[0] == 1 and mate[1] == 0
+
+    def test_path_graph_picks_heavier(self):
+        # 0-1 (w=1), 1-2 (w=10): must pick 1-2.
+        mate = max_weight_matching([(0, 1, 1.0), (1, 2, 10.0)])
+        assert mate[1] == 2 and mate[2] == 1 and mate[0] == -1
+
+    def test_triangle(self):
+        mate = max_weight_matching([(0, 1, 3.0), (1, 2, 4.0), (0, 2, 5.0)])
+        assert mate[0] == 2 and mate[2] == 0
+
+    def test_odd_cycle_blossom(self):
+        # 5-cycle with equal weights: matching of size 2.
+        edges = [(i, (i + 1) % 5, 1.0) for i in range(5)]
+        mate = max_weight_matching(edges)
+        _assert_valid_matching(mate)
+        assert sum(1 for m in mate if m >= 0) == 4
+
+    def test_zero_weight_edges_optional(self):
+        mate = max_weight_matching([(0, 1, 0.0)])
+        _assert_valid_matching(mate)
+        assert matching_weight([(0, 1, 0.0)], mate) == 0.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            max_weight_matching([(2, 2, 1.0)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            max_weight_matching([(-1, 0, 1.0)])
+
+    def test_known_blossom_instance(self):
+        """Classic case requiring a blossom: two triangles joined by a
+        heavy bridge."""
+        edges = [
+            (0, 1, 6), (1, 2, 6), (0, 2, 6),
+            (3, 4, 6), (4, 5, 6), (3, 5, 6),
+            (2, 3, 10),
+        ]
+        mate = max_weight_matching(edges)
+        _assert_valid_matching(mate)
+        w = matching_weight(edges, mate)
+        opt, _ = brute_force_matching(edges)
+        assert w == pytest.approx(opt)
+
+
+class TestBlossomVsBruteForce:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_small_random_integer_weights(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 9))
+        p = float(rng.uniform(0.3, 1.0))
+        edges = _random_graph(rng, n, p)
+        if not edges:
+            return
+        mate = max_weight_matching(edges)
+        _assert_valid_matching(mate)
+        got = matching_weight(edges, mate)
+        opt, _ = brute_force_matching(edges)
+        assert got == pytest.approx(opt), f"seed={seed} edges={edges}"
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_small_random_float_weights(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        n = int(rng.integers(2, 8))
+        edges = _random_graph(rng, n, 0.8, integer=False)
+        if not edges:
+            return
+        mate = max_weight_matching(edges)
+        _assert_valid_matching(mate)
+        got = matching_weight(edges, mate)
+        opt, _ = brute_force_matching(edges)
+        assert got == pytest.approx(opt, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_complete_graphs(self, seed):
+        """Clique instances induce complete overlap graphs; stress those."""
+        rng = np.random.default_rng(2000 + seed)
+        n = int(rng.integers(4, 9))
+        edges = _random_graph(rng, n, 1.0)
+        mate = max_weight_matching(edges)
+        got = matching_weight(edges, mate)
+        opt, _ = brute_force_matching(edges)
+        assert got == pytest.approx(opt)
+
+
+class TestBlossomVsNetworkx:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_medium_random_graphs(self, seed):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(3000 + seed)
+        n = int(rng.integers(10, 30))
+        edges = _random_graph(rng, n, 0.3, max_w=50)
+        if not edges:
+            return
+        mate = max_weight_matching(edges)
+        _assert_valid_matching(mate)
+        got = matching_weight(edges, mate)
+        G = nx.Graph()
+        for i, j, w in edges:
+            if not G.has_edge(i, j) or G[i][j]["weight"] < w:
+                G.add_edge(i, j, weight=w)
+        ref_pairs = nx.max_weight_matching(G)
+        ref = sum(G[a][b]["weight"] for a, b in ref_pairs)
+        assert got == pytest.approx(ref)

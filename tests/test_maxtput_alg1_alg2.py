@@ -1,0 +1,213 @@
+"""Tests for Alg1 (prefix pairs), Alg2 (span windows), and Theorem 4.1.
+
+The 4-approximation claim is verified against the exact subset-DP
+reference on small clique instances across a budget sweep; budget
+compliance is re-checked by the independent verifier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verify import verify_budget_schedule
+from repro.core.errors import UnsupportedInstanceError
+from repro.core.instance import BudgetInstance, Instance
+from repro.maxthroughput import (
+    best_prefix_pair,
+    best_window,
+    solve_alg1,
+    solve_alg2,
+    solve_clique_max_throughput,
+    exact_max_throughput_value,
+)
+from repro.minbusy.exact import exact_min_busy_cost
+from repro.workloads import random_clique_instance
+
+
+def budget_instance(n: int, g: int, seed: int, frac: float) -> BudgetInstance:
+    """Clique instance with budget = frac · OPT(MinBusy)."""
+    inst = random_clique_instance(n, g, seed=seed)
+    opt = exact_min_busy_cost(inst)
+    return inst.with_budget(frac * opt)
+
+
+class TestBestPrefixPair:
+    def test_simple(self):
+        left = [0.0, 1.0, 3.0, 6.0]
+        right = [0.0, 2.0, 5.0]
+        # budget/2 = 5: j=2 (3.0) + k=1 (2.0) = 5 -> total 3.
+        assert best_prefix_pair(left, right, 5.0) == (2, 1)
+
+    def test_prefers_larger_total(self):
+        left = [0.0, 1.0, 2.0]
+        right = [0.0, 1.0, 2.0]
+        j, k = best_prefix_pair(left, right, 4.0)
+        assert j + k == 4
+
+    def test_zero_budget(self):
+        assert best_prefix_pair([0.0, 1.0], [0.0, 1.0], 0.0) == (0, 0)
+
+    def test_all_fit(self):
+        left = [0.0, 1.0]
+        right = [0.0, 1.0]
+        assert best_prefix_pair(left, right, 100.0) == (1, 1)
+
+    def test_tie_prefers_larger_j(self):
+        left = [0.0, 2.0]
+        right = [0.0, 2.0]
+        # (1,0) and (0,1) both cost 2 with total 1; larger j wins.
+        assert best_prefix_pair(left, right, 2.0) == (1, 1) or best_prefix_pair(
+            left, right, 2.0
+        ) == (1, 0)
+
+    def test_exhaustive_against_bruteforce(self):
+        import itertools
+
+        left = [0.0, 0.7, 1.4, 3.0, 3.1]
+        right = [0.0, 0.5, 2.5, 2.6]
+        for half in (0.0, 0.5, 1.2, 3.0, 3.6, 5.6, 99.0):
+            j, k = best_prefix_pair(left, right, half)
+            assert left[j] + right[k] <= half + 1e-9
+            best = max(
+                jj + kk
+                for jj, kk in itertools.product(
+                    range(len(left)), range(len(right))
+                )
+                if left[jj] + right[kk] <= half + 1e-9
+            )
+            assert j + k == best
+
+
+class TestAlg1:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("frac", [0.4, 0.7, 1.0])
+    def test_budget_respected(self, seed, frac):
+        bi = budget_instance(10, 3, seed, frac)
+        sched = solve_alg1(bi)
+        verify_budget_schedule(bi, sched)
+
+    def test_full_budget_schedules_everything_onesided_style(self):
+        # With T = len(J) every job fits on its own machine under the
+        # reduced model (cost*(J) <= len(J) <= T), so Alg1 schedules all
+        # jobs whenever cost̄*(L) + cost̄*(R) <= T/2 — guaranteed here by
+        # a generous budget.
+        inst = random_clique_instance(8, 2, seed=1)
+        bi = inst.with_budget(10 * inst.total_length)
+        assert solve_alg1(bi).throughput == 8
+
+    def test_zero_budget_schedules_nothing(self):
+        inst = random_clique_instance(6, 2, seed=2)
+        assert solve_alg1(inst.with_budget(0.0)).throughput == 0
+
+    def test_rejects_non_clique(self):
+        bi = BudgetInstance.from_spans([(0, 1), (5, 6)], 2, 10.0)
+        with pytest.raises(UnsupportedInstanceError):
+            solve_alg1(bi)
+
+    def test_empty_instance(self):
+        bi = BudgetInstance.from_spans([], 2, 5.0)
+        assert solve_alg1(bi).throughput == 0
+
+    def test_machines_group_by_heaviness(self):
+        """Each Alg1 machine hosts only left-heavy or only right-heavy jobs."""
+        from repro.maxthroughput.heads import is_left_heavy, split_heads
+
+        bi = budget_instance(12, 3, seed=5, frac=0.8)
+        split = split_heads(bi.jobs)
+        sched = solve_alg1(bi)
+        for js in sched.machines().values():
+            flags = {is_left_heavy(j, split.t) for j in js}
+            assert len(flags) == 1
+
+
+class TestBestWindow:
+    def test_single_job(self):
+        from repro.core.jobs import make_jobs
+
+        jobs = make_jobs([(0, 4)])
+        assert best_window(jobs, 4.0) == (0.0, 4.0, 1)
+        assert best_window(jobs, 3.9)[2] == 0
+
+    def test_empty(self):
+        assert best_window([], 10.0) == (0.0, 0.0, 0)
+
+    def test_coverage_counts_contained_jobs_only(self):
+        from repro.core.jobs import make_jobs
+
+        jobs = make_jobs([(-1, 1), (-3, 2), (0, 5)])
+        a, b, cov = best_window(jobs, 3.0)
+        # Only [-1,1) fits in any window of length 3 anchored at job
+        # endpoints: window [-1, 2) covers just it.
+        assert cov == 1
+
+    def test_bigger_budget_more_coverage(self):
+        from repro.core.jobs import make_jobs
+
+        jobs = make_jobs([(-1, 1), (-3, 2), (0, 5)])
+        assert best_window(jobs, 5.0)[2] == 2  # [-3, 2) covers two
+        assert best_window(jobs, 8.0)[2] == 3  # [-3, 5) covers all
+
+    def test_window_endpoints_are_job_endpoints(self):
+        inst = random_clique_instance(14, 3, seed=7)
+        a, b, cov = best_window(list(inst.jobs), 40.0)
+        assert a in {j.start for j in inst.jobs}
+        assert b in {j.end for j in inst.jobs}
+        assert cov >= 1
+
+
+class TestAlg2:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_budget_and_single_machine(self, seed):
+        bi = budget_instance(10, 3, seed, 0.6)
+        sched = solve_alg2(bi)
+        verify_budget_schedule(bi, sched)
+        assert sched.n_machines() <= 1
+        assert sched.throughput <= bi.g
+
+    def test_schedules_g_jobs_when_possible(self):
+        inst = random_clique_instance(12, 3, seed=3)
+        bi = inst.with_budget(inst.span)  # window = whole span fits all
+        assert solve_alg2(bi).throughput == 3
+
+    def test_rejects_non_clique(self):
+        bi = BudgetInstance.from_spans([(0, 1), (5, 6)], 2, 10.0)
+        with pytest.raises(UnsupportedInstanceError):
+            solve_alg2(bi)
+
+    def test_zero_budget(self):
+        inst = random_clique_instance(5, 2, seed=0)
+        assert solve_alg2(inst.with_budget(0.0)).throughput == 0
+
+
+class TestTheorem41Combined:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("frac", [0.3, 0.5, 0.8, 1.0])
+    def test_4_approximation(self, seed, frac):
+        bi = budget_instance(9, 2, seed, frac)
+        sched = solve_clique_max_throughput(bi)
+        verify_budget_schedule(bi, sched)
+        opt = exact_max_throughput_value(bi)
+        assert 4 * sched.throughput >= opt
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_4_approximation_g3(self, seed):
+        bi = budget_instance(10, 3, seed, 0.6)
+        sched = solve_clique_max_throughput(bi)
+        opt = exact_max_throughput_value(bi)
+        assert 4 * sched.throughput >= opt
+
+    def test_takes_better_of_two(self):
+        bi = budget_instance(10, 3, 11, 0.5)
+        combined = solve_clique_max_throughput(bi).throughput
+        assert combined >= solve_alg1(bi).throughput
+        assert combined >= solve_alg2(bi).throughput
+
+    def test_rejects_non_clique(self):
+        bi = BudgetInstance.from_spans([(0, 1), (5, 6)], 2, 10.0)
+        with pytest.raises(UnsupportedInstanceError):
+            solve_clique_max_throughput(bi)
+
+    def test_generous_budget_schedules_all(self):
+        inst = random_clique_instance(9, 3, seed=9)
+        bi = inst.with_budget(4.0 * inst.total_length)
+        assert solve_clique_max_throughput(bi).throughput == 9

@@ -1,0 +1,132 @@
+"""Tests for Theorem 4.2 — the proper-clique MaxThroughput DPs.
+
+Covers the clean O(n²·g) DP (value + schedule reconstruction), the
+faithful 4-dimensional Algorithm 7 table, and their equivalence, all
+against the exact subset-DP reference and the brute-force enumerator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verify import verify_budget_schedule
+from repro.core.errors import UnsupportedInstanceError
+from repro.core.instance import BudgetInstance
+from repro.maxthroughput import (
+    exact_max_throughput_value,
+    max_throughput_from_table,
+    proper_clique_max_throughput_value,
+    solve_proper_clique_max_throughput,
+)
+from repro.minbusy.exact import exact_min_busy_cost
+from repro.workloads import random_proper_clique_instance
+
+from .conftest import brute_force_max_throughput
+
+
+def pc_budget_instance(n, g, seed, frac):
+    inst = random_proper_clique_instance(n, g, seed=seed)
+    opt = exact_min_busy_cost(inst)
+    return inst.with_budget(frac * opt)
+
+
+class TestCleanDPValue:
+    @pytest.mark.parametrize("g", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("frac", [0.35, 0.6, 0.85, 1.0])
+    def test_optimal_vs_exact(self, g, seed, frac):
+        bi = pc_budget_instance(9, g, seed, frac)
+        got = proper_clique_max_throughput_value(bi)
+        assert got == exact_max_throughput_value(bi)
+
+    def test_vs_bruteforce_tiny(self):
+        bi = pc_budget_instance(6, 2, seed=17, frac=0.55)
+        got = proper_clique_max_throughput_value(bi)
+        assert got == brute_force_max_throughput(
+            list(bi.jobs), bi.g, bi.budget
+        )
+
+    def test_full_budget_schedules_all(self):
+        inst = random_proper_clique_instance(10, 3, seed=5)
+        bi = inst.with_budget(inst.total_length)
+        assert proper_clique_max_throughput_value(bi) == 10
+
+    def test_zero_budget(self):
+        inst = random_proper_clique_instance(6, 2, seed=0)
+        assert proper_clique_max_throughput_value(inst.with_budget(0.0)) == 0
+
+    def test_empty(self):
+        bi = BudgetInstance.from_spans([], 2, 5.0)
+        assert proper_clique_max_throughput_value(bi) == 0
+
+    def test_rejects_non_proper_clique(self):
+        bi = BudgetInstance.from_spans([(0, 10), (2, 5)], 2, 100.0)
+        with pytest.raises(UnsupportedInstanceError):
+            proper_clique_max_throughput_value(bi)
+
+    def test_monotone_in_budget(self):
+        inst = random_proper_clique_instance(10, 2, seed=8)
+        opt = exact_min_busy_cost(inst)
+        vals = [
+            proper_clique_max_throughput_value(inst.with_budget(f * opt))
+            for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert vals == sorted(vals)
+        assert vals[-1] == inst.n
+
+
+class TestCleanDPSchedule:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("frac", [0.4, 0.7, 1.0])
+    def test_schedule_matches_value_and_budget(self, seed, frac):
+        bi = pc_budget_instance(10, 3, seed, frac)
+        sched = solve_proper_clique_max_throughput(bi)
+        tput, cost = verify_budget_schedule(bi, sched)
+        assert tput == proper_clique_max_throughput_value(bi)
+
+    def test_blocks_consecutive_in_full_order(self):
+        """Lemma 4.3: machine blocks are consecutive in the canonical
+        order of *all* jobs (not just the scheduled ones)."""
+        bi = pc_budget_instance(11, 3, seed=2, frac=0.6)
+        sched = solve_proper_clique_max_throughput(bi)
+        order = {j: i for i, j in enumerate(bi.jobs)}
+        for js in sched.machines().values():
+            idx = sorted(order[j] for j in js)
+            assert idx == list(range(idx[0], idx[-1] + 1))
+
+    def test_empty_schedule_for_zero_budget(self):
+        inst = random_proper_clique_instance(7, 2, seed=3)
+        sched = solve_proper_clique_max_throughput(inst.with_budget(0.0))
+        assert sched.throughput == 0
+
+
+class TestFaithfulAlgorithm7:
+    @pytest.mark.parametrize("g", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("frac", [0.4, 0.75, 1.0])
+    def test_equivalent_to_clean_dp(self, g, seed, frac):
+        bi = pc_budget_instance(7, g, seed, frac)
+        a = max_throughput_from_table(list(bi.jobs), bi.g, bi.budget)
+        b = proper_clique_max_throughput_value(bi)
+        assert a == b
+
+    def test_single_job(self):
+        from repro.core.jobs import make_jobs
+
+        jobs = make_jobs([(-1, 1)])
+        assert max_throughput_from_table(jobs, 2, 2.0) == 1
+        assert max_throughput_from_table(jobs, 2, 1.9) == 0
+
+    def test_empty(self):
+        assert max_throughput_from_table([], 3, 1.0) == 0
+
+    def test_table_contains_base_cases(self):
+        from repro.core.jobs import make_jobs
+        from repro.maxthroughput import most_throughput_consecutive_table
+
+        jobs = make_jobs([(-2, 1), (-1, 2)])
+        table = most_throughput_consecutive_table(jobs, 2)
+        assert table[(1, 1, 0, 0)] == pytest.approx(3.0)
+        assert table[(1, 0, 1, 1)] == 0.0
+        # Both scheduled on one machine: hull [-2, 2) = 4.
+        assert table[(2, 2, 0, 0)] == pytest.approx(4.0)

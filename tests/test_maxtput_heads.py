@@ -1,0 +1,129 @@
+"""Tests for the head/tail machinery of Section 4.1.
+
+The head split underlies Alg1: heads must be computed with respect to a
+common time, ties must go to the left part, prefixes must be exactly the
+shortest-head sets, and the reduced prefix costs must match the
+one-sided optimum of Observation 3.1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import UnsupportedInstanceError
+from repro.core.jobs import Job, make_jobs
+from repro.maxthroughput.heads import (
+    head_length,
+    is_left_heavy,
+    prefix_reduced_costs,
+    split_heads,
+)
+from repro.minbusy.onesided import one_sided_optimal_cost
+from repro.workloads import random_clique_instance
+
+
+class TestHeadLength:
+    def test_left_heavy_job(self):
+        j = Job(start=-10.0, end=2.0, job_id=0)
+        assert head_length(j, 0.0) == 10.0
+        assert is_left_heavy(j, 0.0)
+
+    def test_right_heavy_job(self):
+        j = Job(start=-1.0, end=7.0, job_id=0)
+        assert head_length(j, 0.0) == 7.0
+        assert not is_left_heavy(j, 0.0)
+
+    def test_tie_goes_left(self):
+        # Paper: "whenever these parts have the same length the left
+        # part is the head".
+        j = Job(start=-3.0, end=3.0, job_id=0)
+        assert is_left_heavy(j, 0.0)
+        assert head_length(j, 0.0) == 3.0
+
+    def test_head_at_noncentral_t(self):
+        j = Job(start=0.0, end=10.0, job_id=0)
+        assert head_length(j, 2.0) == 8.0  # right part longer
+        assert not is_left_heavy(j, 2.0)
+        assert head_length(j, 9.0) == 9.0  # left part longer
+        assert is_left_heavy(j, 9.0)
+
+
+class TestSplitHeads:
+    def test_partition_is_complete(self):
+        inst = random_clique_instance(20, 3, seed=1)
+        split = split_heads(inst.jobs)
+        assert len(split.left) + len(split.right) == inst.n
+        ids = {j.job_id for j in split.left} | {j.job_id for j in split.right}
+        assert ids == {j.job_id for j in inst.jobs}
+
+    def test_heads_sorted_ascending(self):
+        inst = random_clique_instance(25, 3, seed=2)
+        split = split_heads(inst.jobs)
+        assert list(split.left_heads) == sorted(split.left_heads)
+        assert list(split.right_heads) == sorted(split.right_heads)
+
+    def test_heads_match_jobs(self):
+        inst = random_clique_instance(15, 2, seed=3)
+        split = split_heads(inst.jobs)
+        for job, h in zip(split.left, split.left_heads):
+            assert h == pytest.approx(head_length(job, split.t))
+            assert is_left_heavy(job, split.t)
+        for job, h in zip(split.right, split.right_heads):
+            assert h == pytest.approx(head_length(job, split.t))
+            assert not is_left_heavy(job, split.t)
+
+    def test_default_t_is_common_point(self):
+        inst = random_clique_instance(10, 2, seed=4)
+        split = split_heads(inst.jobs)
+        for j in inst.jobs:
+            assert j.start <= split.t <= j.end
+
+    def test_explicit_t_respected(self):
+        jobs = make_jobs([(-4, 1), (-1, 4)])
+        split = split_heads(jobs, t=0.0)
+        assert split.t == 0.0
+        assert len(split.left) == 1 and len(split.right) == 1
+
+    def test_non_clique_rejected(self):
+        jobs = make_jobs([(0, 1), (5, 6)])
+        with pytest.raises(UnsupportedInstanceError):
+            split_heads(jobs)
+
+    def test_empty_set(self):
+        # Empty set is vacuously a clique; common_point of [] is None,
+        # so an explicit t must be provided.
+        split = split_heads([], t=0.0)
+        assert split.left == () and split.right == ()
+
+
+class TestPrefixReducedCosts:
+    def test_matches_one_sided_optimum(self):
+        heads = sorted([3.0, 9.0, 1.0, 7.0, 5.0, 2.0])
+        for g in (1, 2, 3, 4):
+            costs = prefix_reduced_costs(heads, g)
+            for j in range(len(heads) + 1):
+                assert costs[j] == pytest.approx(
+                    one_sided_optimal_cost(heads[:j], g)
+                )
+
+    def test_zero_prefix_is_free(self):
+        assert prefix_reduced_costs([], 3) == [0.0]
+        assert prefix_reduced_costs([5.0], 2)[0] == 0.0
+
+    def test_monotone_nondecreasing(self):
+        heads = sorted([0.5, 1.5, 2.5, 2.5, 4.0, 8.0, 8.0])
+        costs = prefix_reduced_costs(heads, 3)
+        assert all(a <= b + 1e-12 for a, b in zip(costs, costs[1:]))
+
+    def test_g1_prefix_costs_are_prefix_sums(self):
+        heads = [1.0, 2.0, 3.0]
+        assert prefix_reduced_costs(heads, 1) == [0.0, 1.0, 3.0, 6.0]
+
+    def test_g_larger_than_n(self):
+        heads = [1.0, 2.0, 3.0]
+        # One machine: cost = longest head of the prefix.
+        assert prefix_reduced_costs(heads, 10) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_bad_g(self):
+        with pytest.raises(ValueError):
+            prefix_reduced_costs([1.0], 0)

@@ -1,0 +1,361 @@
+"""Tests for the paper's MinBusy algorithms (Section 3).
+
+Each algorithm is checked for (a) validity, (b) its exactness claim or
+approximation guarantee against the exact solver on small random
+instances of its class, (c) precondition enforcement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import UnsupportedInstanceError
+from repro.core.instance import Instance
+from repro.minbusy import (
+    bestcut_ratio,
+    exact_min_busy_cost,
+    lemma32_ratio,
+    solve_best_cut,
+    solve_clique_g2_matching,
+    solve_clique_setcover,
+    solve_find_best_consecutive,
+    solve_first_fit,
+    solve_min_busy,
+    solve_one_sided,
+    solve_proper_clique_dp,
+    solve_single_cut,
+)
+from repro.minbusy.onesided import one_sided_optimal_cost
+from repro.workloads import (
+    random_clique_instance,
+    random_general_instance,
+    random_one_sided_instance,
+    random_proper_clique_instance,
+    random_proper_instance,
+)
+
+
+# ----------------------------------------------------------------------
+# Observation 3.1 — one-sided clique
+# ----------------------------------------------------------------------
+class TestOneSided:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_optimal_vs_exact(self, seed, side):
+        inst = random_one_sided_instance(8, 3, seed=seed, side=side)
+        got = solve_one_sided(inst).cost
+        assert got == pytest.approx(exact_min_busy_cost(inst))
+
+    def test_grouping_structure(self):
+        inst = Instance.from_spans([(0, L) for L in (9, 7, 5, 3, 1)], g=2)
+        sched = solve_one_sided(inst)
+        # Longest two share a machine, etc.: cost = 9 + 5 + 1.
+        assert sched.cost == pytest.approx(15.0)
+        assert sched.n_machines() == 3
+
+    def test_rejects_non_one_sided(self):
+        inst = Instance.from_spans([(-1, 2), (-2, 1)], g=2)
+        with pytest.raises(UnsupportedInstanceError):
+            solve_one_sided(inst)
+
+    def test_cost_helper_matches(self):
+        lengths = [9.0, 7.0, 5.0, 3.0, 1.0]
+        assert one_sided_optimal_cost(lengths, 2) == pytest.approx(15.0)
+        assert one_sided_optimal_cost([], 3) == 0.0
+
+    def test_cost_helper_bad_g(self):
+        with pytest.raises(ValueError):
+            one_sided_optimal_cost([1.0], 0)
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.1 — clique g=2 via matching
+# ----------------------------------------------------------------------
+class TestCliqueMatching:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_exact_on_random_cliques(self, seed):
+        inst = random_clique_instance(9, 2, seed=seed)
+        got = solve_clique_g2_matching(inst).cost
+        assert got == pytest.approx(exact_min_busy_cost(inst))
+
+    def test_exact_on_integral_cliques(self):
+        for seed in range(5):
+            inst = random_clique_instance(10, 2, seed=100 + seed, integral=True)
+            got = solve_clique_g2_matching(inst).cost
+            assert got == pytest.approx(exact_min_busy_cost(inst))
+
+    def test_rejects_wrong_g(self):
+        inst = random_clique_instance(5, 3, seed=0)
+        with pytest.raises(UnsupportedInstanceError):
+            solve_clique_g2_matching(inst)
+
+    def test_rejects_non_clique(self):
+        inst = Instance.from_spans([(0, 1), (5, 6)], g=2)
+        with pytest.raises(UnsupportedInstanceError):
+            solve_clique_g2_matching(inst)
+
+    def test_heuristic_mode_on_general(self):
+        inst = random_general_instance(10, 2, seed=3)
+        sched = solve_clique_g2_matching(inst, require_clique=False)
+        assert sched.is_valid()
+        assert sched.throughput == inst.n
+
+    def test_pairs_have_size_at_most_two(self):
+        inst = random_clique_instance(9, 2, seed=1)
+        sched = solve_clique_g2_matching(inst)
+        assert all(len(js) <= 2 for js in sched.machines().values())
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.2 — clique set cover
+# ----------------------------------------------------------------------
+class TestCliqueSetCover:
+    def test_ratio_formula(self):
+        # H_2 = 1.5: ratio = 2*1.5/(1.5+1) = 1.2; below 2 up to g=6.
+        assert lemma32_ratio(2) == pytest.approx(1.2)
+        assert lemma32_ratio(1) == pytest.approx(1.0)
+        for g in range(2, 7):
+            assert lemma32_ratio(g) < 2.0
+        assert lemma32_ratio(7) > lemma32_ratio(6)  # monotone increasing
+
+    def test_ratio_bad_g(self):
+        with pytest.raises(ValueError):
+            lemma32_ratio(0)
+
+    @pytest.mark.parametrize("g", [2, 3, 4])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_guarantee_vs_exact(self, g, seed):
+        inst = random_clique_instance(8, g, seed=seed)
+        got = solve_clique_setcover(inst).cost
+        opt = exact_min_busy_cost(inst)
+        assert got <= lemma32_ratio(g) * opt + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_plain_weights_ablation_still_hg(self, seed):
+        from repro.graph.setcover import harmonic
+
+        g = 3
+        inst = random_clique_instance(8, g, seed=40 + seed)
+        got = solve_clique_setcover(inst, reduced_weights=False).cost
+        opt = exact_min_busy_cost(inst)
+        assert got <= harmonic(g) * opt + 1e-9
+
+    def test_g2_often_optimal(self):
+        """For g=2 set cover with |Q|<=2 is solvable optimally; greedy is
+        not always optimal but must stay within the Lemma 3.2 ratio."""
+        inst = random_clique_instance(9, 2, seed=77)
+        got = solve_clique_setcover(inst).cost
+        opt = exact_min_busy_cost(inst)
+        assert got <= lemma32_ratio(2) * opt + 1e-9
+
+    def test_rejects_non_clique(self):
+        inst = Instance.from_spans([(0, 1), (5, 6)], g=2)
+        with pytest.raises(UnsupportedInstanceError):
+            solve_clique_setcover(inst)
+
+    def test_enumeration_guard(self):
+        inst = random_clique_instance(200, 6, seed=0)
+        with pytest.raises(UnsupportedInstanceError):
+            solve_clique_setcover(inst)
+
+
+class TestLemma32Counterexample:
+    """Reproduction finding F1: the ratio claimed by Lemma 3.2 is
+    violated by a 3-job instance.
+
+    The lemma's proof treats the greedy set-cover output as a partition
+    (``weight(s) = cost^s − PB``), but reduced weights are not monotone
+    under removing a job from a set, so the accounting breaks whenever
+    greedy's choices interact badly.  On the instance below OPT packs
+    all three jobs on one machine (cost 16), while greedy — in either
+    dedup mode — starts with the cheap singleton and pays 24: ratio
+    1.5 > 1.4348 = 3·H₃/(H₃+2).
+    """
+
+    INSTANCE = [(-2.0, 14.0), (-1.0, 1.0), (-1.0, 5.0)]
+
+    def _instance(self):
+        return Instance.from_spans(self.INSTANCE, g=3)
+
+    def test_opt_is_single_machine(self):
+        inst = self._instance()
+        assert exact_min_busy_cost(inst) == pytest.approx(16.0)
+
+    @pytest.mark.parametrize("dedup", ["during", "end"])
+    def test_claimed_ratio_violated(self, dedup):
+        inst = self._instance()
+        got = solve_clique_setcover(inst, dedup=dedup).cost
+        assert got == pytest.approx(24.0)
+        assert got > lemma32_ratio(3) * 16.0 + 1e-6  # 22.96
+
+    @pytest.mark.parametrize("dedup", ["during", "end"])
+    def test_sound_ratio_holds(self, dedup):
+        from repro.minbusy import lemma32_sound_ratio
+
+        inst = self._instance()
+        got = solve_clique_setcover(inst, dedup=dedup).cost
+        assert got <= lemma32_sound_ratio(3) * 16.0 + 1e-9
+
+    def test_dedup_modes_differ_somewhere(self):
+        """The two dedup modes are genuinely different algorithms: on
+        the Lemma 3.2 instance of seed 4 (the one that exposed the
+        end-dedup gap) 'during' is strictly cheaper."""
+        inst = random_clique_instance(8, 2, seed=4)
+        during = solve_clique_setcover(inst, dedup="during").cost
+        end = solve_clique_setcover(inst, dedup="end").cost
+        assert during < end - 1e-9
+
+    def test_bad_dedup_value(self):
+        with pytest.raises(ValueError):
+            solve_clique_setcover(self._instance(), dedup="never")
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.1 — BestCut on proper instances
+# ----------------------------------------------------------------------
+class TestBestCut:
+    def test_ratio_formula(self):
+        assert bestcut_ratio(2) == pytest.approx(1.5)
+        assert bestcut_ratio(5) == pytest.approx(1.8)
+        with pytest.raises(ValueError):
+            bestcut_ratio(0)
+
+    @pytest.mark.parametrize("g", [2, 3, 5])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_guarantee_vs_exact(self, g, seed):
+        inst = random_proper_instance(9, g, seed=seed)
+        assert inst.is_proper
+        got = solve_best_cut(inst).cost
+        opt = exact_min_busy_cost(inst)
+        assert got <= bestcut_ratio(g) * opt + 1e-9
+
+    def test_machines_hold_consecutive_g_blocks(self):
+        inst = random_proper_instance(17, 4, seed=2)
+        sched = solve_best_cut(inst)
+        sizes = sorted(
+            (len(js) for js in sched.machines().values()), reverse=True
+        )
+        assert all(s <= inst.g for s in sizes)
+        assert sched.throughput == inst.n
+
+    def test_never_worse_than_single_cut(self):
+        for seed in range(8):
+            inst = random_proper_instance(14, 3, seed=seed)
+            assert (
+                solve_best_cut(inst).cost
+                <= solve_single_cut(inst, offset=1).cost + 1e-9
+            )
+
+    def test_rejects_non_proper(self):
+        inst = Instance.from_spans([(0, 10), (2, 5)], g=2)
+        with pytest.raises(UnsupportedInstanceError):
+            solve_best_cut(inst)
+
+    def test_disconnected_proper_instance(self):
+        inst = Instance.from_spans([(0, 2), (1, 3), (10, 12), (11, 13)], g=2)
+        sched = solve_best_cut(inst)
+        assert sched.is_valid()
+        assert sched.throughput == 4
+        # Components solved independently: optimal here is 3 + 3.
+        assert sched.cost == pytest.approx(6.0)
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.2 — proper clique DP
+# ----------------------------------------------------------------------
+class TestProperCliqueDP:
+    @pytest.mark.parametrize("g", [1, 2, 3, 5])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_vs_reference(self, g, seed):
+        inst = random_proper_clique_instance(9, g, seed=seed)
+        got = solve_proper_clique_dp(inst).cost
+        assert got == pytest.approx(exact_min_busy_cost(inst))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_two_dp_formulations_agree(self, seed):
+        inst = random_proper_clique_instance(12, 3, seed=seed)
+        a = solve_proper_clique_dp(inst).cost
+        b = solve_find_best_consecutive(inst).cost
+        assert a == pytest.approx(b)
+
+    def test_blocks_are_consecutive(self):
+        inst = random_proper_clique_instance(11, 3, seed=4)
+        sched = solve_proper_clique_dp(inst)
+        order = {j: i for i, j in enumerate(inst.jobs)}
+        for js in sched.machines().values():
+            idx = sorted(order[j] for j in js)
+            assert idx == list(range(idx[0], idx[-1] + 1))
+
+    def test_n_le_g_single_machine(self):
+        inst = random_proper_clique_instance(4, 9, seed=0)
+        sched = solve_find_best_consecutive(inst)
+        assert sched.n_machines() == 1
+
+    def test_empty(self):
+        inst = Instance.from_spans([], g=2)
+        assert solve_proper_clique_dp(inst).throughput == 0
+        assert solve_find_best_consecutive(inst).throughput == 0
+
+    def test_rejects_non_proper_clique(self):
+        inst = Instance.from_spans([(0, 10), (2, 5)], g=2)
+        with pytest.raises(UnsupportedInstanceError):
+            solve_proper_clique_dp(inst)
+
+
+# ----------------------------------------------------------------------
+# FirstFit baseline + dispatcher
+# ----------------------------------------------------------------------
+class TestFirstFitAndDispatch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_firstfit_valid_and_4x(self, seed):
+        inst = random_general_instance(9, 3, seed=seed)
+        got = solve_first_fit(inst).cost
+        opt = exact_min_busy_cost(inst)
+        assert got <= 4.0 * opt + 1e-9
+
+    def test_dispatch_routes_one_sided(self):
+        inst = random_one_sided_instance(6, 2, seed=0)
+        assert solve_min_busy(inst).algorithm == "one_sided"
+
+    def test_dispatch_routes_proper_clique(self):
+        inst = random_proper_clique_instance(6, 2, seed=0)
+        assert solve_min_busy(inst).algorithm == "proper_clique_dp"
+
+    def test_dispatch_routes_clique_g2(self):
+        inst = random_clique_instance(6, 2, seed=0)
+        assert solve_min_busy(inst).algorithm == "clique_g2_matching"
+
+    def test_dispatch_routes_clique_setcover(self):
+        from repro.minbusy import lemma32_sound_ratio
+
+        inst = random_clique_instance(8, 3, seed=0)
+        r = solve_min_busy(inst)
+        assert r.algorithm == "clique_setcover"
+        # The dispatcher advertises the sound bound, not the paper's
+        # claimed (and refuted — finding F1) Lemma 3.2 ratio.
+        assert r.guarantee == pytest.approx(lemma32_sound_ratio(3))
+
+    def test_dispatch_routes_proper(self):
+        inst = random_proper_instance(10, 3, seed=0)
+        r = solve_min_busy(inst)
+        assert r.algorithm == "bestcut"
+        assert r.guarantee == pytest.approx(bestcut_ratio(3))
+
+    def test_dispatch_routes_general(self):
+        inst = random_general_instance(30, 3, seed=0)
+        # A random general instance is (almost surely) none of the above.
+        if not (inst.is_clique or inst.is_proper or inst.one_sided):
+            assert solve_min_busy(inst).algorithm == "first_fit"
+
+    def test_dispatch_empty(self):
+        inst = Instance.from_spans([], g=2)
+        assert solve_min_busy(inst).algorithm == "empty"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dispatch_guarantee_holds(self, seed):
+        """Whatever the dispatcher picks, its claimed guarantee is met."""
+        inst = random_clique_instance(8, 3, seed=seed)
+        r = solve_min_busy(inst)
+        opt = exact_min_busy_cost(inst)
+        bound = (r.guarantee or 1.0) * opt
+        assert r.cost <= bound + 1e-9

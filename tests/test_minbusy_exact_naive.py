@@ -1,0 +1,100 @@
+"""Tests for the exact MinBusy solver and the trivial baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.minbusy import (
+    exact_min_busy_all_subsets,
+    exact_min_busy_cost,
+    solve_arbitrary_packing,
+    solve_exact,
+    solve_naive,
+)
+from repro.workloads import (
+    random_clique_instance,
+    random_general_instance,
+    random_proper_clique_instance,
+)
+from tests.conftest import brute_force_min_busy
+
+
+class TestNaive:
+    def test_cost_is_total_length(self):
+        inst = Instance.from_spans([(0, 4), (1, 5), (2, 8)], g=2)
+        s = solve_naive(inst)
+        assert s.cost == pytest.approx(inst.total_length)
+        assert s.n_machines() == 3
+
+    def test_arbitrary_packing_valid(self):
+        inst = random_general_instance(20, 3, seed=11)
+        s = solve_arbitrary_packing(inst)
+        assert s.is_valid()
+        assert s.throughput == inst.n
+        assert s.cost <= inst.total_length + 1e-9
+
+
+class TestExact:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_partition_brute_force_general(self, seed):
+        inst = random_general_instance(7, 2, seed=seed, horizon=25.0)
+        assert exact_min_busy_cost(inst) == pytest.approx(
+            brute_force_min_busy(inst.jobs, inst.g)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_partition_brute_force_clique_g3(self, seed):
+        inst = random_clique_instance(7, 3, seed=seed)
+        assert exact_min_busy_cost(inst) == pytest.approx(
+            brute_force_min_busy(inst.jobs, inst.g)
+        )
+
+    def test_schedule_achieves_cost(self):
+        inst = random_general_instance(9, 2, seed=42)
+        sched = solve_exact(inst)
+        assert sched.is_valid()
+        assert sched.cost == pytest.approx(exact_min_busy_cost(inst))
+
+    def test_empty_instance(self):
+        inst = Instance.from_spans([], g=2)
+        assert exact_min_busy_cost(inst) == 0.0
+        assert solve_exact(inst).throughput == 0
+
+    def test_single_job(self):
+        inst = Instance.from_spans([(2, 7)], g=3)
+        assert exact_min_busy_cost(inst) == pytest.approx(5.0)
+
+    def test_g1_is_total_length(self):
+        """With g=1 nothing can share a machine except disjoint jobs, so
+        the optimum is between span and total length; for overlapping
+        jobs the optimum equals total length."""
+        inst = Instance.from_spans([(0, 4), (1, 5), (2, 6)], g=1)
+        assert exact_min_busy_cost(inst) == pytest.approx(12.0)
+
+    def test_g1_disjoint_can_share(self):
+        inst = Instance.from_spans([(0, 1), (2, 3)], g=1)
+        # Sharing a machine merges nothing: cost equals total length
+        # (2.0) either way.
+        assert exact_min_busy_cost(inst) == pytest.approx(2.0)
+
+    def test_size_guard(self):
+        inst = random_general_instance(17, 2, seed=0)
+        with pytest.raises(ValueError):
+            exact_min_busy_cost(inst)
+
+    def test_all_subsets_consistent_with_full(self):
+        inst = random_proper_clique_instance(8, 2, seed=5)
+        f = exact_min_busy_all_subsets(inst)
+        full = (1 << inst.n) - 1
+        assert f[full] == pytest.approx(exact_min_busy_cost(inst))
+        assert f[0] == 0.0
+
+    def test_all_subsets_monotone_under_inclusion(self):
+        inst = random_clique_instance(6, 2, seed=9)
+        f = exact_min_busy_all_subsets(inst)
+        n = inst.n
+        for S in range(1 << n):
+            for i in range(n):
+                if not S >> i & 1:
+                    assert f[S] <= f[S | (1 << i)] + 1e-9

@@ -1,0 +1,207 @@
+"""Property-based tests on the algorithms themselves.
+
+Instances are drawn per class (clique / proper / proper clique /
+one-sided) and every claimed exactness or ratio is re-checked against
+the exact solver; MaxThroughput monotonicity in the budget is verified
+as a cross-cutting law.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.core.jobs import Job
+from repro.minbusy import (
+    bestcut_ratio,
+    exact_min_busy_cost,
+    lemma32_ratio,
+    solve_best_cut,
+    solve_clique_g2_matching,
+    solve_clique_setcover,
+    solve_min_busy,
+    solve_one_sided,
+    solve_proper_clique_dp,
+)
+from repro.maxthroughput import (
+    exact_max_throughput_value,
+    proper_clique_max_throughput_value,
+    solve_clique_max_throughput,
+)
+
+MAX_N = 8  # exact solver stays interactive
+
+
+@st.composite
+def clique_instances(draw, g=None):
+    n = draw(st.integers(min_value=1, max_value=MAX_N))
+    gg = g or draw(st.integers(min_value=1, max_value=3))
+    jobs = []
+    for i in range(n):
+        left = draw(st.floats(min_value=0.5, max_value=40.0))
+        right = draw(st.floats(min_value=0.5, max_value=40.0))
+        jobs.append(Job(start=-left, end=right, job_id=i))
+    return Instance(jobs=tuple(jobs), g=gg)
+
+
+@st.composite
+def proper_instances(draw, g=None):
+    n = draw(st.integers(min_value=1, max_value=MAX_N))
+    gg = g or draw(st.integers(min_value=1, max_value=3))
+    starts = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=60.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    jobs = []
+    prev_end = -1e9
+    for i, s in enumerate(starts):
+        L = draw(st.floats(min_value=1.0, max_value=25.0))
+        e = max(s + L, prev_end + 1e-3)
+        jobs.append(Job(start=s, end=e, job_id=i))
+        prev_end = e
+    inst = Instance(jobs=tuple(jobs), g=gg)
+    assume(inst.is_proper)
+    return inst
+
+
+@st.composite
+def proper_clique_instances(draw, g=None):
+    n = draw(st.integers(min_value=1, max_value=MAX_N))
+    gg = g or draw(st.integers(min_value=1, max_value=3))
+    lefts = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=40.0),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        ),
+        reverse=True,
+    )
+    rights = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=40.0),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    jobs = [
+        Job(start=-a, end=b, job_id=i)
+        for i, (a, b) in enumerate(zip(lefts, rights))
+    ]
+    return Instance(jobs=tuple(jobs), g=gg)
+
+
+class TestExactnessClaims:
+    @settings(max_examples=30, deadline=None)
+    @given(clique_instances(g=2))
+    def test_lemma31_matching_exact(self, inst):
+        got = solve_clique_g2_matching(inst).cost
+        opt = exact_min_busy_cost(inst)
+        assert abs(got - opt) <= 1e-6 * max(1.0, opt)
+
+    @settings(max_examples=30, deadline=None)
+    @given(proper_clique_instances())
+    def test_theorem32_dp_exact(self, inst):
+        got = solve_proper_clique_dp(inst).cost
+        opt = exact_min_busy_cost(inst)
+        assert abs(got - opt) <= 1e-6 * max(1.0, opt)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_observation31_onesided_exact(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=MAX_N))
+        g = data.draw(st.integers(min_value=1, max_value=3))
+        lens = data.draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=30.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        inst = Instance.from_spans([(0.0, L) for L in lens], g)
+        got = solve_one_sided(inst).cost
+        opt = exact_min_busy_cost(inst)
+        assert abs(got - opt) <= 1e-6 * max(1.0, opt)
+
+
+class TestRatioClaims:
+    @settings(max_examples=30, deadline=None)
+    @given(clique_instances())
+    def test_lemma32_setcover_sound_ratio(self, inst):
+        """The claimed Lemma 3.2 ratio fails on rare instances (finding
+        F1, see test_minbusy_algorithms.TestLemma32Counterexample); the
+        sound bound min(H_g+1, g) must always hold."""
+        from repro.minbusy import lemma32_sound_ratio
+
+        got = solve_clique_setcover(inst).cost
+        opt = exact_min_busy_cost(inst)
+        assert got <= lemma32_sound_ratio(inst.g) * opt + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(proper_instances())
+    def test_theorem31_bestcut_ratio(self, inst):
+        got = solve_best_cut(inst).cost
+        opt = exact_min_busy_cost(inst)
+        assert got <= bestcut_ratio(inst.g) * opt + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(clique_instances(), st.floats(min_value=0.1, max_value=1.2))
+    def test_theorem41_combined_ratio(self, inst, frac):
+        opt_cost = exact_min_busy_cost(inst)
+        bi = inst.with_budget(frac * opt_cost)
+        got = solve_clique_max_throughput(bi).throughput
+        opt = exact_max_throughput_value(bi)
+        assert 4 * got >= opt
+
+
+class TestDispatcherProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(clique_instances())
+    def test_dispatch_guarantee_always_met(self, inst):
+        r = solve_min_busy(inst)
+        opt = exact_min_busy_cost(inst)
+        bound = (r.guarantee or 1.0) * opt
+        assert r.cost <= bound + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(proper_instances())
+    def test_dispatch_on_proper(self, inst):
+        r = solve_min_busy(inst)
+        opt = exact_min_busy_cost(inst)
+        assert r.cost <= (r.guarantee or 1.0) * opt + 1e-6
+
+
+class TestThroughputMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(proper_clique_instances(), st.data())
+    def test_dp_monotone_in_budget(self, inst, data):
+        opt_cost = exact_min_busy_cost(inst)
+        f1 = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        f2 = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        lo, hi = sorted((f1, f2))
+        v_lo = proper_clique_max_throughput_value(
+            inst.with_budget(lo * opt_cost)
+        )
+        v_hi = proper_clique_max_throughput_value(
+            inst.with_budget(hi * opt_cost)
+        )
+        assert v_lo <= v_hi
+
+    @settings(max_examples=25, deadline=None)
+    @given(proper_clique_instances())
+    def test_dp_full_budget_schedules_all(self, inst):
+        v = proper_clique_max_throughput_value(
+            inst.with_budget(exact_min_busy_cost(inst))
+        )
+        assert v == inst.n

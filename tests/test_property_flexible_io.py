@@ -1,0 +1,107 @@
+"""Property-based tests for the flexible-jobs extension and the I/O
+round-trip."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import BudgetInstance, Instance
+from repro.core.jobs import Job
+from repro.flexible import (
+    FlexJob,
+    align_first_fit,
+    flexible_lower_bound,
+)
+from repro.io import instance_from_dict, instance_to_dict
+
+
+@st.composite
+def flex_jobsets(draw, max_n=12):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    jobs = []
+    for i in range(n):
+        ws = draw(st.floats(min_value=-40, max_value=40))
+        wl = draw(st.floats(min_value=0.5, max_value=25.0))
+        frac = draw(st.floats(min_value=0.1, max_value=1.0))
+        jobs.append(
+            FlexJob(
+                window_start=ws,
+                window_end=ws + wl,
+                proc=max(0.1, frac * wl),
+                job_id=i,
+            )
+        )
+    return jobs
+
+
+@st.composite
+def any_instances(draw, max_n=10):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    g = draw(st.integers(min_value=1, max_value=5))
+    jobs = []
+    for i in range(n):
+        s = draw(st.floats(min_value=-100, max_value=100))
+        L = draw(st.floats(min_value=0.1, max_value=40.0))
+        w = draw(st.floats(min_value=0.0, max_value=9.0))
+        d = draw(st.integers(min_value=1, max_value=g))
+        jobs.append(Job(start=s, end=s + L, job_id=i, weight=w, demand=d))
+    if draw(st.booleans()):
+        T = draw(st.floats(min_value=0.0, max_value=500.0))
+        return BudgetInstance(jobs=tuple(jobs), g=g, budget=T)
+    return Instance(jobs=tuple(jobs), g=g)
+
+
+class TestFlexibleProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(flex_jobsets(), st.integers(min_value=1, max_value=4))
+    def test_greedy_valid_and_sandwiched(self, jobs, g):
+        sched = align_first_fit(jobs, g)  # validates internally
+        assert sched.n_jobs == len(jobs)
+        lb = flexible_lower_bound(jobs, g)
+        total = sum(j.proc for j in jobs)
+        assert lb - 1e-6 <= sched.cost <= total + 1e-6
+        assert sched.cost <= g * lb + 1e-6  # Prop. 2.1 analogue
+
+    @settings(max_examples=40, deadline=None)
+    @given(flex_jobsets())
+    def test_runs_inside_windows(self, jobs):
+        sched = align_first_fit(jobs, 3)
+        for ps in sched.machines.values():
+            for p in ps:
+                assert p.start >= p.job.window_start - 1e-9
+                assert p.end <= p.job.window_end + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(flex_jobsets(), st.integers(min_value=1, max_value=3))
+    def test_more_capacity_never_hurts(self, jobs, g):
+        a = align_first_fit(jobs, g).cost
+        b = align_first_fit(jobs, g + 2).cost
+        assert b <= a + 1e-6
+
+
+class TestIoProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(any_instances())
+    def test_dict_round_trip_is_identity(self, inst):
+        back = instance_from_dict(instance_to_dict(inst))
+        assert type(back) is type(inst)
+        assert back.g == inst.g
+        assert [
+            (j.start, j.end, j.weight, j.demand) for j in back.jobs
+        ] == [(j.start, j.end, j.weight, j.demand) for j in inst.jobs]
+        if isinstance(inst, BudgetInstance):
+            assert back.budget == inst.budget
+
+    @settings(max_examples=40, deadline=None)
+    @given(any_instances())
+    def test_round_trip_preserves_structure_predicates(self, inst):
+        base = (
+            inst.min_busy_instance
+            if isinstance(inst, BudgetInstance)
+            else inst
+        )
+        back = instance_from_dict(instance_to_dict(base))
+        assert back.is_clique == base.is_clique
+        assert back.is_proper == base.is_proper
+        assert back.one_sided == base.one_sided

@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for the interval/rectangle algebra.
+
+These pin down the algebraic laws the whole library leans on: union
+length is order-invariant, sub-additive, monotone; the vectorized NumPy
+kernel agrees with the pure sweep; merge_intervals is a partition of the
+union; rectangle union area matches inclusion–exclusion on pairs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import (
+    Interval,
+    common_point,
+    intersect_length,
+    merge_intervals,
+    total_length,
+    union_length,
+    union_length_arrays,
+)
+from repro.rect import Rect, union_area
+
+
+# Finite, moderately sized floats keep float error away from assertions.
+coord = st.floats(
+    min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(coord)
+    b = draw(coord)
+    lo, hi = min(a, b), max(a, b)
+    if hi - lo < 1e-6:
+        hi = lo + 1.0
+    return Interval(lo, hi)
+
+
+@st.composite
+def interval_lists(draw, min_size=0, max_size=12):
+    return draw(st.lists(intervals(), min_size=min_size, max_size=max_size))
+
+
+@st.composite
+def rects(draw):
+    x0 = draw(coord)
+    y0 = draw(coord)
+    w = draw(st.floats(min_value=0.01, max_value=100.0))
+    h = draw(st.floats(min_value=0.01, max_value=100.0))
+    return Rect(x0, y0, x0 + w, y0 + h)
+
+
+class TestUnionLengthProperties:
+    @given(interval_lists())
+    def test_permutation_invariant(self, ivs):
+        assert union_length(ivs) == union_length(list(reversed(ivs)))
+
+    @given(interval_lists())
+    def test_subadditive(self, ivs):
+        assert union_length(ivs) <= total_length(ivs) + 1e-6
+
+    @given(interval_lists(min_size=1))
+    def test_at_least_longest(self, ivs):
+        assert union_length(ivs) >= max(iv.length for iv in ivs) - 1e-9
+
+    @given(interval_lists(), intervals())
+    def test_monotone_under_insertion(self, ivs, extra):
+        assert union_length(ivs + [extra]) >= union_length(ivs) - 1e-9
+
+    @given(interval_lists())
+    def test_duplication_is_noop(self, ivs):
+        assert union_length(ivs + ivs) == union_length(ivs)
+
+    @given(interval_lists())
+    def test_vectorized_kernel_agrees(self, ivs):
+        import numpy as np
+
+        starts = np.array([iv.start for iv in ivs])
+        ends = np.array([iv.end for iv in ivs])
+        a = union_length(ivs)
+        b = union_length_arrays(starts, ends)
+        assert abs(a - b) <= 1e-9 * max(1.0, abs(a))
+
+
+class TestMergeIntervalsProperties:
+    @given(interval_lists())
+    def test_components_disjoint_and_cover(self, ivs):
+        comps = merge_intervals(ivs)
+        # Pairwise disjoint with gaps.
+        for a, b in zip(comps, comps[1:]):
+            assert a.end < b.start
+        # Total length = union length.
+        assert abs(
+            sum(c.length for c in comps) - union_length(ivs)
+        ) <= 1e-9 * max(1.0, union_length(ivs))
+
+    @given(interval_lists(min_size=1))
+    def test_every_interval_inside_one_component(self, ivs):
+        comps = merge_intervals(ivs)
+        for iv in ivs:
+            assert any(
+                c.start <= iv.start and iv.end <= c.end for c in comps
+            )
+
+
+class TestIntersectionProperties:
+    @given(intervals(), intervals())
+    def test_symmetric(self, a, b):
+        assert intersect_length(a, b) == intersect_length(b, a)
+
+    @given(intervals(), intervals())
+    def test_bounded_by_shorter(self, a, b):
+        assert intersect_length(a, b) <= min(a.length, b.length) + 1e-12
+
+    @given(intervals(), intervals())
+    def test_inclusion_exclusion(self, a, b):
+        u = union_length([a, b])
+        assert abs(
+            u - (a.length + b.length - intersect_length(a, b))
+        ) <= 1e-9 * max(1.0, u)
+
+
+class TestCommonPointProperties:
+    @given(interval_lists(min_size=1))
+    def test_common_point_in_all(self, ivs):
+        t = common_point(ivs)
+        if t is not None:
+            for iv in ivs:
+                assert iv.start <= t <= iv.end
+
+    @given(intervals())
+    def test_single_interval_has_common_point(self, iv):
+        assert common_point([iv]) is not None
+
+
+class TestRectUnionProperties:
+    @settings(max_examples=50)
+    @given(st.lists(rects(), min_size=0, max_size=8))
+    def test_subadditive_and_monotone(self, rs):
+        u = union_area(rs)
+        assert u <= sum(r.area for r in rs) + 1e-6
+        if rs:
+            assert u >= max(r.area for r in rs) - 1e-6
+
+    @settings(max_examples=50)
+    @given(rects(), rects())
+    def test_pair_inclusion_exclusion(self, a, b):
+        u = union_area([a, b])
+        expect = a.area + b.area - a.intersection_area(b)
+        assert abs(u - expect) <= 1e-6 * max(1.0, expect)
+
+    @settings(max_examples=40)
+    @given(st.lists(rects(), min_size=1, max_size=8))
+    def test_permutation_invariant(self, rs):
+        a = union_area(rs)
+        b = union_area(list(reversed(rs)))
+        assert abs(a - b) <= 1e-9 * max(1.0, a)

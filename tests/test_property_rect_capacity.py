@@ -1,0 +1,97 @@
+"""Property-based tests for the 2-D schedules and the demand extension.
+
+Invariants: FirstFit-2D output is always valid and complete, its cost
+sits inside the 2-D analogue of the Observation 2.1 sandwich, machine
+order carries the Lemma 3.4 inequality; demand FirstFit respects the
+generalized capacity for arbitrary demand vectors.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity.demands import (
+    demand_lower_bound,
+    demand_schedule_cost,
+    max_demand_concurrency,
+)
+from repro.capacity.firstfit import demand_first_fit
+from repro.core.instance import Instance
+from repro.core.jobs import Job
+from repro.rect import Rect, bucket_first_fit, first_fit_2d, union_area
+from repro.rect.rectangles import gamma, rects_total_area
+
+
+@st.composite
+def rect_sets(draw, min_size=1, max_size=14):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    rects = []
+    for i in range(n):
+        x0 = draw(st.floats(min_value=-40, max_value=40))
+        y0 = draw(st.floats(min_value=-40, max_value=40))
+        w = draw(st.floats(min_value=0.1, max_value=25.0))
+        h = draw(st.floats(min_value=0.1, max_value=25.0))
+        rects.append(Rect(x0, y0, x0 + w, y0 + h, rect_id=i))
+    return rects
+
+
+@st.composite
+def demand_instances(draw, max_n=12):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    g = draw(st.integers(min_value=1, max_value=6))
+    jobs = []
+    for i in range(n):
+        s = draw(st.floats(min_value=-30, max_value=30))
+        L = draw(st.floats(min_value=0.2, max_value=20.0))
+        d = draw(st.integers(min_value=1, max_value=g))
+        jobs.append(Job(start=s, end=s + L, job_id=i, demand=d))
+    return Instance(jobs=tuple(jobs), g=g)
+
+
+class TestFirstFit2DProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(rect_sets(), st.integers(min_value=1, max_value=5))
+    def test_valid_complete_and_sandwiched(self, rects, g):
+        sched = first_fit_2d(rects, g)
+        sched.validate(rects)
+        assert sched.n_rects == len(rects)
+        lb = max(union_area(rects), rects_total_area(rects) / g)
+        assert sched.cost >= lb - 1e-6
+        assert sched.cost <= rects_total_area(rects) + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(rect_sets(min_size=4), st.integers(min_value=1, max_value=4))
+    def test_lemma34_holds_on_random(self, rects, g):
+        g1 = gamma(rects, 1)
+        machines = first_fit_2d(rects, g).machines
+        for i in range(len(machines) - 1):
+            span_next = machines[i + 1].busy_area
+            len_prev = rects_total_area(machines[i].rects)
+            assert span_next * g <= (6 * g1 + 3) * len_prev + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(rect_sets(), st.floats(min_value=1.3, max_value=6.0))
+    def test_bucket_never_invalid(self, rects, beta):
+        sched = bucket_first_fit(rects, 3, beta=beta)
+        sched.validate(rects)
+        assert sched.n_rects == len(rects)
+
+
+class TestDemandProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(demand_instances())
+    def test_demand_firstfit_valid_and_bounded(self, inst):
+        groups = demand_first_fit(inst)  # validates partition + capacity
+        for grp in groups:
+            assert max_demand_concurrency(list(grp)) <= inst.g
+        cost = demand_schedule_cost(groups)
+        assert cost >= demand_lower_bound(inst) * (1.0 / inst.g) - 1e-6
+        assert cost <= sum(j.length for j in inst.jobs) + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(demand_instances())
+    def test_demand_bound_below_naive(self, inst):
+        assert demand_lower_bound(inst) <= sum(
+            j.length for j in inst.jobs
+        ) + 1e-6

@@ -1,0 +1,183 @@
+"""Property-based tests for schedules, bounds, and the paper's
+universal invariants (Observation 2.1, Proposition 2.1, Lemma 2.1).
+
+Random *valid* schedules are generated independently of any solver, so
+the invariants are tested over a much wider space than algorithm
+outputs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    combined_lower_bound,
+    length_bound,
+    parallelism_bound,
+    saving_ratio_to_cost_ratio,
+    span_bound,
+)
+from repro.core.instance import Instance
+from repro.core.jobs import Job
+from repro.core.machines import max_concurrency
+from repro.core.schedule import Schedule
+
+
+@st.composite
+def instances(draw, max_n=10, max_g=4):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    g = draw(st.integers(min_value=1, max_value=max_g))
+    jobs = []
+    for i in range(n):
+        s = draw(
+            st.floats(min_value=-50, max_value=50, allow_nan=False)
+        )
+        L = draw(st.floats(min_value=0.1, max_value=30.0))
+        jobs.append(Job(start=s, end=s + L, job_id=i))
+    return Instance(jobs=tuple(jobs), g=g)
+
+
+@st.composite
+def valid_schedules(draw, max_n=10, max_g=4):
+    """A random instance plus a random valid schedule built greedily."""
+    inst = draw(instances(max_n=max_n, max_g=max_g))
+    sched = Schedule(g=inst.g)
+    n_machines = draw(st.integers(min_value=1, max_value=inst.n))
+    for job in inst.jobs:
+        # Try machines in a random order; fall back to a fresh one.
+        order = draw(
+            st.permutations(list(range(n_machines)))
+        )
+        placed = False
+        for m in order:
+            members = sched.jobs_on(m) + [job]
+            if max_concurrency(members) <= inst.g:
+                sched.assign(job, m)
+                placed = True
+                break
+        if not placed:
+            fresh = n_machines
+            n_machines += 1
+            sched.assign(job, fresh)
+    return inst, sched
+
+
+class TestObservation21:
+    @settings(max_examples=60)
+    @given(valid_schedules())
+    def test_bounds_sandwich_any_valid_schedule(self, pair):
+        inst, sched = pair
+        cost = sched.cost
+        assert cost >= parallelism_bound(inst) - 1e-9
+        assert cost >= span_bound(inst) - 1e-9
+        assert cost <= length_bound(inst) + 1e-9
+
+    @settings(max_examples=60)
+    @given(valid_schedules())
+    def test_proposition21_g_approximation(self, pair):
+        """Any valid schedule is a g-approximation: cost <= g·LB <= g·OPT."""
+        inst, sched = pair
+        assert sched.cost <= inst.g * combined_lower_bound(inst) + 1e-6
+
+    @settings(max_examples=60)
+    @given(instances())
+    def test_lower_bound_below_upper(self, inst):
+        assert combined_lower_bound(inst) <= length_bound(inst) + 1e-9
+
+
+class TestScheduleAccounting:
+    @settings(max_examples=60)
+    @given(valid_schedules())
+    def test_saving_consistency(self, pair):
+        """sav^s = len(J) − cost^s and saving is non-negative."""
+        inst, sched = pair
+        assert sched.saving() == (
+            inst.total_length - sched.cost
+        ) or abs(
+            sched.saving() - (inst.total_length - sched.cost)
+        ) <= 1e-9 * max(1.0, inst.total_length)
+        assert sched.saving() >= -1e-9
+
+    @settings(max_examples=60)
+    @given(valid_schedules())
+    def test_validity_survives_split_normalization(self, pair):
+        """The w.l.o.g. contiguous-busy-period normalization preserves
+        cost, validity, and coverage."""
+        inst, sched = pair
+        split = sched.split_noncontiguous()
+        assert split.is_valid()
+        assert split.throughput == sched.throughput
+        assert abs(split.cost - sched.cost) <= 1e-9 * max(1.0, sched.cost)
+        # After splitting, every machine is one contiguous busy period.
+        for m in split.machine_indices():
+            assert split.busy_components(m) == 1
+
+    @settings(max_examples=60)
+    @given(valid_schedules())
+    def test_cost_is_sum_of_busy_times(self, pair):
+        _inst, sched = pair
+        total = sum(sched.busy_time(m) for m in sched.machine_indices())
+        assert abs(total - sched.cost) <= 1e-9 * max(1.0, sched.cost)
+
+    @settings(max_examples=40)
+    @given(valid_schedules(), valid_schedules())
+    def test_merge_disjoint_schedules(self, p1, p2):
+        inst1, s1 = p1
+        inst2, s2 = p2
+        if s1.g != s2.g:
+            return  # merged_with requires equal g
+        # Jobs compare by value; equal draws would make merging illegal.
+        if set(s1.assignment) & set(s2.assignment):
+            return
+        merged = s1.merged_with(s2)
+        assert merged.throughput == s1.throughput + s2.throughput
+        assert abs(
+            merged.cost - (s1.cost + s2.cost)
+        ) <= 1e-9 * max(1.0, s1.cost + s2.cost)
+
+
+class TestLemma21Transfer:
+    @given(
+        st.floats(min_value=1.0, max_value=10.0),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_ratio_transfer_formula(self, rho, g):
+        out = saving_ratio_to_cost_ratio(rho, g)
+        assert 1.0 - 1e-12 <= out <= g + 1e-12
+        # rho = 1 (optimal saving) must give an optimal cost ratio.
+        assert saving_ratio_to_cost_ratio(1.0, g) == 1.0
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_transfer_monotone_in_rho(self, g):
+        prev = 0.0
+        for rho in (1.0, 1.5, 2.0, 4.0):
+            cur = saving_ratio_to_cost_ratio(rho, g)
+            assert cur >= prev - 1e-12
+            prev = cur
+
+
+class TestStructuralPredicatesProperties:
+    @settings(max_examples=60)
+    @given(instances())
+    def test_components_partition_jobs(self, inst):
+        comps = inst.components()
+        total = sum(c.n for c in comps)
+        assert total == inst.n
+        # Components are themselves connected.
+        for c in comps:
+            assert c.is_connected
+
+    @settings(max_examples=60)
+    @given(instances())
+    def test_component_spans_sum_to_instance_span(self, inst):
+        comps = inst.components()
+        assert abs(
+            sum(c.span for c in comps) - inst.span
+        ) <= 1e-9 * max(1.0, inst.span)
+
+    @settings(max_examples=60)
+    @given(instances())
+    def test_clique_implies_connected(self, inst):
+        if inst.is_clique:
+            assert inst.is_connected

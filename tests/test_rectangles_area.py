@@ -1,0 +1,134 @@
+"""Tests for the rectangle substrate: Rect algebra and union area.
+
+Union area is the cost kernel of Section 3.4; it is cross-validated
+three ways: hand-computed cases, inclusion–exclusion on pairs, and the
+Monte-Carlo estimator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidIntervalError
+from repro.rect import Rect, union_area
+from repro.rect.area import union_area_montecarlo
+from repro.rect.rectangles import gamma, make_rects, rects_total_area
+from repro.workloads import random_rects
+
+
+class TestRect:
+    def test_basic_properties(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.len1 == 4.0
+        assert r.len2 == 3.0
+        assert r.area == 12.0
+
+    def test_projections(self):
+        r = Rect(1, 2, 5, 7)
+        assert (r.projection(1).start, r.projection(1).end) == (1, 5)
+        assert (r.projection(2).start, r.projection(2).end) == (2, 7)
+        with pytest.raises(ValueError):
+            r.projection(3)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Rect(0, 0, 0, 1)
+        with pytest.raises(InvalidIntervalError):
+            Rect(0, 2, 1, 2)
+        with pytest.raises(InvalidIntervalError):
+            Rect(0, 0, float("inf"), 1)
+
+    def test_overlap_open_boundaries(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 3, 3))
+        # Sharing only an edge or corner is NOT overlap (positive area).
+        assert not a.overlaps(Rect(2, 0, 4, 2))
+        assert not a.overlaps(Rect(0, 2, 2, 4))
+        assert not a.overlaps(Rect(2, 2, 4, 4))
+
+    def test_intersection_area(self):
+        a = Rect(0, 0, 4, 4)
+        assert a.intersection_area(Rect(2, 2, 6, 6)) == 4.0
+        assert a.intersection_area(Rect(4, 0, 5, 4)) == 0.0
+        assert a.intersection_area(a) == 16.0
+
+    def test_translated(self):
+        r = Rect(0, 0, 1, 2).translated(3, -1)
+        assert (r.x0, r.y0, r.x1, r.y1) == (3, -1, 4, 1)
+
+    def test_mirrored_x(self):
+        # The -A operation of the Figure 3 construction.
+        r = Rect(1, 0, 3, 2).mirrored_x()
+        assert (r.x0, r.x1) == (-3, -1)
+        assert (r.y0, r.y1) == (0, 2)
+        # Involution.
+        rr = r.mirrored_x()
+        assert (rr.x0, rr.x1) == (1, 3)
+
+    def test_gamma(self):
+        rects = make_rects([(0, 0, 1, 1), (0, 0, 4, 2), (0, 0, 2, 8)])
+        assert gamma(rects, 1) == 4.0
+        assert gamma(rects, 2) == 8.0
+        with pytest.raises(InvalidIntervalError):
+            gamma([], 1)
+
+    def test_total_area(self):
+        rects = make_rects([(0, 0, 1, 1), (5, 5, 7, 8)])
+        assert rects_total_area(rects) == 1.0 + 6.0
+
+
+class TestUnionArea:
+    def test_empty(self):
+        assert union_area([]) == 0.0
+
+    def test_single(self):
+        assert union_area([Rect(0, 0, 3, 2)]) == 6.0
+
+    def test_disjoint_sum(self):
+        rects = make_rects([(0, 0, 1, 1), (2, 0, 3, 1), (0, 5, 4, 6)])
+        assert union_area(rects) == pytest.approx(1 + 1 + 4)
+
+    def test_nested(self):
+        rects = make_rects([(0, 0, 10, 10), (2, 2, 5, 5)])
+        assert union_area(rects) == 100.0
+
+    def test_identical_stack(self):
+        rects = [Rect(0, 0, 2, 3, rect_id=i) for i in range(5)]
+        assert union_area(rects) == 6.0
+
+    def test_pair_inclusion_exclusion(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 6, 6)
+        assert union_area([a, b]) == pytest.approx(
+            a.area + b.area - a.intersection_area(b)
+        )
+
+    def test_cross_shape(self):
+        # Plus sign: horizontal 6x2 and vertical 2x6 crossing at centre.
+        h = Rect(-3, -1, 3, 1)
+        v = Rect(-1, -3, 1, 3)
+        assert union_area([h, v]) == pytest.approx(12 + 12 - 4)
+
+    def test_shared_edge_no_double_count(self):
+        rects = make_rects([(0, 0, 1, 1), (1, 0, 2, 1)])
+        assert union_area(rects) == 2.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_montecarlo_agrees(self, seed):
+        rects = random_rects(12, seed=seed, horizon=20.0)
+        exact = union_area(rects)
+        approx = union_area_montecarlo(rects, n_samples=200_000, seed=seed)
+        assert approx == pytest.approx(exact, rel=0.05)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounds_sandwich(self, seed):
+        rects = random_rects(20, seed=seed)
+        u = union_area(rects)
+        assert u <= rects_total_area(rects) + 1e-9
+        assert u >= max(r.area for r in rects) - 1e-9
+
+    def test_permutation_invariant(self):
+        rects = random_rects(15, seed=9)
+        assert union_area(rects) == pytest.approx(
+            union_area(list(reversed(rects)))
+        )

@@ -1,0 +1,274 @@
+"""Tests for the Section 5 topology extensions: trees and rings.
+
+The tree greedy must reduce exactly to Observation 3.1 on a path with
+shared-endpoint paths; the ring algorithms must agree with the planar
+ones on non-wrapping workloads and handle wrap-around correctly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import InstanceError, InvalidIntervalError
+from repro.minbusy.onesided import one_sided_optimal_cost
+from repro.rect import Rect, union_area
+from repro.topology.ring import RingJob, arc_overlaps, ring_union_area
+from repro.topology.ring_firstfit import (
+    ring_bucket_first_fit,
+    ring_first_fit,
+)
+from repro.topology.tree import PathJob, Tree
+from repro.topology.tree_greedy import (
+    tree_one_sided_greedy,
+    tree_schedule_cost,
+)
+from repro.workloads.applications import optical_ring_demands
+
+
+# ----------------------------------------------------------------------
+# trees
+# ----------------------------------------------------------------------
+class TestTree:
+    def test_path_graph(self):
+        t = Tree.path_graph(5)
+        assert t.n == 5
+        assert len(t.edges) == 4
+        assert t.path_length(0, 4) == 4.0
+        assert t.path_length(2, 2) == 0.0
+
+    def test_path_edges_lca(self):
+        #     0
+        #    / \
+        #   1   2
+        #  / \
+        # 3   4
+        t = Tree.from_edges(5, [(0, 1), (0, 2), (1, 3), (1, 4)])
+        assert t.path_edges(3, 4) == frozenset({(1, 3), (1, 4)})
+        assert t.path_edges(3, 2) == frozenset({(1, 3), (0, 1), (0, 2)})
+        assert t.path_length(3, 2) == 3.0
+
+    def test_weighted_edges(self):
+        t = Tree.from_edges(3, [(0, 1, 2.5), (1, 2, 4.0)])
+        assert t.path_length(0, 2) == 6.5
+        assert t.edge_length(2, 1) == 4.0
+
+    def test_invalid_trees(self):
+        with pytest.raises(InstanceError):
+            Tree.from_edges(3, [(0, 1)])  # too few edges
+        with pytest.raises(InstanceError):
+            Tree.from_edges(3, [(0, 1), (0, 1)])  # duplicate edge
+        with pytest.raises(InstanceError):
+            Tree.from_edges(3, [(0, 0), (1, 2)])  # self loop
+        with pytest.raises(InstanceError):
+            Tree.from_edges(4, [(0, 1), (2, 3), (0, 1)])  # disconnected
+        with pytest.raises(InstanceError):
+            Tree.from_edges(2, [(0, 1, -1.0)])  # negative length
+
+    def test_random_tree_connected(self):
+        t = Tree.random_tree(30, seed=3)
+        assert len(t.edges) == 29
+        # Spot-check some path lengths are positive and symmetric.
+        assert t.path_length(0, 29) == t.path_length(29, 0) > 0
+
+
+class TestTreeGreedy:
+    def test_reduces_to_observation31_on_shared_endpoint_paths(self):
+        """Paths [0, k] on a line all share endpoint 0 — a one-sided
+        clique instance; the tree greedy must be optimal (Obs. 3.1)."""
+        n = 12
+        t = Tree.path_graph(n)
+        lengths = [11, 9, 8, 8, 5, 4, 3, 2, 1]
+        paths = [PathJob(0, L, job_id=i) for i, L in enumerate(lengths)]
+        for g in (1, 2, 3, 4):
+            sets = tree_one_sided_greedy(t, paths, g)
+            cost = tree_schedule_cost(t, sets)
+            assert cost == pytest.approx(
+                one_sided_optimal_cost([float(L) for L in lengths], g)
+            )
+
+    def test_capacity_respected(self):
+        t = Tree.random_tree(20, seed=1)
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        paths = [
+            PathJob(*(int(x) for x in rng.choice(20, 2, replace=False)), job_id=i)
+            for i in range(25)
+        ]
+        sets = tree_one_sided_greedy(t, paths, 3)
+        assert all(len(s.members) <= 3 for s in sets)
+        assert sum(len(s.members) for s in sets) == 25
+
+    def test_members_contained_in_opening_path(self):
+        t = Tree.path_graph(10)
+        paths = [
+            PathJob(0, 9, job_id=0),
+            PathJob(2, 5, job_id=1),
+            PathJob(1, 8, job_id=2),
+            PathJob(0, 3, job_id=3),
+        ]
+        sets = tree_one_sided_greedy(t, paths, 4)
+        for s in sets:
+            for p in s.members:
+                assert p.edges(t) <= s.opening_edges
+
+    def test_cost_at_most_sum_of_opening_paths(self):
+        t = Tree.random_tree(16, seed=4)
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        paths = [
+            PathJob(*(int(x) for x in rng.choice(16, 2, replace=False)), job_id=i)
+            for i in range(20)
+        ]
+        sets = tree_one_sided_greedy(t, paths, 2)
+        cost = tree_schedule_cost(t, sets)
+        opening_sum = sum(t.edges_length(s.opening_edges) for s in sets)
+        assert cost <= opening_sum + 1e-9
+
+
+# ----------------------------------------------------------------------
+# rings
+# ----------------------------------------------------------------------
+class TestRingJob:
+    def test_validation(self):
+        with pytest.raises(InvalidIntervalError):
+            RingJob(a0=0.0, alen=0.0, t0=0, t1=1, circumference=4)
+        with pytest.raises(InvalidIntervalError):
+            RingJob(a0=0.0, alen=5.0, t0=0, t1=1, circumference=4)
+        with pytest.raises(InvalidIntervalError):
+            RingJob(a0=0.0, alen=1.0, t0=1, t1=1, circumference=4)
+        with pytest.raises(InvalidIntervalError):
+            RingJob(a0=4.0, alen=1.0, t0=0, t1=1, circumference=4)
+
+    def test_cut_rects_no_wrap(self):
+        j = RingJob(a0=1.0, alen=2.0, t0=0, t1=3, circumference=8)
+        rects = j.cut_rects()
+        assert len(rects) == 1
+        assert rects[0].x0 == 1.0 and rects[0].x1 == 3.0
+
+    def test_cut_rects_wrap(self):
+        j = RingJob(a0=7.0, alen=2.0, t0=0, t1=3, circumference=8)
+        rects = j.cut_rects()
+        assert len(rects) == 2
+        total = sum(r.area for r in rects)
+        assert total == pytest.approx(j.area)
+
+    def test_area(self):
+        j = RingJob(a0=0.0, alen=3.0, t0=1, t1=4, circumference=8)
+        assert j.area == 9.0
+        assert j.len1 == 3.0 and j.len2 == 3.0
+
+
+class TestArcOverlap:
+    def test_plain_overlap(self):
+        assert arc_overlaps(0.0, 2.0, 1.0, 2.0, 8.0)
+        assert not arc_overlaps(0.0, 2.0, 2.0, 2.0, 8.0)  # touching only
+
+    def test_wraparound_overlap(self):
+        # Arc [7, 1) wraps; arc [0, 0.5) is inside the wrapped part.
+        assert arc_overlaps(7.0, 2.0, 0.0, 0.5, 8.0)
+        assert not arc_overlaps(7.0, 1.0, 0.0, 0.5, 8.0)
+
+    def test_full_circle_overlaps_everything(self):
+        assert arc_overlaps(0.0, 8.0, 5.0, 0.1, 8.0)
+
+    def test_symmetric(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a0, b0 = rng.uniform(0, 8, 2)
+            al, bl = rng.uniform(0.1, 7.9, 2)
+            assert arc_overlaps(a0, al, b0, bl, 8.0) == arc_overlaps(
+                b0, bl, a0, al, 8.0
+            )
+
+    def test_overlap_consistent_with_cut_rects(self):
+        jobs = optical_ring_demands(40, seed=3)
+        for a in jobs[:12]:
+            for b in jobs[:12]:
+                if a.job_id == b.job_id:
+                    continue
+                geo = any(
+                    ra.overlaps(rb)
+                    for ra in a.cut_rects()
+                    for rb in b.cut_rects()
+                )
+                assert geo == a.overlaps(b)
+
+
+class TestRingUnionArea:
+    def test_single(self):
+        j = RingJob(a0=6.0, alen=3.0, t0=0, t1=2, circumference=8)
+        assert ring_union_area([j]) == pytest.approx(6.0)
+
+    def test_wrap_and_nonwrap_overlap(self):
+        a = RingJob(a0=7.0, alen=2.0, t0=0, t1=2, circumference=8, job_id=100)
+        b = RingJob(a0=0.2, alen=0.5, t0=0, t1=2, circumference=8, job_id=101)
+        # b's arc [0.2, 0.7) ⊂ a's wrapped part [0, 1): union = area(a) = 4.
+        assert ring_union_area([a, b]) == pytest.approx(4.0)
+        # A job sticking 0.5 beyond the wrapped part adds 0.5 · 2 = 1.
+        c = RingJob(a0=0.5, alen=1.0, t0=0, t1=2, circumference=8, job_id=102)
+        assert ring_union_area([a, c]) == pytest.approx(5.0)
+
+    def test_disjoint_sum(self):
+        a = RingJob(a0=0.0, alen=1.0, t0=0, t1=1, circumference=8, job_id=1)
+        b = RingJob(a0=4.0, alen=1.0, t0=5, t1=6, circumference=8, job_id=2)
+        assert ring_union_area([a, b]) == pytest.approx(2.0)
+
+
+class TestRingFirstFit:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("g", [1, 2, 4])
+    def test_valid_threads_and_complete(self, seed, g):
+        jobs = optical_ring_demands(30, seed=seed)
+        sched = ring_first_fit(jobs, g)
+        assert sched.n_jobs == 30
+        for m in sched.machines:
+            for thread in m.threads:
+                for i in range(len(thread)):
+                    for k in range(i + 1, len(thread)):
+                        assert not thread[i].overlaps(thread[k])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_g_approx_certificate(self, seed):
+        g = 4
+        jobs = optical_ring_demands(25, seed=seed)
+        sched = ring_first_fit(jobs, g)
+        total = sum(j.area for j in jobs)
+        lb = max(ring_union_area(jobs), total / g)
+        assert sched.cost <= g * lb + 1e-9
+
+    def test_bucket_version_valid(self):
+        jobs = optical_ring_demands(30, seed=5)
+        sched = ring_bucket_first_fit(jobs, 3)
+        assert sched.n_jobs == 30
+        with pytest.raises(ValueError):
+            ring_bucket_first_fit(jobs, 3, beta=1.0)
+
+    def test_bucket_empty(self):
+        assert ring_bucket_first_fit([], 2).cost == 0.0
+
+    def test_agrees_with_planar_when_no_wrap(self):
+        """Ring jobs that never wrap are plane rectangles; ring FirstFit
+        must produce exactly the planar FirstFit cost."""
+        from repro.rect.firstfit2d import first_fit_2d
+
+        jobs = [
+            RingJob(
+                a0=float(i % 4),
+                alen=1.0,
+                t0=float(i),
+                t1=float(i + 2 + (i % 3)),
+                circumference=100.0,
+                job_id=i,
+            )
+            for i in range(20)
+        ]
+        rects = [j.cut_rects()[0] for j in jobs]
+        ring_cost = ring_first_fit(jobs, 3).cost
+        rect_cost = first_fit_2d(rects, 3).cost
+        assert ring_cost == pytest.approx(rect_cost)

@@ -1,0 +1,167 @@
+"""Tests for workload generators, adversarial constructions, and the
+application-flavoured workloads.
+
+Every generator must produce instances of the class it promises,
+deterministically per seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.workloads import (
+    random_clique_instance,
+    random_demand_instance,
+    random_general_instance,
+    random_one_sided_instance,
+    random_proper_clique_instance,
+    random_proper_instance,
+    random_rects,
+)
+from repro.workloads.adversarial import staircase_proper_instance
+from repro.workloads.applications import (
+    cloud_requests,
+    energy_windows,
+    optical_line_demands,
+    optical_ring_demands,
+)
+
+
+class TestGeneratorsClassMembership:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_clique_is_clique(self, seed):
+        inst = random_clique_instance(15, 3, seed=seed)
+        assert inst.is_clique
+        assert inst.n == 15 and inst.g == 3
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("integral", [False, True])
+    def test_proper_is_proper(self, seed, integral):
+        inst = random_proper_instance(15, 3, seed=seed, integral=integral)
+        assert inst.is_proper
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("integral", [False, True])
+    def test_proper_clique_is_both(self, seed, integral):
+        inst = random_proper_clique_instance(
+            15, 3, seed=seed, integral=integral
+        )
+        assert inst.is_proper and inst.is_clique
+
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_one_sided(self, side):
+        inst = random_one_sided_instance(10, 2, seed=0, side=side)
+        assert inst.one_sided == side
+
+    def test_one_sided_bad_side(self):
+        with pytest.raises(ValueError):
+            random_one_sided_instance(5, 2, side="top")
+
+    def test_integral_endpoints_are_integers(self):
+        inst = random_proper_clique_instance(10, 2, seed=3, integral=True)
+        for j in inst.jobs:
+            assert j.start == int(j.start) and j.end == int(j.end)
+
+    def test_integral_proper_clique_widens_grid(self):
+        # n exceeding the spread must still produce distinct endpoints.
+        inst = random_proper_clique_instance(
+            60, 2, seed=1, spread=10.0, integral=True
+        )
+        assert inst.is_proper and inst.is_clique
+        assert len({j.start for j in inst.jobs}) == 60
+
+    def test_demand_instance(self):
+        inst = random_demand_instance(20, 5, seed=2)
+        assert all(1 <= j.demand <= 5 for j in inst.jobs)
+
+    def test_demand_capped(self):
+        inst = random_demand_instance(20, 5, seed=2, max_demand=2)
+        assert all(j.demand <= 2 for j in inst.jobs)
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_instance(self):
+        a = random_general_instance(20, 3, seed=42)
+        b = random_general_instance(20, 3, seed=42)
+        assert [(j.start, j.end) for j in a.jobs] == [
+            (j.start, j.end) for j in b.jobs
+        ]
+
+    def test_different_seed_different_instance(self):
+        a = random_general_instance(20, 3, seed=1)
+        b = random_general_instance(20, 3, seed=2)
+        assert [(j.start, j.end) for j in a.jobs] != [
+            (j.start, j.end) for j in b.jobs
+        ]
+
+    def test_rects_deterministic(self):
+        a = random_rects(10, seed=5)
+        b = random_rects(10, seed=5)
+        assert [(r.x0, r.y0, r.x1, r.y1) for r in a] == [
+            (r.x0, r.y0, r.x1, r.y1) for r in b
+        ]
+
+
+class TestRandomRects:
+    def test_gamma_within_requested(self):
+        from repro.rect.rectangles import gamma
+
+        rects = random_rects(50, seed=0, gamma1=8.0, gamma2=4.0)
+        assert gamma(rects, 1) <= 8.0 + 1e-9
+        assert gamma(rects, 2) <= 4.0 + 1e-9
+
+    def test_ids_consecutive(self):
+        rects = random_rects(10, seed=1)
+        assert [r.rect_id for r in rects] == list(range(10))
+
+
+class TestStaircase:
+    def test_proper_and_connected(self):
+        inst = staircase_proper_instance(20, 3)
+        assert inst.is_proper
+        assert inst.is_connected
+
+    def test_overlap_structure(self):
+        inst = staircase_proper_instance(5, 2, shift=1.0, length=10.0)
+        jobs = list(inst.jobs)
+        for a, b in zip(jobs, jobs[1:]):
+            assert a.overlap_length(b) == pytest.approx(9.0)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            staircase_proper_instance(5, 2, shift=3.0, length=2.0)
+
+
+class TestApplications:
+    def test_cloud_requests_shape(self):
+        inst = cloud_requests(40, 4, seed=0)
+        assert isinstance(inst, Instance)
+        assert inst.n == 40 and inst.g == 4
+        for j in inst.jobs:
+            assert 0.25 - 1e-9 <= j.length <= 12.0 + 1e-9
+
+    def test_energy_windows_proper(self):
+        inst = energy_windows(30, 3, seed=1)
+        assert inst.is_proper
+
+    def test_optical_line_demands_integral_sites(self):
+        inst = optical_line_demands(25, 4, seed=2, n_sites=16)
+        for j in inst.jobs:
+            assert j.start == int(j.start) and j.end == int(j.end)
+            assert 0 <= j.start < j.end <= 15
+
+    def test_optical_ring_demands(self):
+        jobs = optical_ring_demands(20, seed=3, circumference=10.0)
+        assert len(jobs) == 20
+        for j in jobs:
+            assert j.circumference == 10.0
+            assert 0 <= j.a0 < 10.0
+            assert j.t1 > j.t0
+
+    def test_applications_deterministic(self):
+        a = cloud_requests(15, 2, seed=9)
+        b = cloud_requests(15, 2, seed=9)
+        assert [(j.start, j.end) for j in a.jobs] == [
+            (j.start, j.end) for j in b.jobs
+        ]
