@@ -15,6 +15,17 @@ The package implements interval scheduling with bounded parallelism
   combination for cliques, exact prefix search for one-sided).
 * **2-D rectangles, trees, rings, variable demands** — the Section 3.4
   generalization and the Section 5 extensions.
+* **Batch solver engine** (:mod:`repro.engine`) — the serving layer:
+  a unified ``solve(instance, objective=...)`` front door routing to
+  the strongest applicable algorithm for either objective, a SHA-256
+  fingerprint-keyed LRU result cache, and a
+  ``solve_many(instances, workers=N)`` batch API (chunked
+  multiprocessing, deterministic input-order results).  Underneath it,
+  :mod:`repro.core.vectorized` provides batched NumPy event-array
+  kernels (pairwise overlaps, union length, point-clique depth,
+  busy-time accounting) that the graph/analysis/capacity hot paths
+  route through above :data:`repro.core.vectorized.VECTORIZE_MIN_SIZE`
+  jobs, with the scalar implementations kept as reference oracles.
 
 Quickstart::
 
@@ -22,6 +33,20 @@ Quickstart::
     inst = Instance.from_spans([(0, 4), (1, 5), (2, 8), (3, 9)], g=2)
     result = solve_min_busy(inst)
     print(result.algorithm, result.cost)
+
+Engine API::
+
+    from repro.engine import solve, solve_many, cache_info
+
+    res = solve(inst)                                # MinBusy (cached)
+    res = solve(inst, "maxthroughput", budget=42.0)  # budgeted objective
+    batch = solve_many(instances, workers=4)         # deterministic order
+    print(cache_info())                              # hits/misses/size
+
+Batch CLI (``pip install -e .`` provides the ``repro`` entry point)::
+
+    repro solve a.json b.json c.json --batch --workers 4 --json
+    repro bench --n 10000          # scalar-vs-vectorized kernel table
 """
 
 from .core import (
@@ -67,6 +92,7 @@ from .maxthroughput import (
 from .rect import Rect, RectSchedule, bucket_first_fit, first_fit_2d, union_area
 from .io import load_instance, save_instance
 from .analysis.gantt import render_gantt
+from .engine import EngineResult, solve, solve_many
 
 __version__ = "1.0.0"
 
@@ -113,5 +139,8 @@ __all__ = [
     "load_instance",
     "save_instance",
     "render_gantt",
+    "EngineResult",
+    "solve",
+    "solve_many",
     "__version__",
 ]

@@ -15,21 +15,29 @@ import numpy as np
 
 from ..core.errors import InvalidScheduleError
 from ..core.instance import BudgetInstance, Instance
-from ..core.intervals import union_length_arrays
 from ..core.jobs import Job
 from ..core.schedule import Schedule
+from ..core.vectorized import grouped_union_lengths
 
 __all__ = ["verify_min_busy_schedule", "verify_budget_schedule", "recompute_cost"]
 
 
 def recompute_cost(schedule: Schedule) -> float:
-    """Recompute total busy time from raw arrays (vectorized)."""
-    total = 0.0
-    for js in schedule.machines().values():
-        starts = np.array([j.start for j in js])
-        ends = np.array([j.end for j in js])
-        total += union_length_arrays(starts, ends)
-    return total
+    """Recompute total busy time from raw arrays (vectorized).
+
+    One batched grouped-union sweep over the whole assignment — no
+    per-machine Python loop — via
+    :func:`repro.core.vectorized.grouped_union_lengths`.
+    """
+    if not schedule.assignment:
+        return 0.0
+    items = schedule.assignment.items()
+    n = len(schedule.assignment)
+    starts = np.fromiter((j.start for j, _ in items), dtype=float, count=n)
+    ends = np.fromiter((j.end for j, _ in items), dtype=float, count=n)
+    machines = np.fromiter((m for _, m in items), dtype=np.int64, count=n)
+    _, busy = grouped_union_lengths(starts, ends, machines)
+    return float(busy.sum())
 
 
 def _check_concurrency(js: Sequence[Job], g: int, machine: int) -> None:

@@ -18,6 +18,7 @@ from ..core.jobs import Job, jobs_span
 
 __all__ = [
     "max_demand_concurrency",
+    "max_demand_concurrency_scalar",
     "demand_parallelism_bound",
     "demand_lower_bound",
     "validate_demand_schedule",
@@ -26,7 +27,31 @@ __all__ = [
 
 
 def max_demand_concurrency(jobs: Sequence[Job]) -> int:
-    """Peak total demand of simultaneously active jobs (event sweep)."""
+    """Peak total demand of simultaneously active jobs.
+
+    Large inputs route through the weighted event kernel
+    (:func:`repro.core.vectorized.peak_depth_arrays` with demand
+    deltas); small inputs use the scalar sweep.  Same integer either
+    way.
+    """
+    from ..core.vectorized import (
+        VECTORIZE_MIN_SIZE,
+        job_arrays,
+        peak_depth_arrays,
+    )
+
+    if len(jobs) >= VECTORIZE_MIN_SIZE:
+        import numpy as np
+
+        demands = np.fromiter(
+            (j.demand for j in jobs), dtype=np.int64, count=len(jobs)
+        )
+        return peak_depth_arrays(*job_arrays(jobs), demands)
+    return max_demand_concurrency_scalar(jobs)
+
+
+def max_demand_concurrency_scalar(jobs: Sequence[Job]) -> int:
+    """Reference event sweep for :func:`max_demand_concurrency`."""
     if not jobs:
         return 0
     events: List[Tuple[float, int]] = []

@@ -2,14 +2,21 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro solve jobs.json                 # MinBusy, dispatcher
-    python -m repro solve jobs.csv --g 3            # CSV needs --g
-    python -m repro throughput jobs.json --budget 42
-    python -m repro classify jobs.json              # instance structure
-    python -m repro generate clique --n 50 --g 3 -o inst.json
+    repro solve jobs.json                           # MinBusy, dispatcher
+    repro solve jobs.csv --g 3                      # CSV needs --g
+    repro solve a.json b.json c.json --batch        # engine batch solve
+    repro solve *.json --batch --workers 4          # fan out misses
+    repro throughput jobs.json --budget 42
+    repro classify jobs.json                        # instance structure
+    repro generate clique --n 50 --g 3 -o inst.json
+    repro bench --n 10000                           # kernel + batch bench
 
-Output is a human-readable report on stdout; ``--json`` switches to a
-machine-readable document (for piping into other tools).
+(``python -m repro ...`` works identically.)  Output is a
+human-readable report on stdout; ``--json`` switches to a
+machine-readable document (for piping into other tools).  Batch mode
+routes through :mod:`repro.engine` — fingerprint-cached, deterministic
+ordering — and ``repro bench`` prints the scalar-vs-vectorized kernel
+speedups plus cold/cached batch timings.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import List, Optional
 
 from .analysis.verify import verify_budget_schedule, verify_min_busy_schedule
 from .core.bounds import combined_lower_bound
+from .core.errors import InstanceError
 from .core.instance import BudgetInstance, Instance
 from .io import load_instance, load_instance_csv, save_instance
 from .minbusy import solve_min_busy
@@ -47,7 +55,9 @@ def _load(path: str, g: Optional[int], budget: Optional[float]):
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    inst = _load(args.instance, args.g, None)
+    if args.batch or len(args.instance) > 1:
+        return _cmd_solve_batch(args)
+    inst = _load(args.instance[0], args.g, None)
     if isinstance(inst, BudgetInstance):
         inst = inst.min_busy_instance
     result = solve_min_busy(inst)
@@ -83,22 +93,63 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _pick_throughput_solver(inst: BudgetInstance):
-    """Mirror the paper's case analysis for MaxThroughput."""
-    from .maxthroughput import (
-        solve_clique_max_throughput,
-        solve_one_sided_max_throughput,
-        solve_proper_clique_max_throughput,
-    )
-    from .maxthroughput.greedy import solve_greedy_shortest_first
+def _cmd_solve_batch(args: argparse.Namespace) -> int:
+    """MinBusy over many instance files through the batch engine."""
+    from .engine import solve_many
 
-    if inst.one_sided is not None:
-        return "one_sided (exact)", solve_one_sided_max_throughput
-    if inst.is_proper_clique:
-        return "proper_clique_dp (exact)", solve_proper_clique_max_throughput
-    if inst.is_clique:
-        return "combined_alg1_alg2 (4-approx)", solve_clique_max_throughput
-    return "greedy_shortest_first (heuristic)", solve_greedy_shortest_first
+    instances = []
+    for path in args.instance:
+        try:
+            inst = _load(path, args.g, None)
+        except (OSError, InstanceError) as exc:
+            raise SystemExit(f"{path}: {exc}") from exc
+        if isinstance(inst, BudgetInstance):
+            inst = inst.min_busy_instance
+        instances.append(inst)
+    results = solve_many(instances, "minbusy", workers=args.workers)
+    if args.json:
+        docs = [
+            {
+                "instance": path,
+                "problem": "minbusy",
+                "n": inst.n,
+                "g": inst.g,
+                "algorithm": res.algorithm,
+                "guarantee": res.guarantee,
+                "cost": res.cost,
+                "machines": res.schedule.n_machines(),
+                "cached": res.from_cache,
+                "fingerprint": res.fingerprint,
+            }
+            for path, inst, res in zip(args.instance, instances, results)
+        ]
+        print(json.dumps(docs, indent=2))
+    else:
+        width = max(len(p) for p in args.instance)
+        for path, inst, res in zip(args.instance, instances, results):
+            cached = " (cached)" if res.from_cache else ""
+            print(
+                f"{path:{width}s}  n={inst.n:<6d} g={inst.g:<3d} "
+                f"{res.algorithm:22s} cost={res.cost:<12.6g} "
+                f"machines={res.schedule.n_machines()}{cached}"
+            )
+            if args.gantt:
+                from .analysis.gantt import render_gantt
+
+                print(render_gantt(res.schedule))
+    return 0
+
+
+def _pick_throughput_solver(inst: BudgetInstance):
+    """Mirror the paper's case analysis for MaxThroughput.
+
+    Kept for backwards compatibility; the case table now lives in
+    :func:`repro.engine.dispatch.pick_throughput_solver`.
+    """
+    from .engine.dispatch import pick_throughput_solver
+
+    name, solver, _guarantee = pick_throughput_solver(inst)
+    return name, solver
 
 
 def _cmd_throughput(args: argparse.Namespace) -> int:
@@ -180,6 +231,68 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Engine micro-benchmarks: kernel speedups + batch timings."""
+    from .analysis.stats import Table
+    from .engine.bench import batch_timing, kernel_speedups
+
+    kernels = kernel_speedups(args.n, seed=args.seed, repeats=args.repeats)
+    batch = batch_timing(
+        args.batch_size,
+        args.batch_jobs,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    if args.json:
+        doc = {
+            "kernels": [
+                {
+                    "kernel": k.kernel,
+                    "n": k.n,
+                    "scalar_seconds": k.scalar_seconds,
+                    "vectorized_seconds": k.vectorized_seconds,
+                    "speedup": k.speedup,
+                }
+                for k in kernels
+            ],
+            "batch": {
+                "n_instances": batch.n_instances,
+                "n_jobs": batch.n_jobs,
+                "cold_seconds": batch.cold_seconds,
+                "cached_seconds": batch.cached_seconds,
+                "cache_speedup": batch.cache_speedup,
+            },
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+    kt = Table(
+        f"engine kernels at n={args.n}: scalar vs vectorized",
+        ["kernel", "scalar_ms", "vectorized_ms", "speedup"],
+    )
+    for k in kernels:
+        kt.add(
+            k.kernel,
+            k.scalar_seconds * 1e3,
+            k.vectorized_seconds * 1e3,
+            f"{k.speedup:.1f}x",
+        )
+    kt.print()
+    bt = Table(
+        f"engine batch: {batch.n_instances} instances x "
+        f"{batch.n_jobs} jobs (workers={args.workers or 1})",
+        ["phase", "seconds", "instances_per_s"],
+    )
+    bt.add("cold", batch.cold_seconds, batch.n_instances / batch.cold_seconds)
+    bt.add(
+        "cached",
+        batch.cached_seconds,
+        batch.n_instances / max(batch.cached_seconds, 1e-12),
+    )
+    bt.add("cache_speedup", f"{batch.cache_speedup:.1f}x", "")
+    bt.print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -188,11 +301,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     sp = sub.add_parser("solve", help="MinBusy via the dispatcher")
-    sp.add_argument("instance", help="JSON or CSV instance file")
+    sp.add_argument(
+        "instance", nargs="+", help="JSON or CSV instance file(s)"
+    )
     sp.add_argument("--g", type=int, default=None, help="capacity override")
     sp.add_argument("--json", action="store_true")
     sp.add_argument(
         "--gantt", action="store_true", help="ASCII Gantt chart of the result"
+    )
+    sp.add_argument(
+        "--batch",
+        action="store_true",
+        help="solve through the batch engine (implied by multiple files)",
+    )
+    sp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for batch mode (default: in-process)",
     )
     sp.set_defaults(func=_cmd_solve)
 
@@ -219,6 +345,24 @@ def build_parser() -> argparse.ArgumentParser:
     gp.add_argument("--seed", type=int, default=0)
     gp.add_argument("-o", "--output", default="instance.json")
     gp.set_defaults(func=_cmd_generate)
+
+    bp = sub.add_parser(
+        "bench", help="engine micro-benchmarks (kernels + batch)"
+    )
+    bp.add_argument(
+        "--n", type=int, default=10_000, help="jobs per kernel input"
+    )
+    bp.add_argument(
+        "--batch-size", type=int, default=200, help="instances in the batch"
+    )
+    bp.add_argument(
+        "--batch-jobs", type=int, default=40, help="jobs per batch instance"
+    )
+    bp.add_argument("--workers", type=int, default=None)
+    bp.add_argument("--repeats", type=int, default=3)
+    bp.add_argument("--seed", type=int, default=0)
+    bp.add_argument("--json", action="store_true")
+    bp.set_defaults(func=_cmd_bench)
     return p
 
 

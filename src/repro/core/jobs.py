@@ -41,6 +41,7 @@ __all__ = [
     "one_sided_kind",
     "connected_components",
     "pairwise_overlaps",
+    "pairwise_overlaps_scalar",
 ]
 
 _job_counter = itertools.count()
@@ -206,8 +207,25 @@ def pairwise_overlaps(jobs: Sequence[Job]) -> List[Tuple[int, int, float]]:
     """All overlapping index pairs ``(i, j, overlap_length)``, i < j.
 
     This is the edge list of the paper's weighted graph ``G_m``
-    (Section 3.1).  Runs the standard sweep in O(n log n + m).
+    (Section 3.1).  Large inputs route through the batched NumPy kernel
+    (:func:`repro.core.vectorized.pairwise_overlap_arrays`); small ones
+    use the scalar sweep.  The two produce identical lists — including
+    emission order — so the choice is purely a constant-factor one.
     """
+    from .vectorized import (
+        VECTORIZE_MIN_SIZE,
+        job_arrays,
+        pairwise_overlap_arrays,
+    )
+
+    if len(jobs) >= VECTORIZE_MIN_SIZE:
+        first, second, weights = pairwise_overlap_arrays(*job_arrays(jobs))
+        return list(zip(first.tolist(), second.tolist(), weights.tolist()))
+    return pairwise_overlaps_scalar(jobs)
+
+
+def pairwise_overlaps_scalar(jobs: Sequence[Job]) -> List[Tuple[int, int, float]]:
+    """Reference sweep for :func:`pairwise_overlaps` (O(n log n + m))."""
     order = sorted(range(len(jobs)), key=lambda i: (jobs[i].start, jobs[i].end))
     out: List[Tuple[int, int, float]] = []
     active: List[int] = []  # indices of jobs whose interval may still overlap

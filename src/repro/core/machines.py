@@ -19,15 +19,27 @@ from .errors import InvalidScheduleError
 from .intervals import union_length
 from .jobs import Job
 
-__all__ = ["Machine", "max_concurrency"]
+__all__ = ["Machine", "max_concurrency", "max_concurrency_scalar"]
 
 
 def max_concurrency(jobs: Sequence[Job]) -> int:
-    """Maximum number of jobs simultaneously active, via event sweep.
+    """Maximum number of jobs simultaneously active.
 
     Half-open semantics: a job ending at ``t`` does not overlap a job
     starting at ``t``, so departures are processed before arrivals.
+    Large inputs route through the vectorized event kernel
+    (:func:`repro.core.vectorized.peak_depth_arrays`); small inputs use
+    the scalar sweep.  Both return the same integer.
     """
+    from .vectorized import VECTORIZE_MIN_SIZE, job_arrays, peak_depth_arrays
+
+    if len(jobs) >= VECTORIZE_MIN_SIZE:
+        return peak_depth_arrays(*job_arrays(jobs))
+    return max_concurrency_scalar(jobs)
+
+
+def max_concurrency_scalar(jobs: Sequence[Job]) -> int:
+    """Reference event sweep for :func:`max_concurrency`."""
     if not jobs:
         return 0
     events: List[tuple] = []

@@ -1,0 +1,66 @@
+"""Batch solver engine: one front door, a result cache, and fan-out.
+
+The rest of the library is organized around the paper's case analysis —
+one module per algorithm, one call per instance.  This package is the
+serving layer on top:
+
+* :func:`solve` — unified entry point routing any instance to the
+  strongest applicable algorithm for the requested objective
+  (``"minbusy"`` or ``"maxthroughput"``), returning an
+  :class:`EngineResult` with the schedule, objective values, algorithm
+  provenance and timing.
+* **Result cache** — solves are memoized in an LRU keyed by a SHA-256
+  content fingerprint of the instance
+  (:func:`~repro.engine.fingerprint.instance_fingerprint`), so serving
+  repeated queries costs one solve plus O(1) lookups.  Inspect and
+  manage it with :func:`cache_info` / :func:`clear_cache` /
+  :func:`configure_cache`.
+* :func:`solve_many` — the batch API: cache hits short-circuit, misses
+  run sequentially or chunked over a ``multiprocessing`` pool
+  (``workers=N``), and results always come back in input order,
+  identical to the sequential path.
+
+Quickstart::
+
+    from repro.engine import solve, solve_many
+
+    res = solve(instance)                          # MinBusy by default
+    res = solve(instance, "maxthroughput", budget=42.0)
+    batch = solve_many(instances, workers=4)       # deterministic order
+"""
+
+from .bench import BatchTiming, KernelTiming, batch_timing, kernel_speedups
+from .cache import DEFAULT_CACHE_SIZE, CacheInfo, LRUCache
+from .dispatch import pick_throughput_solver
+from .engine import (
+    MAXTHROUGHPUT,
+    MINBUSY,
+    EngineResult,
+    cache_info,
+    clear_cache,
+    configure_cache,
+    solve,
+    solve_many,
+)
+from .fingerprint import instance_fingerprint, solve_key
+
+__all__ = [
+    "BatchTiming",
+    "KernelTiming",
+    "batch_timing",
+    "kernel_speedups",
+    "DEFAULT_CACHE_SIZE",
+    "CacheInfo",
+    "LRUCache",
+    "pick_throughput_solver",
+    "MAXTHROUGHPUT",
+    "MINBUSY",
+    "EngineResult",
+    "cache_info",
+    "clear_cache",
+    "configure_cache",
+    "solve",
+    "solve_many",
+    "instance_fingerprint",
+    "solve_key",
+]

@@ -1,0 +1,196 @@
+"""Micro-benchmark helpers: kernel speedups and batch throughput.
+
+Used by ``repro bench`` (CLI) and by
+``benchmarks/bench_e16_engine_batch.py``.  Each kernel row times the
+scalar reference implementation against the vectorized NumPy kernel on
+the *same* input and records the best-of-``repeats`` wall times; the
+two paths are also cross-checked for equality on every run, so a
+speedup number is never reported for a kernel that drifted from its
+oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..core.intervals import union_length, union_length_arrays
+from ..core.jobs import pairwise_overlaps_scalar
+from ..core.machines import max_concurrency_scalar
+from ..core.vectorized import (
+    grouped_union_lengths,
+    job_arrays,
+    pairwise_overlap_arrays,
+    peak_depth_arrays,
+)
+from ..workloads import random_general_instance
+
+__all__ = ["KernelTiming", "BatchTiming", "kernel_speedups", "batch_timing"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Scalar-vs-vectorized timing of one kernel on one input."""
+
+    kernel: str
+    n: int
+    scalar_seconds: float
+    vectorized_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.vectorized_seconds <= 0.0:
+            return float("inf")
+        return self.scalar_seconds / self.vectorized_seconds
+
+
+@dataclass(frozen=True)
+class BatchTiming:
+    """solve_many timing on a batch of instances."""
+
+    n_instances: int
+    n_jobs: int
+    cold_seconds: float
+    cached_seconds: float
+
+    @property
+    def cache_speedup(self) -> float:
+        if self.cached_seconds <= 0.0:
+            return float("inf")
+        return self.cold_seconds / self.cached_seconds
+
+
+def _best_time(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_instance(n: int, seed: int = 0, avg_concurrency: float = 8.0):
+    """A random general instance with density held constant in ``n``.
+
+    The default generator horizon is fixed, so the interval-graph edge
+    count grows quadratically with ``n``; scaling the horizon keeps the
+    expected point-clique depth (and edges-per-job) constant, which is
+    the regime a production scheduler actually sees.
+    """
+    mean_len = 15.5  # generator draws lengths uniform in [1, 30]
+    horizon = max(100.0, n * mean_len / avg_concurrency)
+    return random_general_instance(n, 4, seed=seed, horizon=horizon)
+
+
+def kernel_speedups(
+    n: int = 10_000,
+    *,
+    seed: int = 0,
+    repeats: int = 3,
+    avg_concurrency: float = 8.0,
+) -> List[KernelTiming]:
+    """Time the three sweep kernels, scalar vs vectorized, at size n."""
+    inst = bench_instance(n, seed=seed, avg_concurrency=avg_concurrency)
+    jobs = list(inst.jobs)
+    starts, ends = job_arrays(jobs)
+    machine_ids = np.arange(len(jobs)) % max(1, len(jobs) // 32)
+    groups_scalar: List[List] = [[] for _ in range(int(machine_ids.max()) + 1)]
+    for j, m in zip(jobs, machine_ids.tolist()):
+        groups_scalar[m].append(j)
+
+    rows: List[KernelTiming] = []
+
+    # --- pairwise overlaps (interval-graph edge list) ---
+    scalar_edges = pairwise_overlaps_scalar(jobs)
+    a, b, w = pairwise_overlap_arrays(starts, ends)
+    assert scalar_edges == list(zip(a.tolist(), b.tolist(), w.tolist()))
+    rows.append(
+        KernelTiming(
+            "pairwise_overlaps",
+            n,
+            _best_time(lambda: pairwise_overlaps_scalar(jobs), repeats),
+            _best_time(lambda: pairwise_overlap_arrays(starts, ends), repeats),
+        )
+    )
+
+    # --- union length (span accounting) ---
+    intervals = [j.interval for j in jobs]
+    assert union_length(intervals) == union_length_arrays(starts, ends)
+    rows.append(
+        KernelTiming(
+            "union_length",
+            n,
+            _best_time(lambda: union_length(intervals), repeats),
+            _best_time(lambda: union_length_arrays(starts, ends), repeats),
+        )
+    )
+
+    # --- point-clique depth (peak concurrency) ---
+    assert max_concurrency_scalar(jobs) == peak_depth_arrays(starts, ends)
+    rows.append(
+        KernelTiming(
+            "point_clique_depth",
+            n,
+            _best_time(lambda: max_concurrency_scalar(jobs), repeats),
+            _best_time(lambda: peak_depth_arrays(starts, ends), repeats),
+        )
+    )
+
+    # --- grouped busy-time accounting ---
+    def scalar_busy() -> float:
+        return sum(
+            union_length(j.interval for j in grp)
+            for grp in groups_scalar
+            if grp
+        )
+
+    _, lens = grouped_union_lengths(starts, ends, machine_ids)
+    assert scalar_busy() == float(lens.sum()) or abs(
+        scalar_busy() - float(lens.sum())
+    ) <= 1e-9 * max(1.0, scalar_busy())
+    rows.append(
+        KernelTiming(
+            "busy_time_accounting",
+            n,
+            _best_time(scalar_busy, repeats),
+            _best_time(
+                lambda: grouped_union_lengths(starts, ends, machine_ids),
+                repeats,
+            ),
+        )
+    )
+    return rows
+
+
+def batch_timing(
+    n_instances: int = 1000,
+    n_jobs: int = 50,
+    *,
+    objective: str = "minbusy",
+    workers: Optional[int] = None,
+    seed: int = 0,
+) -> BatchTiming:
+    """Time a cold ``solve_many`` batch and the fully-cached re-run."""
+    from .engine import clear_cache, solve_many
+
+    instances = [
+        bench_instance(n_jobs, seed=seed + i) for i in range(n_instances)
+    ]
+    clear_cache()
+    t0 = time.perf_counter()
+    cold = solve_many(instances, objective, workers=workers)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = solve_many(instances, objective, workers=workers)
+    cached_s = time.perf_counter() - t0
+    assert [r.cost for r in cold] == [r.cost for r in warm]
+    assert all(r.from_cache for r in warm)
+    return BatchTiming(
+        n_instances=n_instances,
+        n_jobs=n_jobs,
+        cold_seconds=cold_s,
+        cached_seconds=cached_s,
+    )

@@ -1,0 +1,82 @@
+"""Thread-safe LRU result cache for the solve engine.
+
+Deliberately tiny: an :class:`collections.OrderedDict` under a lock,
+with hit/miss counters surfaced through :func:`LRUCache.info` in the
+``functools.lru_cache`` style.  The engine keys entries by the
+objective-qualified instance fingerprint
+(:func:`repro.engine.fingerprint.solve_key`), so identical instances
+served repeatedly — the sustained-query-load scenario the engine exists
+for — cost one solve and then O(1) lookups.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, NamedTuple, Optional
+
+__all__ = ["CacheInfo", "LRUCache", "DEFAULT_CACHE_SIZE"]
+
+DEFAULT_CACHE_SIZE = 1024
+
+
+class CacheInfo(NamedTuple):
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value (refreshed as most-recent), or ``None``."""
+        with self._lock:
+            try:
+                value = self._data.pop(key)
+            except KeyError:
+                self._misses += 1
+                return None
+            self._data[key] = value
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data

@@ -1,0 +1,318 @@
+"""The unified solve front door and the batch API.
+
+:func:`solve` is the one entry point callers need: it normalizes the
+instance, routes to the strongest applicable algorithm for the chosen
+objective (MinBusy via :func:`repro.minbusy.solve_min_busy`,
+MaxThroughput via :func:`repro.engine.dispatch.pick_throughput_solver`),
+and memoizes results in a fingerprint-keyed LRU cache so repeated
+queries for the same instance are O(1).
+
+:func:`solve_many` scales that to instance streams: cache hits are
+resolved up front, the remaining misses are solved either in-process or
+chunked across a ``multiprocessing`` pool, and the results come back in
+input order regardless of worker scheduling — byte-identical to the
+sequential path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import InstanceError
+from ..core.instance import BudgetInstance, Instance
+from ..core.schedule import Schedule
+from .cache import DEFAULT_CACHE_SIZE, CacheInfo, LRUCache
+from .dispatch import pick_throughput_solver
+from .fingerprint import instance_fingerprint, key_from_fingerprint
+
+__all__ = [
+    "MINBUSY",
+    "MAXTHROUGHPUT",
+    "EngineResult",
+    "solve",
+    "solve_many",
+    "cache_info",
+    "clear_cache",
+    "configure_cache",
+]
+
+AnyInstance = Union[Instance, BudgetInstance]
+
+MINBUSY = "minbusy"
+MAXTHROUGHPUT = "maxthroughput"
+_OBJECTIVE_ALIASES = {
+    MINBUSY: MINBUSY,
+    "min_busy": MINBUSY,
+    MAXTHROUGHPUT: MAXTHROUGHPUT,
+    "throughput": MAXTHROUGHPUT,
+    "max_throughput": MAXTHROUGHPUT,
+}
+
+_RESULT_CACHE = LRUCache(DEFAULT_CACHE_SIZE)
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """One solved instance, with provenance and accounting.
+
+    ``guarantee`` is the a-priori approximation factor carried by the
+    chosen algorithm (``None`` = exact or unanalysed heuristic).
+    ``assignment_by_position`` records the machine of each job by its
+    position in the instance's canonical order (``None`` = job left
+    unscheduled); it is what lets a cached result be re-expressed over
+    a content-identical instance whose ``Job`` objects carry different
+    ids.  ``from_cache`` marks results served from the LRU cache;
+    ``solve_seconds`` is the wall time of the original solve (cached
+    hits keep the original timing).
+    """
+
+    objective: str
+    algorithm: str
+    guarantee: Optional[float]
+    cost: float
+    throughput: int
+    schedule: Schedule
+    fingerprint: str
+    assignment_by_position: Tuple[Optional[int], ...] = ()
+    from_cache: bool = False
+    solve_seconds: float = 0.0
+
+
+def _normalize_objective(objective: str) -> str:
+    try:
+        return _OBJECTIVE_ALIASES[objective.lower()]
+    except (KeyError, AttributeError):
+        raise InstanceError(
+            f"unknown objective {objective!r}; "
+            f"expected one of {sorted(set(_OBJECTIVE_ALIASES))}"
+        ) from None
+
+
+def _canonical_instance(
+    instance: AnyInstance, objective: str, budget: Optional[float]
+) -> AnyInstance:
+    """The instance the chosen objective actually solves."""
+    if objective == MINBUSY:
+        if isinstance(instance, BudgetInstance):
+            return instance.min_busy_instance
+        return instance
+    # MaxThroughput needs a budget from somewhere.
+    if budget is not None:
+        jobs = instance.jobs
+        return BudgetInstance(jobs=jobs, g=instance.g, budget=budget)
+    if isinstance(instance, BudgetInstance):
+        return instance
+    raise InstanceError(
+        "maxthroughput requires a BudgetInstance or an explicit budget="
+    )
+
+
+def _positional_assignment(
+    instance: AnyInstance, schedule: Schedule
+) -> Tuple[Optional[int], ...]:
+    """Machine per canonical job position (``None`` = unscheduled)."""
+    position = {job: i for i, job in enumerate(instance.jobs)}
+    vector: List[Optional[int]] = [None] * instance.n
+    for job, machine in schedule.assignment.items():
+        vector[position[job]] = machine
+    return tuple(vector)
+
+
+def _schedule_for(
+    instance: AnyInstance, by_position: Tuple[Optional[int], ...]
+) -> Schedule:
+    """Re-express a positional assignment over this instance's jobs."""
+    schedule = Schedule(g=instance.g)
+    for i, machine in enumerate(by_position):
+        if machine is not None:
+            schedule.assign(instance.jobs[i], machine)
+    return schedule
+
+
+def _serve_hit(hit: EngineResult, instance: AnyInstance) -> EngineResult:
+    """A cache hit, rebound to the querying instance's own jobs.
+
+    Sound because equal fingerprints imply identical per-position
+    ``(start, end, weight, demand)``; rebuilding also means callers
+    never share (and so cannot mutate) the cached Schedule.
+    """
+    return replace(
+        hit,
+        schedule=_schedule_for(instance, hit.assignment_by_position),
+        from_cache=True,
+    )
+
+
+def _solve_uncached(instance: AnyInstance, objective: str) -> EngineResult:
+    t0 = time.perf_counter()
+    if objective == MINBUSY:
+        from ..minbusy import solve_min_busy
+
+        result = solve_min_busy(instance)
+        schedule = result.schedule
+        algorithm = result.algorithm
+        guarantee = result.guarantee
+        throughput = schedule.throughput
+    else:
+        algorithm, solver, guarantee = pick_throughput_solver(instance)
+        schedule = solver(instance)
+        throughput = schedule.throughput
+    elapsed = time.perf_counter() - t0
+    return EngineResult(
+        objective=objective,
+        algorithm=algorithm,
+        guarantee=guarantee,
+        cost=schedule.cost,
+        throughput=throughput,
+        schedule=schedule,
+        fingerprint=instance_fingerprint(instance),
+        assignment_by_position=_positional_assignment(instance, schedule),
+        from_cache=False,
+        solve_seconds=elapsed,
+    )
+
+
+def solve(
+    instance: AnyInstance,
+    objective: str = MINBUSY,
+    *,
+    budget: Optional[float] = None,
+    use_cache: bool = True,
+) -> EngineResult:
+    """Solve one instance with the strongest applicable algorithm.
+
+    ``objective`` is ``"minbusy"`` (default) or ``"maxthroughput"``
+    (alias ``"throughput"``).  For MaxThroughput, pass a
+    :class:`BudgetInstance` or an explicit ``budget=``.  Results are
+    memoized by content fingerprint; pass ``use_cache=False`` to force
+    a fresh solve (the result still refreshes the cache).
+    """
+    objective = _normalize_objective(objective)
+    inst = _canonical_instance(instance, objective, budget)
+    key = key_from_fingerprint(instance_fingerprint(inst), objective)
+    if use_cache:
+        hit = _RESULT_CACHE.get(key)
+        if hit is not None:
+            return _serve_hit(hit, inst)
+    result = _solve_uncached(inst, objective)
+    _RESULT_CACHE.put(key, result)
+    return result
+
+
+def _solve_payload(
+    payload: Tuple[AnyInstance, str, Optional[float]]
+) -> EngineResult:
+    """Top-level worker entry point (must be picklable)."""
+    instance, objective, budget = payload
+    return solve(instance, objective, budget=budget, use_cache=False)
+
+
+def solve_many(
+    instances: Sequence[AnyInstance],
+    objective: str = MINBUSY,
+    *,
+    budget: Optional[float] = None,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    use_cache: bool = True,
+) -> List[EngineResult]:
+    """Solve a batch of instances; results in input order.
+
+    ``workers=None``/``0``/``1`` solves sequentially in-process.  With
+    ``workers >= 2`` the cache misses are chunked across a
+    ``multiprocessing`` pool (``chunksize`` defaults to ~4 chunks per
+    worker); ``pool.map`` preserves submission order, so the output is
+    deterministic and equal to the sequential path regardless of worker
+    count.  Cache hits never travel to the pool, and fresh results are
+    folded back into the parent cache.
+    """
+    objective = _normalize_objective(objective)
+    insts = [
+        _canonical_instance(inst, objective, budget) for inst in instances
+    ]
+    keys = [
+        key_from_fingerprint(instance_fingerprint(inst), objective)
+        for inst in insts
+    ]
+    results: List[Optional[EngineResult]] = [None] * len(insts)
+    misses: List[int] = []
+    for i, key in enumerate(keys):
+        if use_cache:
+            hit = _RESULT_CACHE.get(key)
+            if hit is not None:
+                results[i] = _serve_hit(hit, insts[i])
+                continue
+        misses.append(i)
+
+    if not misses:
+        return results  # type: ignore[return-value]
+
+    # Duplicate fingerprints inside one batch are solved once; every
+    # occurrence shares the result (rebound to its own jobs if the ids
+    # differ).  Fingerprints were computed once above — neither path
+    # recomputes them or re-probes the cache.
+    representative: dict = {}
+    unique_keys: List[str] = []
+    for i in misses:
+        if keys[i] not in representative:
+            representative[keys[i]] = i
+            unique_keys.append(keys[i])
+
+    if workers is None or workers <= 1 or len(unique_keys) == 1:
+        solved = {
+            key: _solve_uncached(insts[representative[key]], objective)
+            for key in unique_keys
+        }
+    else:
+        payloads = [
+            (insts[representative[key]], objective, None)
+            for key in unique_keys
+        ]
+        if chunksize is None:
+            chunksize = max(1, len(payloads) // (workers * 4) or 1)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=workers) as pool:
+            solved = dict(
+                zip(
+                    unique_keys,
+                    pool.map(_solve_payload, payloads, chunksize=chunksize),
+                )
+            )
+
+    for key, result in solved.items():
+        _RESULT_CACHE.put(key, result)
+    for i in misses:
+        result = solved[keys[i]]
+        if i != representative[keys[i]]:
+            # In-batch duplicate: served from the entry its
+            # representative just populated, rebound to its own jobs.
+            result = _serve_hit(result, insts[i])
+        results[i] = result
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# cache management
+# ----------------------------------------------------------------------
+
+
+def cache_info() -> CacheInfo:
+    """Hit/miss/size counters of the engine result cache."""
+    return _RESULT_CACHE.info()
+
+
+def clear_cache() -> None:
+    """Drop all cached results and reset the counters."""
+    _RESULT_CACHE.clear()
+
+
+def configure_cache(maxsize: int) -> None:
+    """Replace the result cache with an empty one of the given bound."""
+    global _RESULT_CACHE
+    _RESULT_CACHE = LRUCache(maxsize)

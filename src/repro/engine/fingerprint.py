@@ -1,0 +1,58 @@
+"""Content-addressed instance identity.
+
+The engine's result cache and the batch deduplication need a stable,
+collision-resistant key for "the same scheduling problem".  Python's
+``hash`` is salted per process and :class:`~repro.core.instance.Instance`
+is identified by object contents anyway, so the fingerprint is a SHA-256
+over a canonical byte serialization: the parallelism parameter, the
+budget (when present), and the packed per-job arrays (start, end,
+weight, demand) in the instance's canonical sorted order.
+
+Job *ids* are deliberately excluded: they are bookkeeping labels (often
+auto-allocated from a process-global counter), not problem content, so
+content-identical instances built in different processes or sessions
+fingerprint the same and share cache entries.  The engine remaps a
+cached schedule onto the querying instance's own ``Job`` objects by
+canonical position (see ``EngineResult.assignment_by_position``),
+which is sound because equal fingerprints imply equal per-position
+``(start, end, weight, demand)`` in the canonical order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+from ..core.instance import BudgetInstance, Instance
+
+__all__ = ["instance_fingerprint", "key_from_fingerprint", "solve_key"]
+
+AnyInstance = Union[Instance, BudgetInstance]
+
+_VERSION = b"busytime-fingerprint-v1"
+
+
+def instance_fingerprint(instance: AnyInstance) -> str:
+    """Hex SHA-256 digest canonically identifying the instance."""
+    h = hashlib.sha256()
+    h.update(_VERSION)
+    budget = getattr(instance, "budget", None)
+    h.update(f"|n={instance.n}|g={instance.g}|T={budget!r}|".encode())
+    if instance.n:
+        packed = np.empty((instance.n, 4), dtype=np.float64)
+        for col, attr in enumerate(("start", "end", "weight", "demand")):
+            packed[:, col] = [getattr(j, attr) for j in instance.jobs]
+        h.update(packed.tobytes())
+    return h.hexdigest()
+
+
+def key_from_fingerprint(fingerprint: str, objective: str) -> str:
+    """Cache key from an already-computed fingerprint."""
+    return f"{objective}:{fingerprint}"
+
+
+def solve_key(instance: AnyInstance, objective: str) -> str:
+    """Cache key for one solve: objective-qualified fingerprint."""
+    return key_from_fingerprint(instance_fingerprint(instance), objective)

@@ -50,21 +50,45 @@ def best_cut_groups(jobs: List[Job], g: int, offset: int) -> List[List[Job]]:
     return [grp for grp in groups if grp]
 
 
+def _offset_cost_scalar(jobs: List[Job], g: int, offset: int) -> float:
+    # Proper + connected + consecutive grouping => each group's span is
+    # its hull, but compute via union for full generality.
+    return sum(
+        union_length(j.interval for j in grp)
+        for grp in best_cut_groups(jobs, g, offset)
+    )
+
+
 def _solve_component(jobs: List[Job], g: int) -> List[List[Job]]:
-    best_groups: List[List[Job]] | None = None
+    from ..core.vectorized import (
+        VECTORIZE_MIN_SIZE,
+        grouped_union_lengths,
+        job_arrays,
+    )
+
+    n = len(jobs)
+    vectorize = n >= VECTORIZE_MIN_SIZE
+    if vectorize:
+        import numpy as np
+
+        starts, ends = job_arrays(jobs)
+        positions = np.arange(n)
+    best_offset = 1
     best_cost = float("inf")
     for offset in range(1, g + 1):
-        groups = best_cut_groups(jobs, g, offset)
-        # Proper + connected + consecutive grouping => each group's span
-        # is its hull, but compute via union for full generality.
-        cost = sum(
-            union_length(j.interval for j in grp) for grp in groups
-        )
+        if vectorize:
+            # Group id of position i under cut offset: one batched
+            # grouped-union sweep prices the whole cut, and only the
+            # winning offset's grouping is materialized below.
+            gid = (positions + (g - offset)) // g
+            _, lengths = grouped_union_lengths(starts, ends, gid)
+            cost = float(lengths.sum())
+        else:
+            cost = _offset_cost_scalar(jobs, g, offset)
         if cost < best_cost:
             best_cost = cost
-            best_groups = groups
-    assert best_groups is not None
-    return best_groups
+            best_offset = offset
+    return best_cut_groups(jobs, g, best_offset)
 
 
 def solve_best_cut(instance: Instance) -> Schedule:

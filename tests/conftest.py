@@ -2,66 +2,15 @@
 
 from __future__ import annotations
 
-import itertools
-from typing import List, Sequence, Tuple
-
 import pytest
 
 from repro.core.instance import Instance
-from repro.core.intervals import union_length
-from repro.core.jobs import Job
-from repro.core.machines import max_concurrency
 
+# Re-exported for backwards compatibility: the reference oracles now
+# live in an importable regular module (tests/helpers.py).
+from tests.helpers import brute_force_max_throughput, brute_force_min_busy
 
-def brute_force_min_busy(jobs: Sequence[Job], g: int) -> float:
-    """Reference optimum by enumerating *all* set partitions (tiny n).
-
-    Independent of the library's exact solver: plain recursive partition
-    enumeration with concurrency-checked groups.
-    """
-    jobs = list(jobs)
-    n = len(jobs)
-    if n == 0:
-        return 0.0
-    best = [float("inf")]
-
-    def rec(remaining: List[int], groups: List[List[int]], cost: float) -> None:
-        if cost >= best[0]:
-            return
-        if not remaining:
-            best[0] = cost
-            return
-        first, rest = remaining[0], remaining[1:]
-        # Put `first` into an existing group or a new one.
-        for gi, grp in enumerate(groups):
-            members = [jobs[i] for i in grp] + [jobs[first]]
-            if max_concurrency(members) <= g:
-                old = union_length(jobs[i].interval for i in grp)
-                new = union_length(j.interval for j in members)
-                grp.append(first)
-                rec(rest, groups, cost - old + new)
-                grp.pop()
-        groups.append([first])
-        rec(rest, groups, cost + jobs[first].length)
-        groups.pop()
-
-    rec(list(range(n)), [], 0.0)
-    return best[0]
-
-
-def brute_force_max_throughput(jobs: Sequence[Job], g: int, budget: float) -> int:
-    """Reference MaxThroughput optimum: try all subsets (tiny n)."""
-    jobs = list(jobs)
-    n = len(jobs)
-    best = 0
-    for mask in range(1 << n):
-        k = bin(mask).count("1")
-        if k <= best:
-            continue
-        subset = [jobs[i] for i in range(n) if mask >> i & 1]
-        if brute_force_min_busy(subset, g) <= budget + 1e-9:
-            best = k
-    return best
+__all__ = ["brute_force_min_busy", "brute_force_max_throughput"]
 
 
 @pytest.fixture

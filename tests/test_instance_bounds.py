@@ -23,7 +23,7 @@ from repro.workloads import (
     random_proper_clique_instance,
     random_proper_instance,
 )
-from tests.conftest import brute_force_min_busy
+from tests.helpers import brute_force_min_busy
 
 
 class TestInstance:

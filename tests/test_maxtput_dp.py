@@ -21,7 +21,7 @@ from repro.maxthroughput import (
 from repro.minbusy.exact import exact_min_busy_cost
 from repro.workloads import random_proper_clique_instance
 
-from .conftest import brute_force_max_throughput
+from tests.helpers import brute_force_max_throughput
 
 
 def pc_budget_instance(n, g, seed, frac):

@@ -25,7 +25,7 @@ from repro.workloads import (
     random_proper_clique_instance,
 )
 
-from .conftest import brute_force_max_throughput
+from tests.helpers import brute_force_max_throughput
 
 
 class TestExactReference:
@@ -201,7 +201,7 @@ class TestWeightedThroughput:
             chosen = [jobs[i] for i in range(4) if mask >> i & 1]
             if not chosen:
                 continue
-            from .conftest import brute_force_min_busy
+            from tests.helpers import brute_force_min_busy
 
             cost = brute_force_min_busy(chosen, 2)
             if cost <= bi.budget + 1e-9:

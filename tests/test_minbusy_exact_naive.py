@@ -17,7 +17,7 @@ from repro.workloads import (
     random_general_instance,
     random_proper_clique_instance,
 )
-from tests.conftest import brute_force_min_busy
+from tests.helpers import brute_force_min_busy
 
 
 class TestNaive:

@@ -1,0 +1,194 @@
+"""Vectorized kernels vs scalar reference oracles.
+
+The contract of :mod:`repro.core.vectorized` is *bit-exact* equivalence
+with the scalar sweeps (including emission order for pair enumeration),
+so every assertion here is plain ``==`` — no tolerances.  Randomized job
+sets come both from hypothesis (small, adversarial: duplicate
+endpoints, touching intervals, negatives) and from the seeded workload
+generators (larger, above the dispatch threshold so the routed
+functions actually take the vectorized path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity.demands import (
+    max_demand_concurrency,
+    max_demand_concurrency_scalar,
+)
+from repro.core.intervals import union_length, union_length_arrays
+from repro.core.jobs import (
+    Job,
+    make_jobs,
+    pairwise_overlaps,
+    pairwise_overlaps_scalar,
+)
+from repro.core.machines import max_concurrency, max_concurrency_scalar
+from repro.core.vectorized import (
+    VECTORIZE_MIN_SIZE,
+    grouped_union_lengths,
+    job_arrays,
+    pairwise_overlap_arrays,
+    peak_depth_arrays,
+    union_length_grouped_total,
+)
+from repro.graph.intervalgraph import IntervalGraph
+from repro.workloads import (
+    random_clique_instance,
+    random_general_instance,
+    random_proper_instance,
+)
+
+# Integer-ish spans exercise duplicate/touching endpoints; the offset
+# keeps negatives in play.
+span = st.tuples(
+    st.integers(min_value=-20, max_value=20),
+    st.integers(min_value=1, max_value=15),
+).map(lambda t: (float(t[0]), float(t[0] + t[1])))
+
+span_float = st.tuples(
+    st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    st.floats(min_value=0.125, max_value=20.0, allow_nan=False),
+).map(lambda t: (t[0], t[0] + t[1]))
+
+spans_lists = st.lists(span | span_float, min_size=0, max_size=24)
+
+
+def _vec_pairs(jobs):
+    first, second, weight = pairwise_overlap_arrays(*job_arrays(jobs))
+    return list(zip(first.tolist(), second.tolist(), weight.tolist()))
+
+
+class TestPairwiseOverlaps:
+    @given(spans_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scalar_including_order(self, spans):
+        jobs = make_jobs(spans)
+        assert _vec_pairs(jobs) == pairwise_overlaps_scalar(jobs)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_routed_path_above_threshold(self, seed):
+        inst = random_general_instance(
+            4 * VECTORIZE_MIN_SIZE, 3, seed=seed, horizon=400.0
+        )
+        jobs = list(inst.jobs)
+        assert pairwise_overlaps(jobs) == pairwise_overlaps_scalar(jobs)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_clique_instances(self, seed):
+        # Dense case: all O(n^2) pairs present.
+        inst = random_clique_instance(40, 2, seed=seed)
+        jobs = list(inst.jobs)
+        vec = _vec_pairs(jobs)
+        assert vec == pairwise_overlaps_scalar(jobs)
+        assert len(vec) == len(jobs) * (len(jobs) - 1) // 2
+
+    def test_intervalgraph_uses_identical_edges(self):
+        inst = random_general_instance(
+            2 * VECTORIZE_MIN_SIZE, 3, seed=7, horizon=300.0
+        )
+        g = IntervalGraph.from_jobs(inst.jobs)
+        assert g.edges == pairwise_overlaps_scalar(inst.jobs)
+
+    def test_empty_and_singleton(self):
+        assert _vec_pairs([]) == []
+        assert _vec_pairs(make_jobs([(0, 1)])) == []
+
+
+class TestPeakDepth:
+    @given(spans_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_unit_depth_matches_scalar(self, spans):
+        jobs = make_jobs(spans)
+        assert peak_depth_arrays(*job_arrays(jobs)) == max_concurrency_scalar(
+            jobs
+        )
+
+    @given(
+        st.lists(
+            st.tuples(span, st.integers(min_value=1, max_value=6)),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_demand_depth_matches_scalar(self, items):
+        jobs = make_jobs(
+            [s for s, _ in items], demands=[d for _, d in items]
+        )
+        demands = np.array([d for _, d in items], dtype=np.int64)
+        got = peak_depth_arrays(*job_arrays(jobs), demands)
+        assert got == max_demand_concurrency_scalar(jobs)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_routed_paths_above_threshold(self, seed):
+        inst = random_general_instance(3 * VECTORIZE_MIN_SIZE, 3, seed=seed)
+        jobs = list(inst.jobs)
+        assert max_concurrency(jobs) == max_concurrency_scalar(jobs)
+        assert max_demand_concurrency(jobs) == max_demand_concurrency_scalar(
+            jobs
+        )
+        graph = IntervalGraph.from_jobs(jobs)
+        assert graph.max_clique_size_lower_bound() == max_concurrency_scalar(
+            jobs
+        )
+
+    def test_empty(self):
+        assert peak_depth_arrays(np.empty(0), np.empty(0)) == 0
+        assert max_concurrency([]) == 0
+
+
+class TestGroupedUnion:
+    @given(
+        spans_lists,
+        st.lists(st.integers(min_value=0, max_value=5), min_size=24, max_size=24),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_per_group_scalar_union(self, spans, group_pool):
+        jobs = make_jobs(spans)
+        groups = np.array(group_pool[: len(jobs)], dtype=np.int64)
+        if len(jobs) == 0:
+            uniq, lens = grouped_union_lengths(np.empty(0), np.empty(0), groups[:0])
+            assert uniq.size == 0 and lens.size == 0
+            return
+        starts, ends = job_arrays(jobs)
+        uniq, lens = grouped_union_lengths(starts, ends, groups)
+        assert sorted(uniq.tolist()) == sorted(set(groups.tolist()))
+        for gid, length in zip(uniq.tolist(), lens.tolist()):
+            members = [
+                jobs[i].interval for i in range(len(jobs)) if groups[i] == gid
+            ]
+            assert length == union_length(members)
+
+    @given(spans_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_single_group_equals_union_length(self, spans):
+        jobs = make_jobs(spans)
+        if not jobs:
+            return
+        starts, ends = job_arrays(jobs)
+        total = union_length_grouped_total(
+            starts, ends, np.zeros(len(jobs), dtype=np.int64)
+        )
+        # Bit-exact vs the scalar sweep (same component order and ops);
+        # union_length_arrays sums with pairwise summation, so only
+        # tolerance-exact vs that one.
+        assert total == union_length([j.interval for j in jobs])
+        arr = union_length_arrays(starts, ends)
+        assert abs(total - arr) <= 1e-9 * max(1.0, abs(arr))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_large_proper_instances(self, seed):
+        inst = random_proper_instance(300, 4, seed=seed)
+        starts, ends = job_arrays(inst.jobs)
+        groups = np.arange(300) % 17
+        uniq, lens = grouped_union_lengths(starts, ends, groups)
+        for gid, length in zip(uniq.tolist(), lens.tolist()):
+            members = [
+                inst.jobs[i].interval for i in range(300) if groups[i] == gid
+            ]
+            assert length == union_length(members)
