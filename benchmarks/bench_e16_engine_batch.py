@@ -25,6 +25,7 @@ from repro.engine import clear_cache, solve, solve_many
 from repro.engine.bench import batch_timing, bench_instance, kernel_speedups
 
 from .conftest import report_table
+from .history import record_bench
 
 KERNEL_N = 10_000
 # The acceptance floor is 5x on a quiet machine; shared CI runners are
@@ -55,6 +56,23 @@ def test_e16_kernel_speedups(benchmark):
         )
     t.add("geomean", "", "", f"{geometric_mean([k.speedup for k in rows]):.1f}x")
     report_table(t)
+    record_bench(
+        "e16_kernels",
+        {
+            "rows": [
+                {
+                    "kernel": k.kernel,
+                    "n": k.n,
+                    "scalar_seconds": k.scalar_seconds,
+                    "vectorized_seconds": k.vectorized_seconds,
+                    "speedup": k.speedup,
+                }
+                for k in rows
+            ],
+            "geomean_speedup": geometric_mean([k.speedup for k in rows]),
+            "min_kernel_speedup": MIN_KERNEL_SPEEDUP,
+        },
+    )
     # The overlap and union kernels are the acceptance-criterion pair.
     by_name = {k.kernel: k for k in rows}
     assert by_name["pairwise_overlaps"].speedup >= MIN_KERNEL_SPEEDUP
@@ -82,6 +100,16 @@ def test_e16_batch_1k_instances(benchmark):
     )
     t.add("cache_speedup", f"{timing.cache_speedup:.1f}x", "")
     report_table(t)
+    record_bench(
+        "e16_batch",
+        {
+            "n_instances": timing.n_instances,
+            "n_jobs": timing.n_jobs,
+            "cold_seconds": timing.cold_seconds,
+            "cached_seconds": timing.cached_seconds,
+            "cache_speedup": timing.cache_speedup,
+        },
+    )
     assert timing.cache_speedup > 1.0
 
 

@@ -1,0 +1,57 @@
+"""Append-only benchmark history (the ``BENCH_HISTORY.json`` artifact).
+
+The E16/E17 floors catch *step* regressions (a vectorized path falling
+back to scalar speed); slow drift hides inside the slack between the
+measured number and the floor.  To make drift visible, benches append
+their measured numbers here and CI uploads the file as an artifact —
+comparing artifacts across runs shows the trend (the ROADMAP's "track
+``repro bench`` numbers over time" item).
+
+Recording is opt-in: entries are written only when the
+``BENCH_HISTORY_PATH`` environment variable names a destination (CI
+sets it; plain local runs leave no files behind).  The file is a JSON
+list of ``{"experiment", "recorded_at", ...payload}`` objects; each
+run appends, so pointing the variable at a persistent path accumulates
+a local history too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["HISTORY_ENV_VAR", "record_bench"]
+
+HISTORY_ENV_VAR = "BENCH_HISTORY_PATH"
+
+
+def record_bench(experiment: str, payload: dict) -> Optional[Path]:
+    """Append one measurement entry; returns the path, or ``None`` when
+    ``BENCH_HISTORY_PATH`` is unset (recording disabled)."""
+    dest = os.environ.get(HISTORY_ENV_VAR)
+    if not dest:
+        return None
+    path = Path(dest)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entries = []
+    if path.exists():
+        try:
+            entries = json.loads(path.read_text())
+        except (ValueError, OSError):
+            entries = []
+        if not isinstance(entries, list):
+            entries = []
+    entries.append(
+        {
+            "experiment": experiment,
+            "recorded_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            **payload,
+        }
+    )
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+    return path

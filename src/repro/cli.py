@@ -16,7 +16,8 @@ human-readable report on stdout; ``--json`` switches to a
 machine-readable document (for piping into other tools).  Batch mode
 routes through :mod:`repro.engine` — fingerprint-cached, deterministic
 ordering — and ``repro bench`` prints the scalar-vs-vectorized kernel
-speedups plus cold/cached batch timings.
+speedups, the FirstFit placement-loop speedups (scalar probing vs the
+occupancy engine), and cold/cached batch timings.
 """
 
 from __future__ import annotations
@@ -232,11 +233,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    """Engine micro-benchmarks: kernel speedups + batch timings."""
+    """Engine micro-benchmarks: kernels + FirstFit loops + batch."""
     from .analysis.stats import Table
-    from .engine.bench import batch_timing, kernel_speedups
+    from .engine.bench import batch_timing, firstfit_speedups, kernel_speedups
+    from .engine.dispatch import first_fit_backend
+
+    def auto_backend(row):
+        return first_fit_backend(row.n, row.kernel)
 
     kernels = kernel_speedups(args.n, seed=args.seed, repeats=args.repeats)
+    ff_n = args.firstfit_n if args.firstfit_n is not None else min(args.n, 4000)
+    sat_n = max(64, min(ff_n, 2000))
+    firstfit = firstfit_speedups(
+        ff_n,
+        seed=args.seed,
+        repeats=args.repeats,
+        demand_n=sat_n,
+        ring_n=sat_n,
+    )
     batch = batch_timing(
         args.batch_size,
         args.batch_jobs,
@@ -254,6 +268,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     "speedup": k.speedup,
                 }
                 for k in kernels
+            ],
+            "firstfit": [
+                {
+                    "variant": k.kernel,
+                    "n": k.n,
+                    "auto_backend": auto_backend(k),
+                    "scalar_seconds": k.scalar_seconds,
+                    "vectorized_seconds": k.vectorized_seconds,
+                    "speedup": k.speedup,
+                }
+                for k in firstfit
             ],
             "batch": {
                 "n_instances": batch.n_instances,
@@ -277,6 +302,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{k.speedup:.1f}x",
         )
     kt.print()
+    ft = Table(
+        "FirstFit placement: scalar probing vs occupancy engine",
+        ["variant", "n", "auto", "scalar_ms", "vectorized_ms", "speedup"],
+    )
+    for k in firstfit:
+        ft.add(
+            k.kernel,
+            k.n,
+            auto_backend(k),
+            k.scalar_seconds * 1e3,
+            k.vectorized_seconds * 1e3,
+            f"{k.speedup:.1f}x",
+        )
+    ft.print()
     bt = Table(
         f"engine batch: {batch.n_instances} instances x "
         f"{batch.n_jobs} jobs (workers={args.workers or 1})",
@@ -354,6 +393,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bp.add_argument(
         "--batch-size", type=int, default=200, help="instances in the batch"
+    )
+    bp.add_argument(
+        "--firstfit-n",
+        type=int,
+        default=None,
+        help="jobs for the FirstFit loop rows (default: min(--n, 4000); "
+        "the scalar reference side is O(n^2)-ish, hence the cap)",
     )
     bp.add_argument(
         "--batch-jobs", type=int, default=40, help="jobs per batch instance"

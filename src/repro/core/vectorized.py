@@ -27,6 +27,13 @@ Design rules (followed by every kernel here):
 * **Thresholded dispatch.**  NumPy per-call overhead beats Python loops
   only past ~a hundred elements; call sites gate on
   :data:`VECTORIZE_MIN_SIZE` and keep the scalar path for small inputs.
+
+The kernels here are *stateless* — arrays in, result out.  Their
+stateful sibling is :mod:`repro.core.occupancy`: an event-indexed
+occupancy engine that keeps the FirstFit family's placed jobs as
+incrementally-updated coordinate columns and answers "first machine
+that fits" queries with one batched scan, under the same bit-exactness
+contract and the same :data:`VECTORIZE_MIN_SIZE` dispatch threshold.
 """
 
 from __future__ import annotations

@@ -19,6 +19,14 @@ serving layer on top:
   run sequentially or chunked over a ``multiprocessing`` pool
   (``workers=N``), and results always come back in input order,
   identical to the sequential path.
+* **Vectorized hot paths** — below the dispatchers, large instances
+  run the sweep kernels of :mod:`repro.core.vectorized` and the
+  FirstFit family runs the event-indexed occupancy engine of
+  :mod:`repro.core.occupancy` (see
+  :func:`~repro.engine.dispatch.first_fit_backend`); both are
+  bit-exact against their scalar oracles, so the engine's results are
+  independent of instance size.  ``repro bench`` and E16/E17 track the
+  speedups.
 
 Quickstart::
 
@@ -29,9 +37,15 @@ Quickstart::
     batch = solve_many(instances, workers=4)       # deterministic order
 """
 
-from .bench import BatchTiming, KernelTiming, batch_timing, kernel_speedups
+from .bench import (
+    BatchTiming,
+    KernelTiming,
+    batch_timing,
+    firstfit_speedups,
+    kernel_speedups,
+)
 from .cache import DEFAULT_CACHE_SIZE, CacheInfo, LRUCache
-from .dispatch import pick_throughput_solver
+from .dispatch import first_fit_backend, pick_throughput_solver
 from .engine import (
     MAXTHROUGHPUT,
     MINBUSY,
@@ -48,10 +62,12 @@ __all__ = [
     "BatchTiming",
     "KernelTiming",
     "batch_timing",
+    "firstfit_speedups",
     "kernel_speedups",
     "DEFAULT_CACHE_SIZE",
     "CacheInfo",
     "LRUCache",
+    "first_fit_backend",
     "pick_throughput_solver",
     "MAXTHROUGHPUT",
     "MINBUSY",

@@ -1,12 +1,16 @@
 """Micro-benchmark helpers: kernel speedups and batch throughput.
 
 Used by ``repro bench`` (CLI) and by
-``benchmarks/bench_e16_engine_batch.py``.  Each kernel row times the
+``benchmarks/bench_e16_engine_batch.py`` /
+``benchmarks/bench_e17_firstfit.py``.  Each kernel row times the
 scalar reference implementation against the vectorized NumPy kernel on
 the *same* input and records the best-of-``repeats`` wall times; the
 two paths are also cross-checked for equality on every run, so a
 speedup number is never reported for a kernel that drifted from its
-oracle.
+oracle.  :func:`firstfit_speedups` applies the same discipline to the
+FirstFit placement loops (scalar ``try_add`` probing vs the
+event-indexed occupancy engine of :mod:`repro.core.occupancy`),
+cross-checking full machine/thread structures, not just costs.
 """
 
 from __future__ import annotations
@@ -28,7 +32,13 @@ from ..core.vectorized import (
 )
 from ..workloads import random_general_instance
 
-__all__ = ["KernelTiming", "BatchTiming", "kernel_speedups", "batch_timing"]
+__all__ = [
+    "KernelTiming",
+    "BatchTiming",
+    "kernel_speedups",
+    "batch_timing",
+    "firstfit_speedups",
+]
 
 
 @dataclass(frozen=True)
@@ -162,6 +172,129 @@ def kernel_speedups(
             ),
         )
     )
+    return rows
+
+
+def _timed_once(fn: Callable[[], object]):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _machines_structure(machines) -> list:
+    """Canonical machine/thread job-id structure for equality checks."""
+    return [
+        [[getattr(j, "job_id", getattr(j, "rect_id", None)) for j in thread]
+         for thread in m.threads]
+        for m in machines
+    ]
+
+
+def firstfit_speedups(
+    n: int = 10_000,
+    *,
+    seed: int = 0,
+    repeats: int = 2,
+    demand_n: Optional[int] = 2_000,
+    ring_n: Optional[int] = 2_000,
+    avg_concurrency: float = 8.0,
+) -> List[KernelTiming]:
+    """Time the FirstFit placement loops, scalar vs occupancy engine.
+
+    Rows: ``firstfit_1d`` at size ``n`` (the E17 acceptance row), plus
+    ``firstfit_demand`` and ``firstfit_ring`` at their own (smaller
+    default) sizes — the scalar loops of those variants are costlier
+    per probe, so the sizes are independent knobs; pass ``None`` to
+    skip a row.  The scalar side is timed over a single run (it is the
+    slow side by ~two orders of magnitude); the vectorized side takes
+    best-of-``repeats``.  Every row's two paths are cross-checked for
+    *structural* equality — identical machines, threads and placement
+    order — before any number is reported.
+    """
+    from ..capacity.firstfit import demand_first_fit
+    from ..minbusy.firstfit import first_fit_machines
+    from ..topology.ring import RingJob
+    from ..topology.ring_firstfit import ring_first_fit
+    from ..workloads import random_demand_instance
+
+    rows: List[KernelTiming] = []
+
+    inst = bench_instance(n, seed=seed, avg_concurrency=avg_concurrency)
+    jobs = list(inst.jobs)
+    scalar_ms, scalar_s = _timed_once(
+        lambda: first_fit_machines(jobs, inst.g, backend="scalar")
+    )
+    vec_ms, vec_s = _timed_once(
+        lambda: first_fit_machines(jobs, inst.g, backend="vectorized")
+    )
+    assert _machines_structure(scalar_ms) == _machines_structure(vec_ms)
+    vec_s = min(
+        vec_s,
+        _best_time(
+            lambda: first_fit_machines(jobs, inst.g, backend="vectorized"),
+            max(repeats - 1, 0),
+        ),
+    )
+    rows.append(KernelTiming("firstfit_1d", n, scalar_s, vec_s))
+
+    if demand_n:
+        dinst = random_demand_instance(
+            demand_n,
+            4,
+            seed=seed,
+            horizon=max(100.0, demand_n * 15.5 / avg_concurrency),
+        )
+        d_scalar, ds = _timed_once(
+            lambda: demand_first_fit(dinst, backend="scalar")
+        )
+        d_vec, dv = _timed_once(
+            lambda: demand_first_fit(dinst, backend="vectorized")
+        )
+        assert [[j.job_id for j in grp] for grp in d_scalar] == [
+            [j.job_id for j in grp] for grp in d_vec
+        ]
+        dv = min(
+            dv,
+            _best_time(
+                lambda: demand_first_fit(dinst, backend="vectorized"),
+                max(repeats - 1, 0),
+            ),
+        )
+        rows.append(KernelTiming("firstfit_demand", demand_n, ds, dv))
+
+    if ring_n:
+        rng = np.random.default_rng(seed)
+        horizon = max(50.0, ring_n * 10.0 / avg_concurrency)
+        t0s = rng.uniform(0.0, horizon, ring_n)
+        ring_jobs = [
+            RingJob(
+                a0=float(rng.uniform(0.0, 1.0)),
+                alen=float(rng.uniform(0.05, 0.45)),
+                t0=float(t),
+                t1=float(t + rng.uniform(1.0, 20.0)),
+                circumference=1.0,
+                job_id=i,
+            )
+            for i, t in enumerate(t0s)
+        ]
+        r_scalar, rs = _timed_once(
+            lambda: ring_first_fit(ring_jobs, 4, backend="scalar")
+        )
+        r_vec, rv = _timed_once(
+            lambda: ring_first_fit(ring_jobs, 4, backend="vectorized")
+        )
+        assert _machines_structure(r_scalar.machines) == _machines_structure(
+            r_vec.machines
+        )
+        rv = min(
+            rv,
+            _best_time(
+                lambda: ring_first_fit(ring_jobs, 4, backend="vectorized"),
+                max(repeats - 1, 0),
+            ),
+        )
+        rows.append(KernelTiming("firstfit_ring", ring_n, rs, rv))
+
     return rows
 
 

@@ -58,9 +58,14 @@ def bucket_of(len1: float, min_len1: float, beta: float) -> int:
 
 
 def bucket_first_fit(
-    rects: Sequence[Rect], g: int, beta: float = PAPER_BETA
+    rects: Sequence[Rect], g: int, beta: float = PAPER_BETA,
+    *, backend: str = "auto"
 ) -> RectSchedule:
-    """BucketFirstFit(J, g, β): FirstFit per ``len1`` bucket (Alg. 4)."""
+    """BucketFirstFit(J, g, β): FirstFit per ``len1`` bucket (Alg. 4).
+
+    ``backend`` is forwarded to the per-bucket FirstFit (occupancy
+    engine vs scalar reference; see :func:`first_fit_2d`).
+    """
     if beta <= 1:
         raise ValueError(f"beta must be > 1, got {beta}")
     if not rects:
@@ -71,7 +76,7 @@ def bucket_first_fit(
         buckets.setdefault(bucket_of(r.len1, min_len1, beta), []).append(r)
     machines = []
     for b in sorted(buckets):
-        sub = first_fit_2d(buckets[b], g)
+        sub = first_fit_2d(buckets[b], g, backend=backend)
         for m in sub.machines:
             m.machine_id = len(machines)
             machines.append(m)

@@ -12,12 +12,19 @@ Ties in ``len2`` are broken by rectangle id, i.e. by *input order* —
 exactly the degree of freedom the paper's lower-bound proof exploits
 (its footnote 2 perturbs ``len2`` infinitesimally to force an order; our
 generator instead controls input order directly).
+
+Large instances route the placement loop through the event-indexed
+occupancy engine (:class:`repro.core.occupancy.RectOccupancy`); the
+scalar ``try_add`` loop is the reference oracle and both paths build
+bit-identical machine/thread structures (this also accelerates
+``bucket_first_fit``, which runs FirstFit per bucket).
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..core.occupancy import RectOccupancy, resolve_backend
 from .rectangles import Rect, gamma, rects_total_area
 from .area import union_area
 from .schedule2d import RectMachine, RectSchedule
@@ -25,10 +32,24 @@ from .schedule2d import RectMachine, RectSchedule
 __all__ = ["first_fit_2d", "first_fit_ratio_bounds"]
 
 
-def first_fit_2d(rects: Sequence[Rect], g: int) -> RectSchedule:
-    """Run 2-D FirstFit; returns the machine/thread structure."""
+def first_fit_2d(
+    rects: Sequence[Rect], g: int, *, backend: str = "auto"
+) -> RectSchedule:
+    """Run 2-D FirstFit; returns the machine/thread structure.
+
+    ``backend`` is ``"auto"``/``"scalar"``/``"vectorized"``; both paths
+    build bit-identical structures.
+    """
     ordered = sorted(rects, key=lambda r: (-r.len2, r.rect_id))
     machines: List[RectMachine] = []
+    if resolve_backend(backend, len(ordered)) == "vectorized":
+        occ = RectOccupancy(g)
+        for rect in ordered:
+            m, tau = occ.first_fit(rect.x0, rect.y0, rect.x1, rect.y1)
+            if m == len(machines):
+                machines.append(RectMachine(g=g, machine_id=m))
+            machines[m].threads[tau].append(rect)
+        return RectSchedule(g=g, machines=machines)
     for rect in ordered:
         for m in machines:
             if m.try_add(rect) is not None:

@@ -3,6 +3,13 @@
 Identical control flow to the planar Algorithms 3 and 4 but with
 cylinder geometry: overlap tests wrap around the ring, and machine cost
 is the cylinder union area.
+
+Large instances route the placement loop through the event-indexed
+occupancy engine (:class:`repro.core.occupancy.RingOccupancy`), whose
+overlap mask performs the cylinder test — time overlap and wrap-around
+arc overlap — element-wise over the placed jobs' coordinate columns.
+The scalar ``try_add`` loop stays as the reference oracle; both paths
+build bit-identical machine/thread structures.
 """
 
 from __future__ import annotations
@@ -11,6 +18,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..core.occupancy import (
+    RING_FIRSTFIT_MIN_SIZE,
+    RingOccupancy,
+    resolve_backend,
+)
 from .ring import RingJob, ring_union_area
 
 __all__ = ["RingMachine", "RingSchedule", "ring_first_fit", "ring_bucket_first_fit"]
@@ -56,10 +68,32 @@ class RingSchedule:
         return sum(len(m.jobs) for m in self.machines)
 
 
-def ring_first_fit(jobs: Sequence[RingJob], g: int) -> RingSchedule:
-    """Algorithm 3 on the cylinder: sort by time length descending."""
+def ring_first_fit(
+    jobs: Sequence[RingJob], g: int, *, backend: str = "auto"
+) -> RingSchedule:
+    """Algorithm 3 on the cylinder: sort by time length descending.
+
+    Ties in ``len2`` break by ``job_id`` (input order), like the planar
+    variant.  ``backend`` is ``"auto"`` (occupancy engine from
+    ``RING_FIRSTFIT_MIN_SIZE`` jobs — the wrap-around arc mask makes
+    the vectorized crossover later than the planar variants'),
+    ``"scalar"`` or ``"vectorized"``; both paths build bit-identical
+    machine/thread structures.
+    """
     ordered = sorted(jobs, key=lambda j: (-j.len2, j.job_id))
     machines: List[RingMachine] = []
+    if resolve_backend(backend, len(ordered), RING_FIRSTFIT_MIN_SIZE) == "vectorized":
+        occ = RingOccupancy(g)
+        for job in ordered:
+            # The scalar pair test uses the *query* job's circumference
+            # (RingJob.overlaps passes self.circumference).
+            m, tau = occ.first_fit(
+                job.a0, job.alen, job.t0, job.t1, job.circumference
+            )
+            if m == len(machines):
+                machines.append(RingMachine(g=g, machine_id=m))
+            machines[m].threads[tau].append(job)
+        return RingSchedule(g=g, machines=machines)
     for job in ordered:
         for m in machines:
             if m.try_add(job) is not None:
@@ -72,7 +106,7 @@ def ring_first_fit(jobs: Sequence[RingJob], g: int) -> RingSchedule:
 
 
 def ring_bucket_first_fit(
-    jobs: Sequence[RingJob], g: int, beta: float = 3.3
+    jobs: Sequence[RingJob], g: int, beta: float = 3.3, *, backend: str = "auto"
 ) -> RingSchedule:
     """Algorithm 4 on the cylinder: bucket by arc length, FirstFit each."""
     if beta <= 1:
@@ -89,7 +123,7 @@ def ring_bucket_first_fit(
         buckets.setdefault(b, []).append(j)
     machines: List[RingMachine] = []
     for b in sorted(buckets):
-        sub = ring_first_fit(buckets[b], g)
+        sub = ring_first_fit(buckets[b], g, backend=backend)
         for m in sub.machines:
             m.machine_id = len(machines)
             machines.append(m)

@@ -74,10 +74,23 @@ class TestFlexibleProperties:
 
     @settings(max_examples=30, deadline=None)
     @given(flex_jobsets(), st.integers(min_value=1, max_value=3))
-    def test_more_capacity_never_hurts(self, jobs, g):
+    def test_more_capacity_stays_within_guarantee(self, jobs, g):
+        # Strict monotonicity in g is FALSE for the greedy: with more
+        # threads per machine the longest-first placement can co-locate
+        # jobs differently and end up with a larger union (hypothesis
+        # finds 6-job counterexamples with cost 14.5 at g+2 vs 13.5 at
+        # g).  What does hold is the Prop. 2.1-style sandwich at every
+        # capacity: cost stays within the span/volume certificates.
         a = align_first_fit(jobs, g).cost
         b = align_first_fit(jobs, g + 2).cost
-        assert b <= a + 1e-6
+        lb = flexible_lower_bound(jobs, g + 2)
+        total = sum(j.proc for j in jobs)
+        assert lb - 1e-6 <= b <= total + 1e-6
+        assert b <= (g + 2) * lb + 1e-6
+        # The anomaly is bounded relative to the smaller capacity's
+        # cost: b <= (g+2)·lb(g+2) and a >= lb(g) >= lb(g+2), so the
+        # larger capacity can never cost more than (g+2)× the smaller.
+        assert b <= (g + 2) * a + 1e-6
 
 
 class TestIoProperties:
