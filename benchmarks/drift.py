@@ -1,0 +1,192 @@
+"""Benchmark drift detection across ``BENCH_HISTORY.json`` artifacts.
+
+The E16/E17/E18 floors catch *step* regressions; slow drift hides in
+the slack between the measured number and the (CI-softened) floor.
+This tool closes the ROADMAP's open loop: CI downloads the previous
+run's ``BENCH_HISTORY.json`` artifact and diffs it against the current
+run's — any tracked speedup that dropped by more than the threshold
+(default 30%) is flagged.
+
+Usage::
+
+    python benchmarks/drift.py --previous prev/BENCH_HISTORY.json \
+        --current bench-history/BENCH_HISTORY.json [--threshold 0.30] \
+        [--warn-only] [--json]
+
+Exit codes: ``0`` — no regression (or ``--warn-only``); ``1`` — at
+least one metric regressed beyond the threshold; missing/empty inputs
+exit ``0`` with a note (first run, expired artifact), so the CI job
+never fails for lack of history.
+
+Tracked metrics (the last record per experiment wins, mirroring what a
+re-run would measure):
+
+* ``e16_kernels``: geomean speedup + each kernel row's speedup,
+* ``e16_batch``: the cache speedup,
+* ``e17_firstfit``: each FirstFit variant's speedup,
+* ``e18_store``: the warm-store speedup.
+
+Only *speedups* are compared — absolute wall times shift with runner
+hardware, but scalar-vs-vectorized (and cold-vs-warm) ratios are
+self-normalizing, which is what makes cross-run comparison meaningful
+on shared runners at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["extract_metrics", "diff_metrics", "main"]
+
+
+def _last_per_experiment(entries: List[dict]) -> Dict[str, dict]:
+    out: Dict[str, dict] = {}
+    for entry in entries:
+        name = entry.get("experiment")
+        if isinstance(name, str):
+            out[name] = entry
+    return out
+
+
+def extract_metrics(entries: List[dict]) -> Dict[str, float]:
+    """Flatten one history file into ``metric name -> speedup``."""
+    latest = _last_per_experiment(entries)
+    metrics: Dict[str, float] = {}
+    e16 = latest.get("e16_kernels")
+    if e16:
+        if isinstance(e16.get("geomean_speedup"), (int, float)):
+            metrics["e16.geomean"] = float(e16["geomean_speedup"])
+        for row in e16.get("rows", []):
+            if isinstance(row.get("speedup"), (int, float)):
+                metrics[f"e16.{row.get('kernel')}"] = float(row["speedup"])
+    batch = latest.get("e16_batch")
+    if batch and isinstance(batch.get("cache_speedup"), (int, float)):
+        metrics["e16.cache_speedup"] = float(batch["cache_speedup"])
+    e17 = latest.get("e17_firstfit")
+    if e17:
+        for row in e17.get("rows", []):
+            if isinstance(row.get("speedup"), (int, float)):
+                metrics[f"e17.{row.get('variant')}"] = float(row["speedup"])
+    e18 = latest.get("e18_store")
+    if e18 and isinstance(e18.get("store_speedup"), (int, float)):
+        metrics["e18.store_speedup"] = float(e18["store_speedup"])
+    return metrics
+
+
+def diff_metrics(
+    previous: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float,
+) -> List[Tuple[str, float, float, float]]:
+    """Regressions ``(name, prev, cur, drop_fraction)`` beyond threshold.
+
+    Metrics present in only one file are skipped (new benches appear,
+    old ones retire); only genuine drops count, improvements never
+    flag.
+    """
+    regressions = []
+    for name in sorted(set(previous) & set(current)):
+        prev, cur = previous[name], current[name]
+        if prev <= 0:
+            continue
+        drop = (prev - cur) / prev
+        if drop > threshold:
+            regressions.append((name, prev, cur, drop))
+    return regressions
+
+
+def _load(path: Path) -> Optional[List[dict]]:
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, list) else None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="diff BENCH_HISTORY.json artifacts across runs"
+    )
+    ap.add_argument("--previous", required=True, type=Path)
+    ap.add_argument("--current", required=True, type=Path)
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="fractional drop that counts as a regression (default 0.30)",
+    )
+    ap.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (noisy shared runners)",
+    )
+    ap.add_argument("--json", action="store_true")
+    args = ap.parse_args(argv)
+
+    prev_entries = _load(args.previous)
+    cur_entries = _load(args.current)
+    if prev_entries is None:
+        print(f"drift: no previous history at {args.previous}; skipping")
+        return 0
+    if cur_entries is None:
+        print(f"drift: no current history at {args.current}; skipping")
+        return 0
+
+    previous = extract_metrics(prev_entries)
+    current = extract_metrics(cur_entries)
+    regressions = diff_metrics(previous, current, args.threshold)
+    compared = sorted(set(previous) & set(current))
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "compared": compared,
+                    "threshold": args.threshold,
+                    "regressions": [
+                        {
+                            "metric": name,
+                            "previous": prev,
+                            "current": cur,
+                            "drop": drop,
+                        }
+                        for name, prev, cur, drop in regressions
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"drift: compared {len(compared)} metrics "
+            f"(threshold {args.threshold:.0%})"
+        )
+        for name in compared:
+            marker = ""
+            for rname, prev, cur, drop in regressions:
+                if rname == name:
+                    marker = f"  << regressed {drop:.0%}"
+            print(
+                f"  {name:28s} {previous[name]:8.2f}x -> "
+                f"{current[name]:8.2f}x{marker}"
+            )
+        if not regressions:
+            print("drift: OK — no metric dropped beyond the threshold")
+    if regressions and not args.warn_only:
+        print(
+            f"drift: {len(regressions)} metric(s) regressed more than "
+            f"{args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,10 @@
-"""Variable capacity demands extension (paper Section 5, cf. [16])."""
+"""Variable capacity demands extension (paper Section 5, cf. [16]).
+
+Registered with the engine as the ``capacity`` objective
+(:mod:`repro.capacity.objective`): unit-demand instances inherit the
+Section 3 MinBusy dispatch, real demand profiles run the demand-aware
+FirstFit, and results cache by the v2 ``capacity`` fingerprint.
+"""
 
 from .demands import (
     demand_lower_bound,

@@ -4,20 +4,30 @@ Usage (after ``pip install -e .``)::
 
     repro solve jobs.json                           # MinBusy, dispatcher
     repro solve jobs.csv --g 3                      # CSV needs --g
+    repro solve jobs.json --objective capacity      # any registry family
+    repro solve rects.json --objective rect2d
+    repro solve jobs.json --objective energy --wake-cost 3
     repro solve a.json b.json c.json --batch        # engine batch solve
     repro solve *.json --batch --workers 4          # fan out misses
     repro throughput jobs.json --budget 42
     repro classify jobs.json                        # instance structure
     repro generate clique --n 50 --g 3 -o inst.json
     repro bench --n 10000                           # kernel + batch bench
+    repro cache stats                               # persistent store
 
 (``python -m repro ...`` works identically.)  Output is a
 human-readable report on stdout; ``--json`` switches to a
-machine-readable document (for piping into other tools).  Batch mode
-routes through :mod:`repro.engine` — fingerprint-cached, deterministic
-ordering — and ``repro bench`` prints the scalar-vs-vectorized kernel
-speedups, the FirstFit placement-loop speedups (scalar probing vs the
-occupancy engine), and cold/cached batch timings.
+machine-readable document (for piping into other tools).
+
+``repro solve`` routes every objective through :mod:`repro.engine` —
+the pluggable registry plus fingerprint-keyed caching.  With a
+persistent store attached (``--store DIR``, or the ``REPRO_CACHE_DIR``
+environment variable) repeated invocations share results across
+processes: the second ``repro solve`` of the same instance is served
+from disk, observable in the ``repro cache stats`` hit counters.
+``repro bench`` prints the scalar-vs-vectorized kernel speedups, the
+FirstFit placement-loop speedups (scalar probing vs the occupancy
+engine), and cold/cached batch timings.
 """
 
 from __future__ import annotations
@@ -25,13 +35,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.verify import verify_budget_schedule, verify_min_busy_schedule
 from .core.bounds import combined_lower_bound
 from .core.errors import InstanceError
 from .core.instance import BudgetInstance, Instance
-from .io import load_instance, load_instance_csv, save_instance
+from .io import (
+    FAMILY_FORMAT_OBJECTIVES,
+    load_instance,
+    load_instance_csv,
+    load_objective_instance,
+    save_instance,
+)
 from .minbusy import solve_min_busy
 
 __all__ = ["main"]
@@ -55,70 +72,203 @@ def _load(path: str, g: Optional[int], budget: Optional[float]):
     return inst
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
-    if args.batch or len(args.instance) > 1:
-        return _cmd_solve_batch(args)
-    inst = _load(args.instance[0], args.g, None)
-    if isinstance(inst, BudgetInstance):
+def _resolve_objective(name: str) -> str:
+    from .core.registry import REGISTRY
+    from .engine.objectives import ensure_registered
+
+    ensure_registered()
+    try:
+        return REGISTRY.canonical(name)
+    except InstanceError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _apply_store_flags(args: argparse.Namespace) -> None:
+    """Bind the persistent store tier for this invocation.
+
+    ``--no-store`` disables it, ``--store DIR`` attaches it explicitly;
+    otherwise the ``REPRO_CACHE_DIR`` environment variable decides.
+    """
+    from .engine import configure_store
+
+    if getattr(args, "no_store", False):
+        configure_store(None)
+    elif getattr(args, "store", None):
+        configure_store(args.store)
+
+
+def _solve_params(args: argparse.Namespace, objective: str) -> dict:
+    params: dict = {}
+    if objective == "maxthroughput" and args.budget is not None:
+        params["budget"] = args.budget
+    if objective == "energy":
+        from .energy import PowerModel
+
+        params["power"] = PowerModel(
+            busy_power=args.busy_power,
+            idle_power=args.idle_power,
+            wake_cost=args.wake_cost,
+        )
+    return params
+
+
+def _load_for_objective(path: str, objective: str, args: argparse.Namespace):
+    if objective in FAMILY_FORMAT_OBJECTIVES:
+        if path.endswith(".csv"):
+            raise SystemExit(
+                f"objective {objective!r} needs its JSON format "
+                "(see repro.io); CSV is jobs-only"
+            )
+        inst = load_objective_instance(path, objective)
+        if args.g is not None and args.g != inst.g:
+            # Honor the capacity override for family formats too.
+            import dataclasses
+
+            inst = dataclasses.replace(inst, g=args.g)
+        return inst
+    budget = args.budget if objective == "maxthroughput" else None
+    inst = _load(path, args.g, budget)
+    if objective == "minbusy" and isinstance(inst, BudgetInstance):
         inst = inst.min_busy_instance
-    result = solve_min_busy(inst)
-    cost = verify_min_busy_schedule(inst, result.schedule)
-    lb = combined_lower_bound(inst)
+    return inst
+
+
+def _n_machines(res) -> object:
+    if res.schedule is not None:
+        return res.schedule.n_machines()
+    if res.detail and "n_machines" in res.detail:
+        return res.detail["n_machines"]
+    return None
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    objective = _resolve_objective(args.objective)
+    _apply_store_flags(args)
+    if args.batch or len(args.instance) > 1:
+        return _cmd_solve_batch(args, objective)
+    from .engine import solve as engine_solve
+
+    path = args.instance[0]
+    try:
+        inst = _load_for_objective(path, objective, args)
+    except (OSError, InstanceError) as exc:
+        raise SystemExit(f"{path}: {exc}") from exc
+    try:
+        result = engine_solve(
+            inst, objective, **_solve_params(args, objective)
+        )
+    except InstanceError as exc:
+        raise SystemExit(str(exc)) from exc
+
+    if objective == "minbusy":
+        # The classic report: independently re-verified cost + bound.
+        cost = verify_min_busy_schedule(inst, result.schedule)
+        lb = combined_lower_bound(inst)
+        if args.json:
+            doc = {
+                "problem": "minbusy",
+                "n": inst.n,
+                "g": inst.g,
+                "algorithm": result.algorithm,
+                "guarantee": result.guarantee,
+                "cost": cost,
+                "lower_bound": lb,
+                "machines": result.schedule.n_machines(),
+                "cached": result.from_cache,
+                "assignment": {
+                    str(j.job_id): m
+                    for j, m in result.schedule.assignment.items()
+                },
+            }
+            print(json.dumps(doc, indent=2))
+        else:
+            print(f"instance      : {inst}")
+            print(f"algorithm     : {result.algorithm}")
+            print(f"guarantee     : {result.guarantee or 'exact'}")
+            print(f"total busy    : {cost:.6g}")
+            print(f"lower bound   : {lb:.6g}")
+            print(f"machines used : {result.schedule.n_machines()}")
+            if result.from_cache:
+                print("cached        : yes")
+            if args.gantt:
+                from .analysis.gantt import render_gantt
+
+                print(render_gantt(result.schedule))
+        return 0
+
+    # Generic registry-objective report.
+    machines = _n_machines(result)
     if args.json:
         doc = {
-            "problem": "minbusy",
+            "problem": objective,
             "n": inst.n,
             "g": inst.g,
             "algorithm": result.algorithm,
             "guarantee": result.guarantee,
-            "cost": cost,
-            "lower_bound": lb,
-            "machines": result.schedule.n_machines(),
-            "assignment": {
-                str(j.job_id): m
-                for j, m in result.schedule.assignment.items()
-            },
+            "cost": result.cost,
+            "throughput": result.throughput,
+            "machines": machines,
+            "cached": result.from_cache,
+            "fingerprint": result.fingerprint,
         }
+        if result.detail:
+            doc["detail"] = {
+                k: v
+                for k, v in result.detail.items()
+                if isinstance(v, (int, float, str))
+            }
         print(json.dumps(doc, indent=2))
     else:
+        print(f"objective     : {objective}")
         print(f"instance      : {inst}")
         print(f"algorithm     : {result.algorithm}")
-        print(f"guarantee     : {result.guarantee or 'exact'}")
-        print(f"total busy    : {cost:.6g}")
-        print(f"lower bound   : {lb:.6g}")
-        print(f"machines used : {result.schedule.n_machines()}")
-        if args.gantt:
+        guarantee = (
+            f"{result.guarantee:.4g}" if result.guarantee else "exact/heuristic"
+        )
+        print(f"guarantee     : {guarantee}")
+        print(f"cost          : {result.cost:.6g}")
+        print(f"scheduled     : {result.throughput} / {inst.n}")
+        if machines is not None:
+            print(f"machines used : {machines}")
+        print(f"cached        : {'yes' if result.from_cache else 'no'}")
+        if args.gantt and result.schedule is not None:
             from .analysis.gantt import render_gantt
 
             print(render_gantt(result.schedule))
     return 0
 
 
-def _cmd_solve_batch(args: argparse.Namespace) -> int:
-    """MinBusy over many instance files through the batch engine."""
+def _cmd_solve_batch(args: argparse.Namespace, objective: str) -> int:
+    """Any registry objective over many instance files, batched."""
     from .engine import solve_many
 
     instances = []
     for path in args.instance:
         try:
-            inst = _load(path, args.g, None)
+            inst = _load_for_objective(path, objective, args)
         except (OSError, InstanceError) as exc:
             raise SystemExit(f"{path}: {exc}") from exc
-        if isinstance(inst, BudgetInstance):
-            inst = inst.min_busy_instance
         instances.append(inst)
-    results = solve_many(instances, "minbusy", workers=args.workers)
+    try:
+        results = solve_many(
+            instances,
+            objective,
+            workers=args.workers,
+            **_solve_params(args, objective),
+        )
+    except InstanceError as exc:
+        raise SystemExit(str(exc)) from exc
     if args.json:
         docs = [
             {
                 "instance": path,
-                "problem": "minbusy",
+                "problem": objective,
                 "n": inst.n,
                 "g": inst.g,
                 "algorithm": res.algorithm,
                 "guarantee": res.guarantee,
                 "cost": res.cost,
-                "machines": res.schedule.n_machines(),
+                "machines": _n_machines(res),
                 "cached": res.from_cache,
                 "fingerprint": res.fingerprint,
             }
@@ -132,12 +282,59 @@ def _cmd_solve_batch(args: argparse.Namespace) -> int:
             print(
                 f"{path:{width}s}  n={inst.n:<6d} g={inst.g:<3d} "
                 f"{res.algorithm:22s} cost={res.cost:<12.6g} "
-                f"machines={res.schedule.n_machines()}{cached}"
+                f"machines={_n_machines(res)}{cached}"
             )
-            if args.gantt:
+            if args.gantt and res.schedule is not None:
                 from .analysis.gantt import render_gantt
 
                 print(render_gantt(res.schedule))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect/clear the persistent result store."""
+    from .engine.store import ResultStore, default_store_dir
+
+    root = Path(args.dir) if args.dir else default_store_dir()
+    if args.action == "path":
+        print(root)
+        return 0
+    if args.action == "clear":
+        if root.exists():
+            ResultStore(root).clear()
+            print(f"cleared {root}")
+        else:
+            print(f"{root}: no store")
+        return 0
+    # stats
+    if root.exists():
+        s = ResultStore(root).stats()
+        doc = {
+            "path": s.path,
+            "exists": True,
+            "hits": s.hits,
+            "misses": s.misses,
+            "puts": s.puts,
+            "entries": s.entries,
+            "segments": s.segments,
+            "total_bytes": s.total_bytes,
+        }
+    else:
+        doc = {
+            "path": str(root),
+            "exists": False,
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "entries": 0,
+            "segments": 0,
+            "total_bytes": 0,
+        }
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        for k, v in doc.items():
+            print(f"{k:12s}: {v}")
     return 0
 
 
@@ -339,11 +536,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    sp = sub.add_parser("solve", help="MinBusy via the dispatcher")
+    sp = sub.add_parser(
+        "solve", help="solve any registered objective via the engine"
+    )
     sp.add_argument(
         "instance", nargs="+", help="JSON or CSV instance file(s)"
     )
+    sp.add_argument(
+        "--objective",
+        default="minbusy",
+        metavar="NAME",
+        help="objective family: minbusy (default), throughput, capacity, "
+        "rect2d, ring, tree, flexible, energy — any registered name or "
+        "alias; unknown names list the registry",
+    )
     sp.add_argument("--g", type=int, default=None, help="capacity override")
+    sp.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="busy-time budget (throughput objective)",
+    )
+    sp.add_argument(
+        "--busy-power", type=float, default=1.0,
+        help="energy objective: power while busy",
+    )
+    sp.add_argument(
+        "--idle-power", type=float, default=0.3,
+        help="energy objective: power while idle",
+    )
+    sp.add_argument(
+        "--wake-cost", type=float, default=2.0,
+        help="energy objective: wake-up cost",
+    )
     sp.add_argument("--json", action="store_true")
     sp.add_argument(
         "--gantt", action="store_true", help="ASCII Gantt chart of the result"
@@ -359,7 +584,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for batch mode (default: in-process)",
     )
+    sp.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="attach the persistent result store at DIR "
+        "(default: $REPRO_CACHE_DIR when set)",
+    )
+    sp.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent store even if REPRO_CACHE_DIR is set",
+    )
     sp.set_defaults(func=_cmd_solve)
+
+    cc = sub.add_parser(
+        "cache", help="persistent result store: stats | clear | path"
+    )
+    cc.add_argument("action", choices=["stats", "clear", "path"])
+    cc.add_argument(
+        "--dir",
+        default=None,
+        help="store directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/store)",
+    )
+    cc.add_argument("--json", action="store_true")
+    cc.set_defaults(func=_cmd_cache)
 
     tp = sub.add_parser("throughput", help="MaxThroughput under a budget")
     tp.add_argument("instance")
@@ -414,7 +664,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `repro ... | head`) closed early; that
+        # is not an error.  Point stdout at devnull so the interpreter's
+        # exit-time flush doesn't raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

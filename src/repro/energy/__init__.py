@@ -7,8 +7,14 @@ scaling.  This package implements the first as a post-processing layer:
 given any schedule from the core library, :mod:`repro.energy.power`
 computes its energy under a busy/idle/sleep power model and applies the
 optimal per-gap idle-vs-sleep policy (the classic ski-rental threshold).
+
+Registered with the engine as the ``energy`` objective
+(:mod:`repro.energy.objective`): pass an
+:class:`~repro.energy.instance.EnergyInstance` — or a plain
+``Instance`` plus ``power=PowerModel(...)`` — to ``repro.engine.solve``.
 """
 
+from .instance import EnergyInstance
 from .power import (
     PowerModel,
     gap_policy_threshold,
@@ -17,6 +23,7 @@ from .power import (
 )
 
 __all__ = [
+    "EnergyInstance",
     "PowerModel",
     "gap_policy_threshold",
     "schedule_energy",

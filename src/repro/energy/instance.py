@@ -1,0 +1,59 @@
+"""Energy-objective instance for the objective registry.
+
+Energy is a *derived* objective: solve MinBusy on the underlying
+``(J, g)`` instance, then charge the schedule under a busy/idle/sleep
+:class:`~repro.energy.power.PowerModel` with the optimal per-gap
+idle-vs-sleep policy.  The instance therefore wraps a base
+:class:`~repro.core.instance.Instance` together with the power
+parameters — both participate in the fingerprint, so the same job set
+under two power models caches separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import InstanceError
+from ..core.instance import Instance
+from .power import PowerModel
+
+__all__ = ["EnergyInstance"]
+
+
+@dataclass(frozen=True)
+class EnergyInstance:
+    """A MinEnergy instance: base ``(J, g)`` plus a power model."""
+
+    instance: Instance
+    model: PowerModel = field(default_factory=PowerModel)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.instance, Instance):
+            raise InstanceError(
+                f"EnergyInstance wraps an Instance, "
+                f"got {type(self.instance).__name__}"
+            )
+        if not isinstance(self.model, PowerModel):
+            raise InstanceError(
+                f"EnergyInstance.model must be a PowerModel, "
+                f"got {type(self.model).__name__}"
+            )
+
+    @property
+    def jobs(self) -> tuple:
+        return self.instance.jobs
+
+    @property
+    def g(self) -> int:
+        return self.instance.g
+
+    @property
+    def n(self) -> int:
+        return self.instance.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EnergyInstance(n={self.n}, g={self.g}, "
+            f"busy={self.model.busy_power}, idle={self.model.idle_power}, "
+            f"wake={self.model.wake_cost})"
+        )

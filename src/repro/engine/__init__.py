@@ -1,24 +1,30 @@
-"""Batch solver engine: one front door, a result cache, and fan-out.
+"""Batch solver engine: one front door, two cache tiers, and fan-out.
 
 The rest of the library is organized around the paper's case analysis —
 one module per algorithm, one call per instance.  This package is the
 serving layer on top:
 
 * :func:`solve` — unified entry point routing any instance to the
-  strongest applicable algorithm for the requested objective
-  (``"minbusy"`` or ``"maxthroughput"``), returning an
-  :class:`EngineResult` with the schedule, objective values, algorithm
+  strongest applicable algorithm for the requested objective.  All
+  eight problem families resolve through the pluggable registry
+  (:data:`repro.core.registry.REGISTRY`): ``minbusy``,
+  ``maxthroughput``, ``capacity``, ``rect2d``, ``ring``, ``tree``,
+  ``flexible`` and ``energy``; :func:`objectives` lists them.  Each
+  returns an :class:`EngineResult` with the objective value, algorithm
   provenance and timing.
-* **Result cache** — solves are memoized in an LRU keyed by a SHA-256
-  content fingerprint of the instance
-  (:func:`~repro.engine.fingerprint.instance_fingerprint`), so serving
-  repeated queries costs one solve plus O(1) lookups.  Inspect and
-  manage it with :func:`cache_info` / :func:`clear_cache` /
-  :func:`configure_cache`.
-* :func:`solve_many` — the batch API: cache hits short-circuit, misses
-  run sequentially or chunked over a ``multiprocessing`` pool
-  (``workers=N``), and results always come back in input order,
-  identical to the sequential path.
+* **Result caches** — solves are memoized by a versioned,
+  objective-qualified SHA-256 content fingerprint
+  (:mod:`repro.engine.fingerprint`) in two tiers: a per-process LRU
+  (:func:`cache_info` / :func:`clear_cache` / :func:`configure_cache`)
+  read-through to an optional disk-backed, cross-process store
+  (:mod:`repro.engine.store`; attach with :func:`configure_store` or
+  the ``REPRO_CACHE_DIR`` environment variable, inspect with
+  :func:`store_stats` or ``repro cache stats``).  Worker pools and
+  repeated CLI invocations share persisted hits.
+* :func:`solve_many` — the batch API: cache hits short-circuit (LRU
+  first, then one batched store probe), misses run sequentially or
+  chunked over a ``multiprocessing`` pool (``workers=N``), and results
+  always come back in input order, identical to the sequential path.
 * **Vectorized hot paths** — below the dispatchers, large instances
   run the sweep kernels of :mod:`repro.core.vectorized` and the
   FirstFit family runs the event-indexed occupancy engine of
@@ -26,7 +32,7 @@ serving layer on top:
   :func:`~repro.engine.dispatch.first_fit_backend`); both are
   bit-exact against their scalar oracles, so the engine's results are
   independent of instance size.  ``repro bench`` and E16/E17 track the
-  speedups.
+  speedups; E18 tracks the store tier.
 
 Quickstart::
 
@@ -34,7 +40,33 @@ Quickstart::
 
     res = solve(instance)                          # MinBusy by default
     res = solve(instance, "maxthroughput", budget=42.0)
+    res = solve(RectInstance(rects, g=3), "rect2d")
+    res = solve(instance, "energy", power=PowerModel(wake_cost=3.0))
     batch = solve_many(instances, workers=4)       # deterministic order
+
+Registering a new objective
+---------------------------
+
+1. Give the family an instance type with a *canonical item order*
+   (sort in ``__post_init__``, like
+   :class:`repro.rect.instance.RectInstance`) — positions into that
+   order are how cached results transfer between content-identical
+   instances, and why item ids never enter fingerprints.
+2. Write a ``repro.<family>.objective`` module building an
+   :class:`~repro.core.registry.ObjectiveSpec` with: ``normalize``
+   (idempotent; folds per-call parameters such as ``budget=`` into the
+   canonical instance), ``fingerprint`` (call
+   :func:`~repro.engine.fingerprint.fingerprint_v2` with a fresh
+   family tag — never reuse another family's), ``solve`` (the
+   structure-aware dispatch table returning a
+   :class:`~repro.core.registry.Solved` whose ``schedule`` or
+   positional ``detail`` encodes the result), and ``verify`` (an
+   independent validity re-check).
+3. ``REGISTRY.register(spec)`` at module level, and add the module to
+   ``_FAMILY_MODULES`` in :mod:`repro.engine.objectives`.  The engine
+   then serves the family through ``solve``/``solve_many`` with LRU +
+   store caching and deterministic multiprocessing — no engine changes
+   needed.
 """
 
 from .bench import (
@@ -52,11 +84,17 @@ from .engine import (
     EngineResult,
     cache_info,
     clear_cache,
+    clear_store,
     configure_cache,
+    configure_store,
+    objectives,
+    reset_store_binding,
     solve,
     solve_many,
+    store_stats,
 )
-from .fingerprint import instance_fingerprint, solve_key
+from .fingerprint import fingerprint_v2, instance_fingerprint, solve_key
+from .store import STORE_VERSION, ResultStore, StoreStats, default_store_dir
 
 __all__ = [
     "BatchTiming",
@@ -74,9 +112,19 @@ __all__ = [
     "EngineResult",
     "cache_info",
     "clear_cache",
+    "clear_store",
     "configure_cache",
+    "configure_store",
+    "objectives",
+    "reset_store_binding",
     "solve",
     "solve_many",
+    "store_stats",
+    "fingerprint_v2",
     "instance_fingerprint",
     "solve_key",
+    "STORE_VERSION",
+    "ResultStore",
+    "StoreStats",
+    "default_store_dir",
 ]

@@ -1,32 +1,38 @@
 """The unified solve front door and the batch API.
 
-:func:`solve` is the one entry point callers need: it normalizes the
-instance, routes to the strongest applicable algorithm for the chosen
-objective (MinBusy via :func:`repro.minbusy.solve_min_busy`,
-MaxThroughput via :func:`repro.engine.dispatch.pick_throughput_solver`),
-and memoizes results in a fingerprint-keyed LRU cache so repeated
-queries for the same instance are O(1).
+:func:`solve` is the one entry point callers need: it resolves the
+objective through the pluggable registry
+(:data:`repro.core.registry.REGISTRY` — all eight families register
+there, see :mod:`repro.engine.objectives`), normalizes the instance via
+the family's own hook, routes to the family's structure-aware dispatch
+table, and memoizes results in two tiers keyed by the objective-
+qualified content fingerprint: a per-process LRU on top of an optional
+disk-backed, cross-process store (:mod:`repro.engine.store`).
 
 :func:`solve_many` scales that to instance streams: cache hits are
-resolved up front, the remaining misses are solved either in-process or
-chunked across a ``multiprocessing`` pool, and the results come back in
-input order regardless of worker scheduling — byte-identical to the
-sequential path.
+resolved up front (LRU first, then one batched store probe), the
+remaining misses are solved either in-process or chunked across a
+``multiprocessing`` pool, and the results come back in input order
+regardless of worker scheduling — byte-identical to the sequential
+path.  Fresh results are folded back into both cache tiers, so worker
+pools and later processes share them.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import InstanceError
 from ..core.instance import BudgetInstance, Instance
+from ..core.registry import REGISTRY, ObjectiveSpec, Solved
 from ..core.schedule import Schedule
 from .cache import DEFAULT_CACHE_SIZE, CacheInfo, LRUCache
-from .dispatch import pick_throughput_solver
-from .fingerprint import instance_fingerprint, key_from_fingerprint
+from .fingerprint import key_from_fingerprint
+from .store import ResultStore, StoreStats, default_store_dir
 
 __all__ = [
     "MINBUSY",
@@ -34,24 +40,27 @@ __all__ = [
     "EngineResult",
     "solve",
     "solve_many",
+    "objectives",
     "cache_info",
     "clear_cache",
     "configure_cache",
+    "configure_store",
+    "store_stats",
+    "clear_store",
 ]
 
 AnyInstance = Union[Instance, BudgetInstance]
 
 MINBUSY = "minbusy"
 MAXTHROUGHPUT = "maxthroughput"
-_OBJECTIVE_ALIASES = {
-    MINBUSY: MINBUSY,
-    "min_busy": MINBUSY,
-    MAXTHROUGHPUT: MAXTHROUGHPUT,
-    "throughput": MAXTHROUGHPUT,
-    "max_throughput": MAXTHROUGHPUT,
-}
 
 _RESULT_CACHE = LRUCache(DEFAULT_CACHE_SIZE)
+
+_STORE_ENV_VAR = "REPRO_CACHE_DIR"
+# (store, resolved-against-env-value, explicitly-configured)
+_STORE: Optional[ResultStore] = None
+_STORE_ENV: Optional[str] = None
+_STORE_EXPLICIT = False
 
 
 @dataclass(frozen=True)
@@ -60,11 +69,17 @@ class EngineResult:
 
     ``guarantee`` is the a-priori approximation factor carried by the
     chosen algorithm (``None`` = exact or unanalysed heuristic).
+    ``cost`` is the objective value (busy time, busy area, energy);
+    ``schedule`` is set for families whose result is a 1-D
+    :class:`~repro.core.schedule.Schedule` and ``None`` otherwise.
     ``assignment_by_position`` records the machine of each job by its
     position in the instance's canonical order (``None`` = job left
     unscheduled); it is what lets a cached result be re-expressed over
     a content-identical instance whose ``Job`` objects carry different
-    ids.  ``from_cache`` marks results served from the LRU cache;
+    ids.  Families with richer result structures (2-D, ring, tree,
+    flexible) encode them positionally in ``detail`` instead — see the
+    family's ``objective`` module for the rebuild helper.
+    ``from_cache`` marks results served from either cache tier;
     ``solve_seconds`` is the wall time of the original solve (cached
     hits keep the original timing).
     """
@@ -74,55 +89,38 @@ class EngineResult:
     guarantee: Optional[float]
     cost: float
     throughput: int
-    schedule: Schedule
+    schedule: Optional[Schedule]
     fingerprint: str
     assignment_by_position: Tuple[Optional[int], ...] = ()
     from_cache: bool = False
     solve_seconds: float = 0.0
+    detail: Optional[dict] = None
 
 
-def _normalize_objective(objective: str) -> str:
-    try:
-        return _OBJECTIVE_ALIASES[objective.lower()]
-    except (KeyError, AttributeError):
-        raise InstanceError(
-            f"unknown objective {objective!r}; "
-            f"expected one of {sorted(set(_OBJECTIVE_ALIASES))}"
-        ) from None
+def _spec_for(objective: str) -> ObjectiveSpec:
+    from .objectives import ensure_registered
+
+    ensure_registered()
+    return REGISTRY.get(objective)
 
 
-def _canonical_instance(
-    instance: AnyInstance, objective: str, budget: Optional[float]
-) -> AnyInstance:
-    """The instance the chosen objective actually solves."""
-    if objective == MINBUSY:
-        if isinstance(instance, BudgetInstance):
-            return instance.min_busy_instance
-        return instance
-    # MaxThroughput needs a budget from somewhere.
-    if budget is not None:
-        jobs = instance.jobs
-        return BudgetInstance(jobs=jobs, g=instance.g, budget=budget)
-    if isinstance(instance, BudgetInstance):
-        return instance
-    raise InstanceError(
-        "maxthroughput requires a BudgetInstance or an explicit budget="
-    )
+def objectives() -> List[str]:
+    """Canonical names of every registered objective."""
+    from .objectives import ensure_registered
+
+    ensure_registered()
+    return REGISTRY.names()
 
 
-def _positional_assignment(
-    instance: AnyInstance, schedule: Schedule
-) -> Tuple[Optional[int], ...]:
-    """Machine per canonical job position (``None`` = unscheduled)."""
-    position = {job: i for i, job in enumerate(instance.jobs)}
-    vector: List[Optional[int]] = [None] * instance.n
-    for job, machine in schedule.assignment.items():
-        vector[position[job]] = machine
-    return tuple(vector)
+def _normalized(
+    spec: ObjectiveSpec, instance: Any, params: Dict[str, Any]
+) -> Any:
+    spec.check_instance(instance)
+    return spec.normalize(instance, params)
 
 
 def _schedule_for(
-    instance: AnyInstance, by_position: Tuple[Optional[int], ...]
+    instance: Any, by_position: Tuple[Optional[int], ...]
 ) -> Schedule:
     """Re-express a positional assignment over this instance's jobs."""
     schedule = Schedule(g=instance.g)
@@ -132,92 +130,204 @@ def _schedule_for(
     return schedule
 
 
-def _serve_hit(hit: EngineResult, instance: AnyInstance) -> EngineResult:
-    """A cache hit, rebound to the querying instance's own jobs.
+def _serve_hit(hit: EngineResult, instance: Any) -> EngineResult:
+    """A cache hit, rebound to the querying instance's own items.
 
     Sound because equal fingerprints imply identical per-position
-    ``(start, end, weight, demand)``; rebuilding also means callers
-    never share (and so cannot mutate) the cached Schedule.
+    content; rebuilding the Schedule (and copying ``detail``) also
+    means callers never share — and so cannot mutate — cached state.
+    Store hits arrive with ``schedule=None`` (persisted results are
+    stripped) and are re-inflated here from the positional encoding.
     """
+    schedule = hit.schedule
+    if hit.assignment_by_position or schedule is not None:
+        schedule = _schedule_for(instance, hit.assignment_by_position)
+    # detail values are immutable (tuples/numbers); copying the dict
+    # itself is enough to keep the cached entry mutation-proof.
+    detail = dict(hit.detail) if hit.detail is not None else None
     return replace(
-        hit,
-        schedule=_schedule_for(instance, hit.assignment_by_position),
-        from_cache=True,
+        hit, schedule=schedule, detail=detail, from_cache=True
     )
 
 
-def _solve_uncached(instance: AnyInstance, objective: str) -> EngineResult:
+def _solve_uncached(
+    instance: Any, spec: ObjectiveSpec, fingerprint: str
+) -> EngineResult:
     t0 = time.perf_counter()
-    if objective == MINBUSY:
-        from ..minbusy import solve_min_busy
-
-        result = solve_min_busy(instance)
-        schedule = result.schedule
-        algorithm = result.algorithm
-        guarantee = result.guarantee
-        throughput = schedule.throughput
-    else:
-        algorithm, solver, guarantee = pick_throughput_solver(instance)
-        schedule = solver(instance)
-        throughput = schedule.throughput
+    solved: Solved = spec.solve(instance)
     elapsed = time.perf_counter() - t0
     return EngineResult(
-        objective=objective,
-        algorithm=algorithm,
-        guarantee=guarantee,
-        cost=schedule.cost,
-        throughput=throughput,
-        schedule=schedule,
-        fingerprint=instance_fingerprint(instance),
-        assignment_by_position=_positional_assignment(instance, schedule),
+        objective=spec.name,
+        algorithm=solved.algorithm,
+        guarantee=solved.guarantee,
+        cost=solved.cost,
+        throughput=solved.throughput,
+        schedule=solved.schedule,
+        fingerprint=fingerprint,
+        assignment_by_position=solved.assignment_by_position,
         from_cache=False,
         solve_seconds=elapsed,
+        detail=solved.detail,
     )
+
+
+# ----------------------------------------------------------------------
+# persistent store tier
+# ----------------------------------------------------------------------
+
+
+def _active_store() -> Optional[ResultStore]:
+    """The store tier, or ``None`` when disabled.
+
+    Enabled by :func:`configure_store` or by the ``REPRO_CACHE_DIR``
+    environment variable; the env binding is re-checked whenever the
+    variable changes, so tests and subprocesses behave predictably.
+    """
+    global _STORE, _STORE_ENV
+    if _STORE_EXPLICIT:
+        return _STORE
+    env = os.environ.get(_STORE_ENV_VAR)
+    if env != _STORE_ENV:
+        _STORE = ResultStore(env) if env else None
+        _STORE_ENV = env
+    return _STORE
+
+
+def configure_store(path: Optional[os.PathLike]) -> Optional[ResultStore]:
+    """Attach the persistent tier at ``path`` (``None`` disables it).
+
+    Overrides the ``REPRO_CACHE_DIR`` environment binding until
+    :func:`reset_store_binding` (or a new ``configure_store``) is
+    called.  Returns the attached store.
+    """
+    global _STORE, _STORE_EXPLICIT
+    _STORE = ResultStore(path) if path is not None else None
+    _STORE_EXPLICIT = True
+    return _STORE
+
+
+def reset_store_binding() -> None:
+    """Return store resolution to the environment variable."""
+    global _STORE, _STORE_ENV, _STORE_EXPLICIT
+    _STORE = None
+    _STORE_ENV = None
+    _STORE_EXPLICIT = False
+
+
+def store_stats() -> Optional[StoreStats]:
+    """Counters of the persistent tier, or ``None`` when disabled."""
+    store = _active_store()
+    return store.stats() if store is not None else None
+
+
+def clear_store() -> None:
+    """Drop every persisted result (no-op when the tier is disabled)."""
+    store = _active_store()
+    if store is not None:
+        store.clear()
+
+
+def _stripped(result: EngineResult) -> EngineResult:
+    """The persisted form: positional encodings only, no live objects.
+
+    An *empty* schedule is kept as-is: it references no Job objects,
+    and it is the only way a served hit can know the objective carries
+    a schedule when ``assignment_by_position`` is empty (empty
+    instance, or a budget too small to schedule anything) —
+    ``_serve_hit`` still rebuilds a fresh one, so nothing is aliased.
+    """
+    schedule = result.schedule
+    if schedule is not None and schedule.assignment:
+        schedule = None
+    return replace(result, schedule=schedule, from_cache=False)
+
+
+# ----------------------------------------------------------------------
+# front door
+# ----------------------------------------------------------------------
 
 
 def solve(
-    instance: AnyInstance,
+    instance: Any,
     objective: str = MINBUSY,
     *,
     budget: Optional[float] = None,
     use_cache: bool = True,
+    verify: bool = False,
+    **params: Any,
 ) -> EngineResult:
     """Solve one instance with the strongest applicable algorithm.
 
-    ``objective`` is ``"minbusy"`` (default) or ``"maxthroughput"``
-    (alias ``"throughput"``).  For MaxThroughput, pass a
-    :class:`BudgetInstance` or an explicit ``budget=``.  Results are
-    memoized by content fingerprint; pass ``use_cache=False`` to force
-    a fresh solve (the result still refreshes the cache).
+    ``objective`` is any registered objective name or alias —
+    ``minbusy`` (default), ``maxthroughput`` (alias ``throughput``),
+    ``capacity``, ``rect2d``, ``ring``, ``tree``, ``flexible``,
+    ``energy``; see :func:`objectives`.  Family parameters ride along
+    as keywords (``budget=`` for MaxThroughput, ``power=`` for
+    energy).  Results are memoized by objective-qualified content
+    fingerprint in the LRU and, when attached, the persistent store;
+    pass ``use_cache=False`` to force a fresh solve (the result still
+    refreshes both tiers).  ``verify=True`` re-checks the returned
+    result with the family's registered verifier.
     """
-    objective = _normalize_objective(objective)
-    inst = _canonical_instance(instance, objective, budget)
-    key = key_from_fingerprint(instance_fingerprint(inst), objective)
+    spec = _spec_for(objective)
+    if budget is not None:
+        params["budget"] = budget
+    inst = _normalized(spec, instance, params)
+    fingerprint = spec.fingerprint(inst)
+    key = key_from_fingerprint(fingerprint, spec.name)
+    store = _active_store()
+    result: Optional[EngineResult] = None
     if use_cache:
         hit = _RESULT_CACHE.get(key)
+        if hit is None and store is not None:
+            hit = store.get(key)
+            if hit is not None:
+                _RESULT_CACHE.put(key, hit)
         if hit is not None:
-            return _serve_hit(hit, inst)
-    result = _solve_uncached(inst, objective)
-    _RESULT_CACHE.put(key, result)
+            result = _serve_hit(hit, inst)
+    if result is None:
+        result = _solve_uncached(inst, spec, fingerprint)
+        _RESULT_CACHE.put(key, result)
+        if store is not None:
+            store.put(key, _stripped(result))
+    if verify and spec.verify is not None:
+        spec.verify(inst, _as_solved(result))
     return result
 
 
-def _solve_payload(
-    payload: Tuple[AnyInstance, str, Optional[float]]
-) -> EngineResult:
-    """Top-level worker entry point (must be picklable)."""
-    instance, objective, budget = payload
-    return solve(instance, objective, budget=budget, use_cache=False)
+def _as_solved(result: EngineResult) -> Solved:
+    return Solved(
+        algorithm=result.algorithm,
+        guarantee=result.guarantee,
+        cost=result.cost,
+        throughput=result.throughput,
+        schedule=result.schedule,
+        assignment_by_position=result.assignment_by_position,
+        detail=result.detail,
+    )
+
+
+def _solve_payload(payload: Tuple[Any, str, str]) -> EngineResult:
+    """Top-level worker entry point (must be picklable).
+
+    Workers receive already-normalized instances and never touch the
+    cache tiers — the parent resolves hits up front and folds fresh
+    results back, which keeps store writes single-sourced.
+    """
+    instance, objective, fingerprint = payload
+    spec = _spec_for(objective)
+    return _solve_uncached(instance, spec, fingerprint)
 
 
 def solve_many(
-    instances: Sequence[AnyInstance],
+    instances: Sequence[Any],
     objective: str = MINBUSY,
     *,
     budget: Optional[float] = None,
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     use_cache: bool = True,
+    **params: Any,
 ) -> List[EngineResult]:
     """Solve a batch of instances; results in input order.
 
@@ -226,15 +336,16 @@ def solve_many(
     ``multiprocessing`` pool (``chunksize`` defaults to ~4 chunks per
     worker); ``pool.map`` preserves submission order, so the output is
     deterministic and equal to the sequential path regardless of worker
-    count.  Cache hits never travel to the pool, and fresh results are
-    folded back into the parent cache.
+    count.  Cache hits never travel to the pool; fresh results are
+    folded back into the parent LRU and the persistent store (when
+    attached), so repeated batches — and other processes — share them.
     """
-    objective = _normalize_objective(objective)
-    insts = [
-        _canonical_instance(inst, objective, budget) for inst in instances
-    ]
+    spec = _spec_for(objective)
+    if budget is not None:
+        params["budget"] = budget
+    insts = [_normalized(spec, inst, params) for inst in instances]
     keys = [
-        key_from_fingerprint(instance_fingerprint(inst), objective)
+        key_from_fingerprint(spec.fingerprint(inst), spec.name)
         for inst in insts
     ]
     results: List[Optional[EngineResult]] = [None] * len(insts)
@@ -246,6 +357,21 @@ def solve_many(
                 results[i] = _serve_hit(hit, insts[i])
                 continue
         misses.append(i)
+
+    store = _active_store()
+    if use_cache and store is not None and misses:
+        # One batched probe of the disk tier for everything the LRU
+        # did not have; hits are promoted into the LRU.
+        stored = store.get_many({keys[i] for i in misses})
+        still: List[int] = []
+        for i in misses:
+            hit = stored.get(keys[i])
+            if hit is not None:
+                _RESULT_CACHE.put(keys[i], hit)
+                results[i] = _serve_hit(hit, insts[i])
+            else:
+                still.append(i)
+        misses = still
 
     if not misses:
         return results  # type: ignore[return-value]
@@ -261,14 +387,17 @@ def solve_many(
             representative[keys[i]] = i
             unique_keys.append(keys[i])
 
+    fp_of = {key: key.split(":", 1)[1] for key in unique_keys}
     if workers is None or workers <= 1 or len(unique_keys) == 1:
         solved = {
-            key: _solve_uncached(insts[representative[key]], objective)
+            key: _solve_uncached(
+                insts[representative[key]], spec, fp_of[key]
+            )
             for key in unique_keys
         }
     else:
         payloads = [
-            (insts[representative[key]], objective, None)
+            (insts[representative[key]], spec.name, fp_of[key])
             for key in unique_keys
         ]
         if chunksize is None:
@@ -287,6 +416,10 @@ def solve_many(
 
     for key, result in solved.items():
         _RESULT_CACHE.put(key, result)
+    if store is not None:
+        store.put_many(
+            {key: _stripped(result) for key, result in solved.items()}
+        )
     for i in misses:
         result = solved[keys[i]]
         if i != representative[keys[i]]:
@@ -308,7 +441,7 @@ def cache_info() -> CacheInfo:
 
 
 def clear_cache() -> None:
-    """Drop all cached results and reset the counters."""
+    """Drop all cached results and reset the counters (LRU tier only)."""
     _RESULT_CACHE.clear()
 
 

@@ -16,22 +16,47 @@ cached schedule onto the querying instance's own ``Job`` objects by
 canonical position (see ``EngineResult.assignment_by_position``),
 which is sound because equal fingerprints imply equal per-position
 ``(start, end, weight, demand)`` in the canonical order.
+
+Two schemes coexist:
+
+* **v1** (``busytime-fingerprint-v1``) covers the original
+  :class:`Instance`/:class:`BudgetInstance` pair and is frozen — its
+  digests key entries in users' persistent stores, so they must stay
+  byte-stable across releases (pinned by a regression test).
+* **v2** (``busytime-fingerprint-v2``) is the versioned,
+  family-qualified scheme the registry's newer instance types use
+  (2-D rectangles, ring arcs, tree paths, flexible windows, demand
+  profiles, power models).  :func:`fingerprint_v2` hashes a family
+  tag, the capacity, a sorted scalar table (budget, circumference,
+  tree arity, power parameters, ...) and the packed per-item float
+  columns in the instance's canonical sorted order.  Item ids stay
+  excluded, exactly as in v1 and for the same reason.
+
+The cache key is always objective-qualified on top of the digest
+(:func:`key_from_fingerprint`), so two objectives over the same bytes
+never collide.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Union
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.instance import BudgetInstance, Instance
 
-__all__ = ["instance_fingerprint", "key_from_fingerprint", "solve_key"]
+__all__ = [
+    "instance_fingerprint",
+    "fingerprint_v2",
+    "key_from_fingerprint",
+    "solve_key",
+]
 
 AnyInstance = Union[Instance, BudgetInstance]
 
 _VERSION = b"busytime-fingerprint-v1"
+_VERSION_V2 = b"busytime-fingerprint-v2"
 
 
 def instance_fingerprint(instance: AnyInstance) -> str:
@@ -44,6 +69,38 @@ def instance_fingerprint(instance: AnyInstance) -> str:
         packed = np.empty((instance.n, 4), dtype=np.float64)
         for col, attr in enumerate(("start", "end", "weight", "demand")):
             packed[:, col] = [getattr(j, attr) for j in instance.jobs]
+        h.update(packed.tobytes())
+    return h.hexdigest()
+
+
+def fingerprint_v2(
+    family: str,
+    g: int,
+    columns: Optional[Sequence[Sequence[float]]] = None,
+    *,
+    scalars: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Hex SHA-256 digest for a v2 (family-qualified) instance.
+
+    ``columns`` is a per-item table — one row per item in the
+    instance's *canonical sorted order*, one column per content field
+    (e.g. ``(x0, y0, x1, y1)`` for rectangles) — packed as float64 so
+    digests are independent of the Python number types used to build
+    the instance.  ``scalars`` carries family-level parameters beyond
+    ``g`` (budget, circumference, tree arity/edges, power model);
+    entries are hashed in sorted key order with ``repr`` values, so any
+    hashable metadata participates deterministically.
+    """
+    h = hashlib.sha256()
+    h.update(_VERSION_V2)
+    h.update(f"|family={family}|g={g}|".encode())
+    if scalars:
+        for key in sorted(scalars):
+            h.update(f"{key}={scalars[key]!r}|".encode())
+    rows = [] if columns is None else list(columns)
+    h.update(f"n={len(rows)}|".encode())
+    if rows:
+        packed = np.ascontiguousarray(np.asarray(rows, dtype=np.float64))
         h.update(packed.tobytes())
     return h.hexdigest()
 

@@ -12,8 +12,15 @@ the generalized lower bounds; :mod:`repro.flexible.greedy` provides a
 busy-time-aware placement heuristic plus the reduction to the base
 problem when windows are tight (``p_j = c_j - s_j``), which the tests
 use to anchor the extension to the paper's algorithms.
+
+Registered with the engine as the ``flexible`` objective
+(:mod:`repro.flexible.objective`): wrap windows in
+:class:`~repro.flexible.instance.FlexInstance`; tight instances route
+through the base-problem reduction, slack instances run
+``align_first_fit``.
 """
 
+from .instance import FlexInstance
 from .jobs import (
     FlexJob,
     FlexPlacement,
@@ -23,6 +30,7 @@ from .jobs import (
 from .greedy import align_first_fit, tight_to_instance
 
 __all__ = [
+    "FlexInstance",
     "FlexJob",
     "FlexPlacement",
     "FlexSchedule",

@@ -1,0 +1,69 @@
+"""Flexible-job instance for the objective registry.
+
+Wraps a set of :class:`~repro.flexible.jobs.FlexJob` windows with the
+capacity ``g``; items are stored in canonical content order
+``(window_start, window_end, proc, job_id)`` so positional result
+encodings transfer between content-identical instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import InstanceError
+from .jobs import FlexJob
+
+__all__ = ["FlexInstance"]
+
+# Windows whose slack is below this are "tight": the run fills the
+# window, the model degenerates to the paper's fixed-interval problem,
+# and the dispatcher routes through the Section 3 algorithms.
+TIGHT_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class FlexInstance:
+    """A flexible-jobs instance ``(windows, g)``."""
+
+    jobs: tuple
+    g: int
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise InstanceError(
+                f"parallelism parameter g must be >= 1, got {self.g}"
+            )
+        for j in self.jobs:
+            if not isinstance(j, FlexJob):
+                raise InstanceError(
+                    f"FlexInstance items must be FlexJob, "
+                    f"got {type(j).__name__}"
+                )
+        object.__setattr__(
+            self,
+            "jobs",
+            tuple(
+                sorted(
+                    self.jobs,
+                    key=lambda j: (
+                        j.window_start,
+                        j.window_end,
+                        j.proc,
+                        j.job_id,
+                    ),
+                )
+            ),
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def is_tight(self) -> bool:
+        """Every window equals its processing time (fixed intervals)."""
+        return all(j.slack <= TIGHT_EPS for j in self.jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "tight" if self.is_tight else "flexible"
+        return f"FlexInstance(n={self.n}, g={self.g}, {kind})"

@@ -1,0 +1,125 @@
+"""Registry entry for the flexible-jobs objective.
+
+Structure-aware dispatch table (Section 5, cloud-computing bullet):
+
+====================  ====================================  ==========
+instance class        algorithm                             guarantee
+====================  ====================================  ==========
+tight windows         reduction to the base problem, then   inherited
+                      the Section 3 MinBusy dispatcher
+real slack            align-FirstFit placement heuristic    g
+====================  ====================================  ==========
+
+Tight windows (``p_j`` equals the window length) leave no placement
+freedom, so the instance routes through
+:func:`~repro.flexible.greedy.tight_to_instance` and inherits the
+strongest fixed-interval algorithm; genuine slack runs
+:func:`~repro.flexible.greedy.align_first_fit`.  Results are encoded in
+``detail["placements"]`` as ``(machine, start)`` per canonical window
+position.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..core.errors import InstanceError
+from ..core.registry import REGISTRY, ObjectiveSpec, Solved
+from .greedy import align_first_fit, tight_to_instance
+from .instance import FlexInstance
+from .jobs import FlexSchedule
+
+__all__ = ["SPEC", "rebuild_schedule"]
+
+
+def _normalize(instance: Any, params: Mapping[str, Any]) -> FlexInstance:
+    return instance
+
+
+def _fingerprint(instance: FlexInstance) -> str:
+    from ..engine.fingerprint import fingerprint_v2
+
+    return fingerprint_v2(
+        "flexible",
+        instance.g,
+        [(j.window_start, j.window_end, j.proc) for j in instance.jobs],
+    )
+
+
+def rebuild_schedule(instance: FlexInstance, placements) -> FlexSchedule:
+    """Inflate a positional ``(machine, start)`` encoding."""
+    sched = FlexSchedule(g=instance.g)
+    for pos, (machine, start) in enumerate(placements):
+        sched.place(machine, instance.jobs[pos].placed_at(start))
+    return sched
+
+
+def _solve(instance: FlexInstance) -> Solved:
+    if instance.n == 0:
+        return Solved(
+            algorithm="empty",
+            guarantee=None,
+            cost=0.0,
+            throughput=0,
+            detail={"placements": (), "n_machines": 0},
+        )
+    if instance.is_tight:
+        from ..minbusy import solve_min_busy
+
+        # tight_to_instance allocates fixed jobs with job_id == the
+        # window's canonical position, which is how the fixed schedule
+        # maps back onto the flexible jobs.
+        fixed = tight_to_instance(instance.jobs, instance.g)
+        inner = solve_min_busy(fixed)
+        placements = [None] * instance.n
+        for job, machine in inner.schedule.assignment.items():
+            placements[job.job_id] = (
+                machine,
+                instance.jobs[job.job_id].window_start,
+            )
+        algorithm = f"tight_reduction:{inner.algorithm}"
+        guarantee = inner.guarantee
+        cost = inner.schedule.cost
+        n_machines = inner.schedule.n_machines()
+    else:
+        sched = align_first_fit(instance.jobs, instance.g)
+        position = {id(j): i for i, j in enumerate(instance.jobs)}
+        placements = [None] * instance.n
+        for machine, placed in sched.machines.items():
+            for p in placed:
+                placements[position[id(p.job)]] = (machine, p.start)
+        algorithm = "align_first_fit"
+        guarantee = float(instance.g)
+        cost = sched.cost
+        n_machines = len([ps for ps in sched.machines.values() if ps])
+    return Solved(
+        algorithm=algorithm,
+        guarantee=guarantee,
+        cost=cost,
+        throughput=instance.n,
+        detail={
+            "placements": tuple(placements),
+            "n_machines": n_machines,
+        },
+    )
+
+
+def _verify(instance: FlexInstance, solved: Solved) -> None:
+    if solved.detail is None or "placements" not in solved.detail:
+        raise InstanceError("flexible result carries no placements")
+    schedule = rebuild_schedule(instance, solved.detail["placements"])
+    schedule.validate(list(instance.jobs))
+
+
+SPEC = REGISTRY.register(
+    ObjectiveSpec(
+        name="flexible",
+        aliases=("flex", "windows"),
+        instance_types=(FlexInstance,),
+        normalize=_normalize,
+        fingerprint=_fingerprint,
+        solve=_solve,
+        verify=_verify,
+        description="busy time for jobs with movable runs (Section 5)",
+    )
+)

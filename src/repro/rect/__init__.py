@@ -1,6 +1,13 @@
-"""Rectangular (2-D) jobs: Section 3.4 of the paper."""
+"""Rectangular (2-D) jobs: Section 3.4 of the paper.
+
+Registered with the engine as the ``rect2d`` objective
+(:mod:`repro.rect.objective`): wrap rectangles in
+:class:`~repro.rect.instance.RectInstance` and the dispatch picks
+FirstFit2D or BucketFirstFit by the instance's γ₁ ratio.
+"""
 
 from .area import union_area, union_area_montecarlo
+from .instance import RectInstance
 from .bucket import (
     PAPER_BETA,
     bucket_first_fit,
@@ -12,6 +19,7 @@ from .rectangles import Rect, gamma, make_rects, rects_total_area
 from .schedule2d import RectMachine, RectSchedule, max_rect_concurrency
 
 __all__ = [
+    "RectInstance",
     "union_area",
     "union_area_montecarlo",
     "PAPER_BETA",

@@ -1,0 +1,64 @@
+"""The 2-D problem instance for the objective registry.
+
+Algorithms in this package take bare ``Sequence[Rect]`` arguments; the
+engine front door needs an instance *object* that carries the capacity,
+sorts its items canonically (so positional result encodings transfer
+between content-identical instances) and fingerprints itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..core.errors import InstanceError
+from .rectangles import Rect, gamma
+
+
+__all__ = ["RectInstance"]
+
+
+@dataclass(frozen=True)
+class RectInstance:
+    """A 2-D MinBusy instance: rectangles plus the capacity ``g``.
+
+    ``rects`` is stored in canonical content order
+    ``(x0, y0, x1, y1, rect_id)`` — positions into this tuple are the
+    coordinate system of cached result encodings.
+    """
+
+    rects: tuple
+    g: int
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise InstanceError(
+                f"parallelism parameter g must be >= 1, got {self.g}"
+            )
+        for r in self.rects:
+            if not isinstance(r, Rect):
+                raise InstanceError(
+                    f"RectInstance items must be Rect, got {type(r).__name__}"
+                )
+        object.__setattr__(
+            self,
+            "rects",
+            tuple(
+                sorted(
+                    self.rects,
+                    key=lambda r: (r.x0, r.y0, r.x1, r.y1, r.rect_id),
+                )
+            ),
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.rects)
+
+    @cached_property
+    def gamma1(self) -> float:
+        """``γ₁`` — extent ratio in dimension 1 (drives dispatch)."""
+        return gamma(self.rects, 1) if self.rects else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RectInstance(n={self.n}, g={self.g})"

@@ -1,5 +1,12 @@
-"""Topology extensions (paper Section 5): trees and rings."""
+"""Topology extensions (paper Section 5): trees and rings.
 
+Registered with the engine as the ``ring`` and ``tree`` objectives
+(:mod:`repro.topology.objective`): wrap jobs in
+:class:`~repro.topology.instance.RingInstance` /
+:class:`~repro.topology.instance.TreeInstance`.
+"""
+
+from .instance import RingInstance, TreeInstance
 from .ring import RingJob, arc_overlaps, ring_union_area
 from .ring_firstfit import (
     RingMachine,
@@ -11,6 +18,8 @@ from .tree import PathJob, Tree
 from .tree_greedy import TreeSet, tree_one_sided_greedy, tree_schedule_cost
 
 __all__ = [
+    "RingInstance",
+    "TreeInstance",
     "RingJob",
     "arc_overlaps",
     "ring_union_area",

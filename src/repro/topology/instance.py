@@ -1,0 +1,130 @@
+"""Topology instances for the objective registry: rings and trees.
+
+The ring/tree algorithms take bare job sequences (plus a ``Tree``);
+these wrappers add what the engine front door needs — a carried
+capacity, canonical item order (positions into it are the coordinate
+system of cached result encodings) and enough structure for
+fingerprinting (circumference for rings; node arity and the weighted
+edge list for trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import InstanceError
+from .ring import RingJob
+from .tree import PathJob, Tree
+
+__all__ = ["RingInstance", "TreeInstance"]
+
+
+@dataclass(frozen=True)
+class RingInstance:
+    """Ring-topology instance: arc×time jobs on one cylinder plus ``g``.
+
+    All jobs must share a circumference (one physical ring).  ``jobs``
+    is stored in canonical content order ``(a0, alen, t0, t1, job_id)``.
+    """
+
+    jobs: tuple
+    g: int
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise InstanceError(
+                f"parallelism parameter g must be >= 1, got {self.g}"
+            )
+        for j in self.jobs:
+            if not isinstance(j, RingJob):
+                raise InstanceError(
+                    f"RingInstance items must be RingJob, "
+                    f"got {type(j).__name__}"
+                )
+        if self.jobs:
+            C = self.jobs[0].circumference
+            if any(j.circumference != C for j in self.jobs):
+                raise InstanceError(
+                    "all ring jobs must share one circumference"
+                )
+        object.__setattr__(
+            self,
+            "jobs",
+            tuple(
+                sorted(
+                    self.jobs,
+                    key=lambda j: (j.a0, j.alen, j.t0, j.t1, j.job_id),
+                )
+            ),
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def circumference(self) -> float:
+        return self.jobs[0].circumference if self.jobs else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RingInstance(n={self.n}, g={self.g}, C={self.circumference})"
+        )
+
+
+@dataclass(frozen=True)
+class TreeInstance:
+    """Tree-topology instance: a weighted tree, path jobs, and ``g``.
+
+    ``paths`` is stored in canonical content order ``(u, v, job_id)``.
+    The tree participates in the fingerprint through its node count
+    (arity) and sorted weighted edge list.
+    """
+
+    tree: Tree
+    paths: tuple
+    g: int
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise InstanceError(
+                f"parallelism parameter g must be >= 1, got {self.g}"
+            )
+        if not isinstance(self.tree, Tree):
+            raise InstanceError(
+                f"TreeInstance.tree must be a Tree, "
+                f"got {type(self.tree).__name__}"
+            )
+        for p in self.paths:
+            if not isinstance(p, PathJob):
+                raise InstanceError(
+                    f"TreeInstance items must be PathJob, "
+                    f"got {type(p).__name__}"
+                )
+            if not (0 <= p.u < self.tree.n and 0 <= p.v < self.tree.n):
+                raise InstanceError(
+                    f"path ({p.u}, {p.v}) references nodes outside the "
+                    f"{self.tree.n}-node tree"
+                )
+        object.__setattr__(
+            self,
+            "paths",
+            tuple(sorted(self.paths, key=lambda p: (p.u, p.v, p.job_id))),
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.paths)
+
+    def edge_rows(self) -> list:
+        """Sorted ``(u, v, weight)`` rows for fingerprinting."""
+        return [
+            (float(u), float(v), float(w))
+            for (u, v), w in sorted(self.tree.edges.items())
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TreeInstance(nodes={self.tree.n}, paths={self.n}, "
+            f"g={self.g})"
+        )

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.instance import Instance
+
+# Hermeticity: an ambient REPRO_CACHE_DIR would attach the persistent
+# store tier to every engine call and leak state between runs; tests
+# that exercise the store opt in explicitly via configure_store or
+# monkeypatched environments.
+os.environ.pop("REPRO_CACHE_DIR", None)
 
 # Re-exported for backwards compatibility: the reference oracles now
 # live in an importable regular module (tests/helpers.py).
