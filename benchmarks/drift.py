@@ -24,7 +24,8 @@ re-run would measure):
 * ``e16_kernels``: geomean speedup + each kernel row's speedup,
 * ``e16_batch``: the cache speedup,
 * ``e17_firstfit``: each FirstFit variant's speedup,
-* ``e18_store``: the warm-store speedup.
+* ``e18_store``: the warm-store speedup,
+* ``e19_service``: the concurrent-vs-sequential service speedup.
 
 Only *speedups* are compared — absolute wall times shift with runner
 hardware, but scalar-vs-vectorized (and cold-vs-warm) ratios are
@@ -74,6 +75,9 @@ def extract_metrics(entries: List[dict]) -> Dict[str, float]:
     e18 = latest.get("e18_store")
     if e18 and isinstance(e18.get("store_speedup"), (int, float)):
         metrics["e18.store_speedup"] = float(e18["store_speedup"])
+    e19 = latest.get("e19_service")
+    if e19 and isinstance(e19.get("service_speedup"), (int, float)):
+        metrics["e19.service_speedup"] = float(e19["service_speedup"])
     return metrics
 
 

@@ -13,7 +13,8 @@ Usage (after ``pip install -e .``)::
     repro classify jobs.json                        # instance structure
     repro generate clique --n 50 --g 3 -o inst.json
     repro bench --n 10000                           # kernel + batch bench
-    repro cache stats                               # persistent store
+    repro cache stats --json                        # persistent store
+    repro serve --port 8753 --max-concurrency 32    # NDJSON solve service
 
 (``python -m repro ...`` works identically.)  Output is a
 human-readable report on stdout; ``--json`` switches to a
@@ -88,13 +89,31 @@ def _apply_store_flags(args: argparse.Namespace) -> None:
 
     ``--no-store`` disables it, ``--store DIR`` attaches it explicitly;
     otherwise the ``REPRO_CACHE_DIR`` environment variable decides.
+    The binding is resolved eagerly so an unusable store directory
+    (unwritable, or a path through a regular file) fails here with an
+    actionable message instead of a traceback mid-solve.
     """
     from .engine import configure_store
+    from .engine.engine import _active_store
 
-    if getattr(args, "no_store", False):
-        configure_store(None)
-    elif getattr(args, "store", None):
-        configure_store(args.store)
+    try:
+        if getattr(args, "no_store", False):
+            configure_store(None)
+        elif getattr(args, "store", None):
+            configure_store(args.store)
+        else:
+            _active_store()  # resolve the REPRO_CACHE_DIR binding now
+    except OSError as exc:
+        source = (
+            f"--store {args.store}"
+            if getattr(args, "store", None)
+            else "REPRO_CACHE_DIR"
+        )
+        raise SystemExit(
+            f"cannot use the result store directory from {source}: {exc}\n"
+            "fix the directory, point REPRO_CACHE_DIR elsewhere, or pass "
+            "--no-store to run without the persistent cache"
+        ) from exc
 
 
 def _solve_params(args: argparse.Namespace, objective: str) -> dict:
@@ -155,7 +174,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         raise SystemExit(f"{path}: {exc}") from exc
     try:
         result = engine_solve(
-            inst, objective, **_solve_params(args, objective)
+            inst,
+            objective,
+            backend=args.backend,
+            **_solve_params(args, objective),
         )
     except InstanceError as exc:
         raise SystemExit(str(exc)) from exc
@@ -254,6 +276,7 @@ def _cmd_solve_batch(args: argparse.Namespace, objective: str) -> int:
             instances,
             objective,
             workers=args.workers,
+            backend=args.backend,
             **_solve_params(args, objective),
         )
     except InstanceError as exc:
@@ -295,20 +318,29 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     """Inspect/clear the persistent result store."""
     from .engine.store import ResultStore, default_store_dir
 
+    def _open_store(root: Path) -> "ResultStore":
+        try:
+            return ResultStore(root)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot open the result store at {root}: {exc}\n"
+                "fix the directory or pass --dir DIR to pick another one"
+            ) from exc
+
     root = Path(args.dir) if args.dir else default_store_dir()
     if args.action == "path":
         print(root)
         return 0
     if args.action == "clear":
         if root.exists():
-            ResultStore(root).clear()
+            _open_store(root).clear()
             print(f"cleared {root}")
         else:
             print(f"{root}: no store")
         return 0
     # stats
     if root.exists():
-        s = ResultStore(root).stats()
+        s = _open_store(root).stats()
         doc = {
             "path": s.path,
             "exists": True,
@@ -335,6 +367,44 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     else:
         for k, v in doc.items():
             print(f"{k:12s}: {v}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio solve service (blocking until interrupted)."""
+    from .service.server import SolveServer
+
+    _apply_store_flags(args)
+    try:
+        server = SolveServer(
+            host=args.host,
+            port=args.port,
+            backend=args.backend,
+            workers=args.workers,
+            max_concurrency=args.max_concurrency,
+            deadline=args.deadline,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+    def _announce(bound) -> None:
+        # Fired post-bind, so the banner is a real readiness signal
+        # (and reports the resolved port when --port 0 was asked).
+        print(
+            f"repro service listening on {args.host}:{bound.port} "
+            f"(backend={args.backend}, "
+            f"max_concurrency={args.max_concurrency})",
+            flush=True,
+        )
+
+    try:
+        server.run(_announce)
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot serve on {args.host}:{args.port}: {exc}\n"
+            "the port is occupied or the interface cannot be bound; "
+            "pick another one with --port/--host"
+        ) from exc
     return 0
 
 
@@ -585,6 +655,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for batch mode (default: in-process)",
     )
     sp.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "serial", "process", "async"],
+        help="executor backend for cache misses (auto: processes iff "
+        "--workers >= 2; all backends return identical results)",
+    )
+    sp.add_argument(
         "--store",
         default=None,
         metavar="DIR",
@@ -610,6 +687,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cc.add_argument("--json", action="store_true")
     cc.set_defaults(func=_cmd_cache)
+
+    sv = sub.add_parser(
+        "serve", help="run the NDJSON solve service over a socket"
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=8753, help="TCP port (default 8753)"
+    )
+    sv.add_argument(
+        "--backend",
+        default="async",
+        choices=["auto", "serial", "process", "async"],
+        help="executor for solve_many batches (async: shared coalescing "
+        "executor; process: fan out over --workers processes)",
+    )
+    sv.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the process backend",
+    )
+    sv.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=16,
+        help="solves in flight at once (default 16)",
+    )
+    sv.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (default: none)",
+    )
+    sv.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="attach the persistent result store at DIR "
+        "(default: $REPRO_CACHE_DIR when set)",
+    )
+    sv.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent store even if REPRO_CACHE_DIR is set",
+    )
+    sv.set_defaults(func=_cmd_serve)
 
     tp = sub.add_parser("throughput", help="MaxThroughput under a budget")
     tp.add_argument("instance")

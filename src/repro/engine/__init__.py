@@ -1,30 +1,37 @@
-"""Batch solver engine: one front door, two cache tiers, and fan-out.
+"""Batch solver engine: registry dispatch over cache tiers + executors.
 
 The rest of the library is organized around the paper's case analysis —
 one module per algorithm, one call per instance.  This package is the
-serving layer on top:
+execution core on top, built as explicit layers (``ARCHITECTURE.md``
+has the full picture; :mod:`repro.service` is the network front end
+over the same primitives):
 
-* :func:`solve` — unified entry point routing any instance to the
-  strongest applicable algorithm for the requested objective.  All
-  eight problem families resolve through the pluggable registry
-  (:data:`repro.core.registry.REGISTRY`): ``minbusy``,
+* :func:`solve` / :func:`solve_many` — unified entry points routing
+  any instance to the strongest applicable algorithm for the requested
+  objective.  All eight problem families resolve through the pluggable
+  registry (:data:`repro.core.registry.REGISTRY`): ``minbusy``,
   ``maxthroughput``, ``capacity``, ``rect2d``, ``ring``, ``tree``,
   ``flexible`` and ``energy``; :func:`objectives` lists them.  Each
   returns an :class:`EngineResult` with the objective value, algorithm
   provenance and timing.
-* **Result caches** — solves are memoized by a versioned,
-  objective-qualified SHA-256 content fingerprint
-  (:mod:`repro.engine.fingerprint`) in two tiers: a per-process LRU
+* **Cache layer** (:mod:`repro.engine.tiers`) — solves are memoized by
+  a versioned, objective-qualified SHA-256 content fingerprint
+  (:mod:`repro.engine.fingerprint`) in a :class:`TieredCache` probed
+  top-down with upward promotion: a per-process :class:`LRUTier`
   (:func:`cache_info` / :func:`clear_cache` / :func:`configure_cache`)
-  read-through to an optional disk-backed, cross-process store
+  over an optional disk-backed, cross-process :class:`StoreTier`
   (:mod:`repro.engine.store`; attach with :func:`configure_store` or
   the ``REPRO_CACHE_DIR`` environment variable, inspect with
   :func:`store_stats` or ``repro cache stats``).  Worker pools and
   repeated CLI invocations share persisted hits.
-* :func:`solve_many` — the batch API: cache hits short-circuit (LRU
-  first, then one batched store probe), misses run sequentially or
-  chunked over a ``multiprocessing`` pool (``workers=N``), and results
-  always come back in input order, identical to the sequential path.
+* **Executor layer** (:mod:`repro.engine.executors`) — cache misses
+  run on a pluggable backend selected by ``backend=auto|serial|
+  process|async``: an in-process loop, the deterministic chunked
+  ``multiprocessing`` fan-out (``workers=N``), or an asyncio queue
+  with bounded concurrency, per-request deadlines and in-flight
+  coalescing.  All backends are byte-identical (differential-tested);
+  results always come back in input order.  Content-identical
+  instances inside one batch are fingerprint-deduped before dispatch.
 * **Vectorized hot paths** — below the dispatchers, large instances
   run the sweep kernels of :mod:`repro.core.vectorized` and the
   FirstFit family runs the event-indexed occupancy engine of
@@ -32,7 +39,7 @@ serving layer on top:
   :func:`~repro.engine.dispatch.first_fit_backend`); both are
   bit-exact against their scalar oracles, so the engine's results are
   independent of instance size.  ``repro bench`` and E16/E17 track the
-  speedups; E18 tracks the store tier.
+  speedups; E18 tracks the store tier, E19 the serving layer.
 
 Quickstart::
 
@@ -43,6 +50,7 @@ Quickstart::
     res = solve(RectInstance(rects, g=3), "rect2d")
     res = solve(instance, "energy", power=PowerModel(wake_cost=3.0))
     batch = solve_many(instances, workers=4)       # deterministic order
+    batch = solve_many(instances, backend="async") # same bytes out
 
 Registering a new objective
 ---------------------------
@@ -82,19 +90,35 @@ from .engine import (
     MAXTHROUGHPUT,
     MINBUSY,
     EngineResult,
+    SolvePlan,
     cache_info,
+    cached_result,
     clear_cache,
     clear_store,
     configure_cache,
     configure_store,
+    install_result,
     objectives,
+    plan_solve,
     reset_store_binding,
     solve,
     solve_many,
     store_stats,
+    tiered_cache,
+)
+from .executors import (
+    BACKENDS,
+    AsyncQueueExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    SolveTask,
+    SolveTimeout,
+    resolve_executor,
 )
 from .fingerprint import fingerprint_v2, instance_fingerprint, solve_key
 from .store import STORE_VERSION, ResultStore, StoreStats, default_store_dir
+from .tiers import CacheTier, LRUTier, StoreTier, TieredCache
 
 __all__ = [
     "BatchTiming",
@@ -110,16 +134,33 @@ __all__ = [
     "MAXTHROUGHPUT",
     "MINBUSY",
     "EngineResult",
+    "SolvePlan",
     "cache_info",
+    "cached_result",
     "clear_cache",
     "clear_store",
     "configure_cache",
     "configure_store",
+    "install_result",
     "objectives",
+    "plan_solve",
     "reset_store_binding",
     "solve",
     "solve_many",
     "store_stats",
+    "tiered_cache",
+    "BACKENDS",
+    "AsyncQueueExecutor",
+    "Executor",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "SolveTask",
+    "SolveTimeout",
+    "resolve_executor",
+    "CacheTier",
+    "LRUTier",
+    "StoreTier",
+    "TieredCache",
     "fingerprint_v2",
     "instance_fingerprint",
     "solve_key",

@@ -7,6 +7,10 @@ objective-qualified instance fingerprint
 (:func:`repro.engine.fingerprint.solve_key`), so identical instances
 served repeatedly — the sustained-query-load scenario the engine exists
 for — cost one solve and then O(1) lookups.
+
+In the layered cache stack this is the backing structure of the top
+tier (:class:`repro.engine.tiers.LRUTier`); the solve service also
+reuses it directly for its wire-level response cache.
 """
 
 from __future__ import annotations

@@ -1,43 +1,66 @@
-"""The unified solve front door and the batch API.
+"""The unified solve front door, shrunk to layered dispatch.
 
-:func:`solve` is the one entry point callers need: it resolves the
-objective through the pluggable registry
-(:data:`repro.core.registry.REGISTRY` — all eight families register
-there, see :mod:`repro.engine.objectives`), normalizes the instance via
-the family's own hook, routes to the family's structure-aware dispatch
-table, and memoizes results in two tiers keyed by the objective-
-qualified content fingerprint: a per-process LRU on top of an optional
-disk-backed, cross-process store (:mod:`repro.engine.store`).
+:func:`solve` and :func:`solve_many` no longer hand-roll their own
+caching and fan-out pipelines; they compose three explicit layers:
 
-:func:`solve_many` scales that to instance streams: cache hits are
-resolved up front (LRU first, then one batched store probe), the
-remaining misses are solved either in-process or chunked across a
-``multiprocessing`` pool, and the results come back in input order
-regardless of worker scheduling — byte-identical to the sequential
-path.  Fresh results are folded back into both cache tiers, so worker
-pools and later processes share them.
+* **registry** — the objective is resolved through
+  :data:`repro.core.registry.REGISTRY` (all eight families register
+  there, see :mod:`repro.engine.objectives`), which normalizes the
+  instance and fingerprints its content;
+* **cache stack** — a :class:`~repro.engine.tiers.TieredCache` of
+  per-process LRU over the optional disk-backed cross-process store
+  (:mod:`repro.engine.store`), probed top-down with upward promotion
+  and write-through installs;
+* **executor** — remaining misses run on a pluggable
+  :class:`~repro.engine.executors.Executor` backend
+  (``backend=auto|serial|process|async``), all byte-identical by
+  construction and differential-tested.
+
+The decomposition is exposed as four primitives — :func:`plan_solve`,
+:func:`cached_result`, :func:`install_result`, and
+:class:`~repro.engine.executors.SolveTask` via :func:`SolvePlan.task`
+— which is exactly the loop the async service front end
+(:mod:`repro.service`) runs per request, with in-flight coalescing in
+between.  Content-identical instances inside one :func:`solve_many`
+batch are deduplicated by fingerprint before dispatch and the shared
+result is fanned back out positionally.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.errors import InstanceError
 from ..core.instance import BudgetInstance, Instance
 from ..core.registry import REGISTRY, ObjectiveSpec, Solved
 from ..core.schedule import Schedule
 from .cache import DEFAULT_CACHE_SIZE, CacheInfo, LRUCache
+from .executors import Executor, SolveTask, resolve_executor
 from .fingerprint import key_from_fingerprint
 from .store import ResultStore, StoreStats, default_store_dir
+from .tiers import LRUTier, StoreTier, TieredCache
 
 __all__ = [
     "MINBUSY",
     "MAXTHROUGHPUT",
     "EngineResult",
+    "SolvePlan",
+    "plan_solve",
+    "cached_result",
+    "install_result",
+    "tiered_cache",
     "solve",
     "solve_many",
     "objectives",
@@ -79,7 +102,7 @@ class EngineResult:
     ids.  Families with richer result structures (2-D, ring, tree,
     flexible) encode them positionally in ``detail`` instead — see the
     family's ``objective`` module for the rebuild helper.
-    ``from_cache`` marks results served from either cache tier;
+    ``from_cache`` marks results served from any cache tier;
     ``solve_seconds`` is the wall time of the original solve (cached
     hits keep the original timing).
     """
@@ -110,13 +133,6 @@ def objectives() -> List[str]:
 
     ensure_registered()
     return REGISTRY.names()
-
-
-def _normalized(
-    spec: ObjectiveSpec, instance: Any, params: Dict[str, Any]
-) -> Any:
-    spec.check_instance(instance)
-    return spec.normalize(instance, params)
 
 
 def _schedule_for(
@@ -242,6 +258,97 @@ def _stripped(result: EngineResult) -> EngineResult:
     return replace(result, schedule=schedule, from_cache=False)
 
 
+def tiered_cache() -> TieredCache:
+    """The engine's current cache stack: LRU over the optional store.
+
+    Rebuilt per call from the live bindings (cheap — two adapter
+    objects), so ``configure_store``/``REPRO_CACHE_DIR`` changes take
+    effect immediately and every entry point shares one composition
+    rule instead of special-casing tiers.
+    """
+    tiers: List[Any] = [LRUTier(_RESULT_CACHE)]
+    store = _active_store()
+    if store is not None:
+        tiers.append(StoreTier(store, prepare=_stripped))
+    return TieredCache(tiers)
+
+
+# ----------------------------------------------------------------------
+# the layered solve core: plan -> cache probe -> execute -> install
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SolvePlan:
+    """One routed solve: the spec, the normalized instance, its key.
+
+    Produced by :func:`plan_solve`; consumed by :func:`cached_result`
+    (tiered probe), the executor layer (via :meth:`task`), and
+    :func:`install_result` (write-through fold-back).  The service
+    front end drives exactly this cycle per request.
+    """
+
+    spec: ObjectiveSpec
+    instance: Any
+    fingerprint: str
+    key: str
+
+    def task(self) -> SolveTask:
+        """The executor-layer unit of work for this plan."""
+        return SolveTask(
+            instance=self.instance,
+            objective=self.spec.name,
+            fingerprint=self.fingerprint,
+            key=self.key,
+        )
+
+
+def plan_solve(
+    instance: Any,
+    objective: str = MINBUSY,
+    params: Optional[Mapping[str, Any]] = None,
+) -> SolvePlan:
+    """Resolve, type-check, normalize and fingerprint one solve."""
+    spec = _spec_for(objective)
+    spec.check_instance(instance)
+    inst = spec.normalize(instance, dict(params or {}))
+    fingerprint = spec.fingerprint(inst)
+    return SolvePlan(
+        spec=spec,
+        instance=inst,
+        fingerprint=fingerprint,
+        key=key_from_fingerprint(fingerprint, spec.name),
+    )
+
+
+def cached_result(
+    plan: SolvePlan, cache: Optional[TieredCache] = None
+) -> Optional[EngineResult]:
+    """The plan's result from the cache stack, rebound to its instance
+    (tiers are probed top-down; lower-tier hits are promoted)."""
+    cache = cache if cache is not None else tiered_cache()
+    hit = cache.get(plan.key)
+    if hit is None:
+        return None
+    return _serve_hit(hit, plan.instance)
+
+
+def install_result(
+    plan: SolvePlan,
+    result: EngineResult,
+    cache: Optional[TieredCache] = None,
+) -> None:
+    """Write a fresh result through every cache tier."""
+    cache = cache if cache is not None else tiered_cache()
+    cache.put(plan.key, result)
+
+
+def _verified(plan: SolvePlan, result: EngineResult) -> EngineResult:
+    if plan.spec.verify is not None:
+        plan.spec.verify(plan.instance, _as_solved(result))
+    return result
+
+
 # ----------------------------------------------------------------------
 # front door
 # ----------------------------------------------------------------------
@@ -254,6 +361,7 @@ def solve(
     budget: Optional[float] = None,
     use_cache: bool = True,
     verify: bool = False,
+    backend: str = "auto",
     **params: Any,
 ) -> EngineResult:
     """Solve one instance with the strongest applicable algorithm.
@@ -264,35 +372,25 @@ def solve(
     ``energy``; see :func:`objectives`.  Family parameters ride along
     as keywords (``budget=`` for MaxThroughput, ``power=`` for
     energy).  Results are memoized by objective-qualified content
-    fingerprint in the LRU and, when attached, the persistent store;
-    pass ``use_cache=False`` to force a fresh solve (the result still
-    refreshes both tiers).  ``verify=True`` re-checks the returned
+    fingerprint through the tiered cache stack (LRU, then the
+    persistent store when attached); pass ``use_cache=False`` to force
+    a fresh solve (the result still refreshes every tier).
+    ``backend`` picks the executor for a cache miss (single solves run
+    serially under ``auto``); ``verify=True`` re-checks the returned
     result with the family's registered verifier.
     """
-    spec = _spec_for(objective)
     if budget is not None:
         params["budget"] = budget
-    inst = _normalized(spec, instance, params)
-    fingerprint = spec.fingerprint(inst)
-    key = key_from_fingerprint(fingerprint, spec.name)
-    store = _active_store()
-    result: Optional[EngineResult] = None
+    plan = plan_solve(instance, objective, params)
+    cache = tiered_cache()
     if use_cache:
-        hit = _RESULT_CACHE.get(key)
-        if hit is None and store is not None:
-            hit = store.get(key)
-            if hit is not None:
-                _RESULT_CACHE.put(key, hit)
-        if hit is not None:
-            result = _serve_hit(hit, inst)
-    if result is None:
-        result = _solve_uncached(inst, spec, fingerprint)
-        _RESULT_CACHE.put(key, result)
-        if store is not None:
-            store.put(key, _stripped(result))
-    if verify and spec.verify is not None:
-        spec.verify(inst, _as_solved(result))
-    return result
+        result = cached_result(plan, cache)
+        if result is not None:
+            return _verified(plan, result) if verify else result
+    executor = resolve_executor(backend)
+    result = executor.run([plan.task()])[0]
+    install_result(plan, result, cache)
+    return _verified(plan, result) if verify else result
 
 
 def _as_solved(result: EngineResult) -> Solved:
@@ -307,18 +405,6 @@ def _as_solved(result: EngineResult) -> Solved:
     )
 
 
-def _solve_payload(payload: Tuple[Any, str, str]) -> EngineResult:
-    """Top-level worker entry point (must be picklable).
-
-    Workers receive already-normalized instances and never touch the
-    cache tiers — the parent resolves hits up front and folds fresh
-    results back, which keeps store writes single-sourced.
-    """
-    instance, objective, fingerprint = payload
-    spec = _spec_for(objective)
-    return _solve_uncached(instance, spec, fingerprint)
-
-
 def solve_many(
     instances: Sequence[Any],
     objective: str = MINBUSY,
@@ -327,48 +413,43 @@ def solve_many(
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     use_cache: bool = True,
+    backend: str = "auto",
+    executor: Optional[Executor] = None,
     **params: Any,
 ) -> List[EngineResult]:
     """Solve a batch of instances; results in input order.
 
-    ``workers=None``/``0``/``1`` solves sequentially in-process.  With
-    ``workers >= 2`` the cache misses are chunked across a
-    ``multiprocessing`` pool (``chunksize`` defaults to ~4 chunks per
-    worker); ``pool.map`` preserves submission order, so the output is
-    deterministic and equal to the sequential path regardless of worker
-    count.  Cache hits never travel to the pool; fresh results are
-    folded back into the parent LRU and the persistent store (when
-    attached), so repeated batches — and other processes — share them.
+    The batch runs the layered pipeline once: plan every instance,
+    probe the cache stack with one batched top-down pass, deduplicate
+    the remaining misses by fingerprint (content-identical instances
+    in one batch are solved once and fanned back out positionally),
+    run the unique misses on the selected executor backend, and fold
+    fresh results through every cache tier.
+
+    ``backend`` picks the executor: ``auto`` (default) preserves the
+    historical contract — fan out across a ``multiprocessing`` pool
+    iff ``workers >= 2``, else solve in-process; ``serial``,
+    ``process`` and ``async`` force a specific backend (all
+    byte-identical, differential-tested).  An explicit ``executor=``
+    instance overrides the knob entirely.  Results always come back in
+    input order regardless of worker scheduling.
     """
-    spec = _spec_for(objective)
     if budget is not None:
         params["budget"] = budget
-    insts = [_normalized(spec, inst, params) for inst in instances]
-    keys = [
-        key_from_fingerprint(spec.fingerprint(inst), spec.name)
-        for inst in insts
-    ]
-    results: List[Optional[EngineResult]] = [None] * len(insts)
-    misses: List[int] = []
-    for i, key in enumerate(keys):
-        if use_cache:
-            hit = _RESULT_CACHE.get(key)
-            if hit is not None:
-                results[i] = _serve_hit(hit, insts[i])
-                continue
-        misses.append(i)
+    plans = [plan_solve(inst, objective, params) for inst in instances]
+    cache = tiered_cache()
+    results: List[Optional[EngineResult]] = [None] * len(plans)
 
-    store = _active_store()
-    if use_cache and store is not None and misses:
-        # One batched probe of the disk tier for everything the LRU
-        # did not have; hits are promoted into the LRU.
-        stored = store.get_many({keys[i] for i in misses})
+    misses = list(range(len(plans)))
+    if use_cache and plans:
+        # One batched top-down probe of the whole stack; hits found in
+        # lower tiers are promoted on the way up.
+        hits = cache.get_many([plan.key for plan in plans])
         still: List[int] = []
-        for i in misses:
-            hit = stored.get(keys[i])
+        for i, plan in enumerate(plans):
+            hit = hits.get(plan.key)
             if hit is not None:
-                _RESULT_CACHE.put(keys[i], hit)
-                results[i] = _serve_hit(hit, insts[i])
+                results[i] = _serve_hit(hit, plan.instance)
             else:
                 still.append(i)
         misses = still
@@ -376,56 +457,30 @@ def solve_many(
     if not misses:
         return results  # type: ignore[return-value]
 
-    # Duplicate fingerprints inside one batch are solved once; every
-    # occurrence shares the result (rebound to its own jobs if the ids
-    # differ).  Fingerprints were computed once above — neither path
-    # recomputes them or re-probes the cache.
-    representative: dict = {}
-    unique_keys: List[str] = []
+    # Fingerprint-dedup before dispatch: duplicate keys inside one
+    # batch are solved once; every occurrence shares the result
+    # (rebound to its own jobs if the ids differ).
+    representative: Dict[str, int] = {}
+    unique: List[int] = []
     for i in misses:
-        if keys[i] not in representative:
-            representative[keys[i]] = i
-            unique_keys.append(keys[i])
+        if plans[i].key not in representative:
+            representative[plans[i].key] = i
+            unique.append(i)
 
-    fp_of = {key: key.split(":", 1)[1] for key in unique_keys}
-    if workers is None or workers <= 1 or len(unique_keys) == 1:
-        solved = {
-            key: _solve_uncached(
-                insts[representative[key]], spec, fp_of[key]
-            )
-            for key in unique_keys
-        }
-    else:
-        payloads = [
-            (insts[representative[key]], spec.name, fp_of[key])
-            for key in unique_keys
-        ]
-        if chunksize is None:
-            chunksize = max(1, len(payloads) // (workers * 4) or 1)
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=workers) as pool:
-            solved = dict(
-                zip(
-                    unique_keys,
-                    pool.map(_solve_payload, payloads, chunksize=chunksize),
-                )
-            )
-
-    for key, result in solved.items():
-        _RESULT_CACHE.put(key, result)
-    if store is not None:
-        store.put_many(
-            {key: _stripped(result) for key, result in solved.items()}
+    if executor is None:
+        executor = resolve_executor(
+            backend, workers=workers, chunksize=chunksize
         )
+    solved_list = executor.run([plans[i].task() for i in unique])
+    solved = {plans[i].key: res for i, res in zip(unique, solved_list)}
+
+    cache.put_many(solved)
     for i in misses:
-        result = solved[keys[i]]
-        if i != representative[keys[i]]:
+        result = solved[plans[i].key]
+        if i != representative[plans[i].key]:
             # In-batch duplicate: served from the entry its
             # representative just populated, rebound to its own jobs.
-            result = _serve_hit(result, insts[i])
+            result = _serve_hit(result, plans[i].instance)
         results[i] = result
     return results  # type: ignore[return-value]
 

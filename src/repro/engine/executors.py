@@ -1,0 +1,341 @@
+"""The executor layer: pluggable backends that run cache-miss solves.
+
+The engine's front door decides *what* needs solving (normalization,
+fingerprinting, cache probes, in-batch dedup); an :class:`Executor`
+decides *how* the remaining misses run.  Every backend consumes the
+same unit of work — a :class:`SolveTask` (normalized instance +
+objective + fingerprint) — and returns results in submission order, so
+backends are interchangeable and byte-identical by construction (the
+differential suite in ``tests/test_executors.py`` pins this across all
+eight registry families).
+
+Backends:
+
+* :class:`SerialExecutor` — in-process loop; the reference semantics.
+* :class:`ProcessPoolExecutor` — the deterministic chunked
+  ``multiprocessing`` fan-out that used to live inline in
+  ``solve_many`` (fork-server preferred, ordered ``pool.map``, ~4
+  chunks per worker).
+* :class:`AsyncQueueExecutor` — an ``asyncio`` queue with bounded
+  concurrency, optional per-request deadlines, and in-flight request
+  coalescing: duplicate concurrent solves of the same fingerprint
+  compute once and every waiter shares the result.  This is the
+  backend under ``repro serve``; its async API (:meth:`submit`) is
+  what the service awaits per request, and its sync :meth:`run` makes
+  it a drop-in ``solve_many`` backend.
+
+:func:`resolve_executor` maps the public ``backend=`` knob
+(``auto | serial | process | async``) plus ``workers=`` onto a
+concrete backend, preserving the historical ``solve_many`` behaviour:
+``auto`` fans out across processes iff ``workers >= 2``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Awaitable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+__all__ = [
+    "BACKENDS",
+    "SolveTask",
+    "SolveTimeout",
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "AsyncQueueExecutor",
+    "resolve_executor",
+]
+
+#: Accepted spellings of the ``backend=`` knob.
+BACKENDS = ("auto", "serial", "process", "async")
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One unit of executor work: an already-normalized instance.
+
+    ``key`` is the objective-qualified cache key — it is what the
+    async backend coalesces duplicate in-flight requests on, and what
+    the engine folds the result back into the cache stack under.
+    """
+
+    instance: Any
+    objective: str
+    fingerprint: str
+    key: str
+
+
+class SolveTimeout(TimeoutError):
+    """A solve exceeded its per-request deadline (async backend)."""
+
+    def __init__(self, task: SolveTask, deadline: float) -> None:
+        super().__init__(
+            f"solve of {task.objective}:{task.fingerprint[:12]}... "
+            f"exceeded its {deadline:.3g}s deadline"
+        )
+        self.task = task
+        self.deadline = deadline
+
+
+def _solve_task(task: SolveTask):
+    """Run one task to an :class:`~repro.engine.engine.EngineResult`.
+
+    Module-level (and importing the engine lazily) so process-pool
+    workers can unpickle and call it without re-entering this module's
+    import of the engine.
+    """
+    from .engine import _solve_uncached, _spec_for
+
+    spec = _spec_for(task.objective)
+    return _solve_uncached(task.instance, spec, task.fingerprint)
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """A backend that runs solve tasks and preserves submission order."""
+
+    name: str
+
+    def run(self, tasks: Sequence[SolveTask]) -> List[Any]: ...
+
+
+class SerialExecutor:
+    """In-process sequential execution — the reference backend."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[SolveTask]) -> List[Any]:
+        return [_solve_task(task) for task in tasks]
+
+
+class ProcessPoolExecutor:
+    """Deterministic chunked fan-out over a ``multiprocessing`` pool.
+
+    ``pool.map`` preserves submission order, so the output equals the
+    serial path regardless of worker scheduling; ``chunksize`` defaults
+    to ~4 chunks per worker.  Single-task batches short-circuit to the
+    serial path (a pool would only add fork/teardown cost).
+    """
+
+    name = "process"
+
+    def __init__(
+        self, workers: int = 2, chunksize: Optional[int] = None
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.chunksize = chunksize
+
+    def run(self, tasks: Sequence[SolveTask]) -> List[Any]:
+        if self.workers <= 1 or len(tasks) <= 1:
+            return SerialExecutor().run(tasks)
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (self.workers * 4) or 1)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=self.workers) as pool:
+            return pool.map(_solve_task, tasks, chunksize=chunksize)
+
+
+class _Inflight:
+    """One coalesced in-flight solve: a future plus its owning loop."""
+
+    __slots__ = ("loop", "future")
+
+    def __init__(
+        self, loop: asyncio.AbstractEventLoop, future: "asyncio.Future"
+    ) -> None:
+        self.loop = loop
+        self.future = future
+
+
+class AsyncQueueExecutor:
+    """Bounded-concurrency asyncio backend with request coalescing.
+
+    * ``max_concurrency`` solves run at once (a semaphore gates entry);
+      the rest queue.  Each admitted solve runs in a worker thread
+      (``asyncio.to_thread``) so the event loop stays free to accept
+      further requests — this is what lets one server process keep
+      many connections live while solves grind.
+    * ``deadline`` (seconds, per request; overridable per
+      :meth:`submit` call) bounds how long a caller waits; exceeding it
+      raises :class:`SolveTimeout`.  The underlying computation is not
+      interrupted — its result still lands in the coalescing slot for
+      any later identical request.
+    * Duplicate concurrent submissions of the same ``task.key``
+      *coalesce*: the first starts the solve, the rest await the same
+      future and share the one result.
+    """
+
+    name = "async"
+
+    def __init__(
+        self,
+        max_concurrency: int = 8,
+        *,
+        deadline: Optional[float] = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        self.max_concurrency = max_concurrency
+        self.deadline = deadline
+        self._inflight: Dict[str, _Inflight] = {}
+        # Strong refs to in-flight compute tasks: the event loop only
+        # keeps weak ones, and a GC'd task would strand its waiters.
+        self._tasks: set = set()
+        self._semaphores: Dict[
+            asyncio.AbstractEventLoop, asyncio.Semaphore
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # async API (what the service awaits)
+    # ------------------------------------------------------------------
+    def _semaphore(self) -> asyncio.Semaphore:
+        # Semaphores bind to the running loop; keep one per loop so the
+        # executor works both under the long-lived service loop and
+        # under the short-lived loop of a sync ``run`` call.
+        loop = asyncio.get_running_loop()
+        sem = self._semaphores.get(loop)
+        if sem is None:
+            sem = asyncio.Semaphore(self.max_concurrency)
+            self._semaphores[loop] = sem
+            if len(self._semaphores) > 8:  # drop closed loops' entries
+                self._semaphores = {
+                    lp: s for lp, s in self._semaphores.items()
+                    if not lp.is_closed()
+                }
+        return sem
+
+    async def _compute(self, task: SolveTask, slot: _Inflight) -> None:
+        try:
+            async with self._semaphore():
+                result = await asyncio.to_thread(_solve_task, task)
+        except asyncio.CancelledError:
+            # Event-loop shutdown: cancel (not fail) the slot so a
+            # never-awaited future doesn't log at GC time, and let the
+            # cancellation propagate as asyncio expects.
+            if not slot.future.done():
+                slot.future.cancel()
+            raise
+        except BaseException as exc:  # propagate to every waiter
+            if not slot.future.done():
+                slot.future.set_exception(exc)
+                # Mark the exception as observed even if every waiter
+                # timed out before it landed; awaiting still re-raises.
+                slot.future.exception()
+        else:
+            if not slot.future.done():
+                slot.future.set_result(result)
+        finally:
+            if self._inflight.get(task.key) is slot:
+                del self._inflight[task.key]
+
+    def submit(
+        self, task: SolveTask, *, deadline: Optional[float] = None
+    ) -> Awaitable[Any]:
+        """Coalesced, deadline-bounded solve of one task (awaitable)."""
+        return self._submit(task, deadline)
+
+    async def _submit(
+        self, task: SolveTask, deadline: Optional[float]
+    ) -> Any:
+        loop = asyncio.get_running_loop()
+        slot = self._inflight.get(task.key)
+        if slot is None or slot.loop is not loop or slot.future.done():
+            slot = _Inflight(loop, loop.create_future())
+            self._inflight[task.key] = slot
+            compute = loop.create_task(self._compute(task, slot))
+            self._tasks.add(compute)
+            compute.add_done_callback(self._tasks.discard)
+        if deadline is None:
+            deadline = self.deadline
+        waiter = asyncio.shield(slot.future)
+        if deadline is None:
+            return await waiter
+        try:
+            return await asyncio.wait_for(waiter, timeout=deadline)
+        except asyncio.TimeoutError:
+            raise SolveTimeout(task, deadline) from None
+
+    async def run_async(self, tasks: Sequence[SolveTask]) -> List[Any]:
+        """All tasks, bounded + coalesced, results in submission order."""
+        return list(
+            await asyncio.gather(*(self._submit(t, None) for t in tasks))
+        )
+
+    # ------------------------------------------------------------------
+    # sync API (the solve_many backend contract)
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[SolveTask]) -> List[Any]:
+        if not tasks:
+            return []
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self.run_async(tasks))
+        # Called from inside a running event loop (e.g. engine code
+        # driven by the service): run on a private loop in a helper
+        # thread instead of deadlocking the caller's loop.
+        box: List[Any] = []
+        error: List[BaseException] = []
+
+        def _runner() -> None:
+            try:
+                box.append(asyncio.run(self.run_async(tasks)))
+            except BaseException as exc:  # pragma: no cover - passthrough
+                error.append(exc)
+
+        thread = threading.Thread(target=_runner, daemon=True)
+        thread.start()
+        thread.join()
+        if error:
+            raise error[0]
+        return box[0]
+
+
+def resolve_executor(
+    backend: str = "auto",
+    *,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> Executor:
+    """Map the public ``backend=`` knob onto a concrete executor.
+
+    ``auto`` keeps the historical ``solve_many`` contract: fan out
+    across ``workers`` processes iff ``workers >= 2``, else run
+    serially.  ``process`` defaults to 2 workers when none are given;
+    ``async`` reads ``workers`` as its concurrency bound (default 8).
+    Unknown names raise ``ValueError`` listing :data:`BACKENDS`.
+    """
+    if backend == "auto":
+        if workers is not None and workers >= 2:
+            return ProcessPoolExecutor(workers, chunksize)
+        return SerialExecutor()
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "process":
+        return ProcessPoolExecutor(workers or 2, chunksize)
+    if backend == "async":
+        return AsyncQueueExecutor(workers or 8, deadline=deadline)
+    raise ValueError(
+        f"unknown backend {backend!r}; choose one of {', '.join(BACKENDS)}"
+    )

@@ -30,10 +30,13 @@ design chosen for multi-writer safety on POSIX filesystems:
   file, so ``repro cache stats`` shows that a second CLI invocation
   really was served from disk.
 
-The engine uses the store read-through/write-behind: probes go LRU →
-store, fresh results land in the LRU first and are then appended here
-(with ``schedule=None`` — positional encodings rebuild schedules on
-the way out, so cached bytes stay compact and id-free).
+In the layered cache stack this is the backing structure of the
+persistent tier (:class:`repro.engine.tiers.StoreTier`): the
+:class:`~repro.engine.tiers.TieredCache` probes LRU → store, promotes
+store hits into the LRU, and writes fresh results through both tiers —
+this tier's ``prepare`` transform strips results to ``schedule=None``
+on the way in (positional encodings rebuild schedules on the way out,
+so persisted bytes stay compact and id-free).
 """
 
 from __future__ import annotations

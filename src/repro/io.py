@@ -57,6 +57,7 @@ __all__ = [
     "ring_instance_from_dict",
     "tree_instance_from_dict",
     "flex_instance_from_dict",
+    "objective_instance_from_dict",
     "load_objective_instance",
     "FAMILY_FORMAT_OBJECTIVES",
 ]
@@ -282,6 +283,28 @@ _OBJECTIVE_LOADERS = {
 FAMILY_FORMAT_OBJECTIVES = tuple(_OBJECTIVE_LOADERS)
 
 
+def objective_instance_from_dict(data: dict, objective: str):
+    """Deserialize an already-parsed document for any objective.
+
+    The dict-level twin of :func:`load_objective_instance` — the solve
+    service receives instance documents over the wire rather than as
+    files, so the format dispatch must work without a path.
+    ``minbusy``/``maxthroughput``/``capacity``/``energy`` use the base
+    job-list shape (:func:`instance_from_dict`); the extension
+    families use their own JSON shapes documented in the module
+    docstring.
+    """
+    if not isinstance(data, dict):
+        raise InstanceError(
+            f"instance document must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    loader = _OBJECTIVE_LOADERS.get(objective)
+    if loader is None:
+        return instance_from_dict(data)
+    return loader(data)
+
+
 def load_objective_instance(path: Union[str, Path], objective: str):
     """Read the instance file for any registered objective.
 
@@ -289,14 +312,13 @@ def load_objective_instance(path: Union[str, Path], objective: str):
     job-list format (:func:`load_instance`); the extension families use
     their own JSON shapes documented in the module docstring.
     """
-    loader = _OBJECTIVE_LOADERS.get(objective)
-    if loader is None:
+    if objective not in _OBJECTIVE_LOADERS:
         return load_instance(path)
     try:
         data = json.loads(Path(path).read_text())
     except json.JSONDecodeError as exc:
         raise InstanceError(f"{path}: not valid JSON ({exc})") from exc
-    return loader(data)
+    return objective_instance_from_dict(data, objective)
 
 
 def save_instance_csv(instance: AnyInstance, path: Union[str, Path]) -> None:

@@ -1,0 +1,32 @@
+"""The service layer: solves over a socket, on top of the engine core.
+
+The third layer of the execution stack (cache tiers -> executors ->
+service; see ``ARCHITECTURE.md``): an asyncio front end that serves
+every registered objective family over newline-delimited JSON, with
+bounded concurrency, per-request deadlines, and in-flight coalescing
+from the :class:`~repro.engine.executors.AsyncQueueExecutor` it runs
+on.  ``repro serve`` starts one from the CLI; :class:`ServiceClient`
+is the blocking consumer used by tests and benchmarks.
+"""
+
+from .client import ServiceClient, ServiceError
+from .protocol import (
+    decode,
+    encode,
+    error_doc,
+    params_from_doc,
+    result_to_doc,
+)
+from .server import ServerHandle, SolveServer
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "SolveServer",
+    "ServerHandle",
+    "decode",
+    "encode",
+    "error_doc",
+    "params_from_doc",
+    "result_to_doc",
+]

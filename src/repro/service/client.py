@@ -1,0 +1,163 @@
+"""Blocking client for the solve service (stdlib sockets).
+
+The synchronous counterpart of :class:`~repro.service.server.
+SolveServer`: one TCP connection, newline-delimited JSON requests,
+responses parsed back into plain dicts.  Used by the test suites, the
+E19 benchmark, and any consumer who wants solves over the wire without
+touching asyncio::
+
+    with ServiceClient("127.0.0.1", 8753) as client:
+        doc = client.solve({"g": 3, "jobs": [...]})
+        for res in client.solve_many([doc1, doc2], objective="rect2d"):
+            ...
+        stats = client.cache_stats()
+
+Failed requests raise :class:`ServiceError` carrying the server's
+error type and message; transport-level hangs are bounded by the
+``timeout`` socket option.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from .protocol import MAX_LINE_BYTES, decode, encode
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A request the server answered with ``ok: false``."""
+
+    def __init__(self, error: Dict[str, Any]) -> None:
+        self.type = str(error.get("type", "Error"))
+        self.message = str(error.get("message", ""))
+        super().__init__(f"{self.type}: {self.message}")
+
+
+class ServiceClient:
+    """One blocking NDJSON connection to a solve server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8753,
+        *,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection(
+            (host, port), timeout=timeout
+        )
+        self._fh = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _send(self, doc: Dict[str, Any]) -> None:
+        self._sock.sendall(encode(doc))
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._fh.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode(line)
+
+    def request(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """One request, one response line; raises on ``ok: false``."""
+        self._send(doc)
+        response = self._recv()
+        if not response.get("ok", False):
+            raise ServiceError(response.get("error", {}))
+        return response
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        instance: Dict[str, Any],
+        objective: str = "minbusy",
+        *,
+        params: Optional[Dict[str, Any]] = None,
+        cache: bool = True,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Solve one instance document; returns the result document."""
+        doc: Dict[str, Any] = {
+            "op": "solve",
+            "objective": objective,
+            "instance": instance,
+            "cache": cache,
+        }
+        if params:
+            doc["params"] = params
+        if deadline is not None:
+            doc["deadline"] = deadline
+        return self.request(doc)["result"]
+
+    def iter_solve_many(
+        self,
+        instances: Sequence[Dict[str, Any]],
+        objective: str = "minbusy",
+        *,
+        params: Optional[Dict[str, Any]] = None,
+        cache: bool = True,
+        deadline: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream result documents in input order as the server emits
+        them (the terminal ``done`` line is consumed internally)."""
+        doc: Dict[str, Any] = {
+            "op": "solve_many",
+            "objective": objective,
+            "instances": list(instances),
+            "cache": cache,
+        }
+        if params:
+            doc["params"] = params
+        if deadline is not None:
+            doc["deadline"] = deadline
+        self._send(doc)
+        while True:
+            response = self._recv()
+            if not response.get("ok", False):
+                raise ServiceError(response.get("error", {}))
+            if response.get("done"):
+                return
+            yield response["result"]
+
+    def solve_many(
+        self,
+        instances: Sequence[Dict[str, Any]],
+        objective: str = "minbusy",
+        **kwargs: Any,
+    ) -> List[Dict[str, Any]]:
+        """All result documents of one streamed batch, in input order."""
+        return list(self.iter_solve_many(instances, objective, **kwargs))
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Per-tier counters of the server's cache stack."""
+        return self.request({"op": "cache_stats"})["stats"]
+
+    def objectives(self) -> List[str]:
+        return list(self.request({"op": "objectives"})["objectives"])
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,537 @@
+"""The asyncio solve service: NDJSON over TCP, stdlib only.
+
+One :class:`SolveServer` process serves every registered objective
+family over a socket, running the engine's layered core per request —
+``plan -> tiered-cache probe -> executor -> install`` — with the
+:class:`~repro.engine.executors.AsyncQueueExecutor` in the execute
+slot, so the server keeps accepting connections while solves grind in
+worker threads, concurrency stays bounded, per-request deadlines are
+enforced, and duplicate concurrent solves of the same fingerprint
+compute once (in-flight coalescing).
+
+Request handling:
+
+* ``solve`` — the layered cycle above; warm-cache requests never touch
+  the executor.
+* ``solve_many`` — per-item fan-out through the same coalescing
+  executor; responses stream back one line per result *in input
+  order*, so clients consume results while later items still compute.
+* ``cache_stats`` — per-tier counters of the live cache stack.
+* ``objectives`` / ``ping`` — introspection and liveness.
+
+Connections are independent asyncio tasks; within a connection,
+pipelined requests are handled concurrently and responses (tagged
+with the request's ``id``) are written under a per-connection lock.
+Every per-request failure becomes an error *response line* — a bad
+request never tears down the connection, let alone the server.
+
+``repro serve`` is the CLI front end; tests and benchmarks use
+:func:`SolveServer.run_in_thread` to host a live server in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Awaitable, Callable, Dict, List, Optional
+
+from ..core.errors import InstanceError
+from ..engine.cache import LRUCache
+from ..engine.executors import BACKENDS, AsyncQueueExecutor
+from ..io import objective_instance_from_dict
+from .protocol import (
+    MAX_LINE_BYTES,
+    decode,
+    encode,
+    error_doc,
+    params_from_doc,
+    result_to_doc,
+)
+
+__all__ = ["SolveServer", "ServerHandle"]
+
+Send = Callable[[Dict[str, Any]], Awaitable[None]]
+
+
+class SolveServer:
+    """Serve ``solve``/``solve_many``/``cache stats`` over a socket.
+
+    ``backend`` selects the executor for ``solve_many`` batches
+    (``async`` — the default — shares the coalescing executor with
+    single solves; ``serial``/``process`` route batches through the
+    engine's other backends, ``process`` fanning out over ``workers``
+    processes).  ``max_concurrency`` bounds simultaneous solves,
+    ``deadline`` is the default per-request time limit in seconds
+    (``None`` = unbounded), and ``port=0`` binds an ephemeral port
+    (read :attr:`port` after startup).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        backend: str = "async",
+        workers: Optional[int] = None,
+        max_concurrency: int = 16,
+        deadline: Optional[float] = None,
+        response_cache_size: int = 4096,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose one of "
+                f"{', '.join(BACKENDS)}"
+            )
+        self.host = host
+        self.port = port
+        self.backend = backend
+        self.workers = workers
+        self.deadline = deadline
+        self.executor = AsyncQueueExecutor(
+            max_concurrency, deadline=deadline
+        )
+        # The wire tier: exact request line bytes -> pre-encoded
+        # response bytes.  The engine's tiered cache dedupes *solves*;
+        # this dedupes the serving work around them (JSON decode,
+        # instance rebuild, normalization, fingerprinting, result
+        # serialization), so a warm repeated request costs one dict
+        # lookup and one socket write.  Sound for the same reason the
+        # engine tiers are: responses are pure functions of request
+        # content and never mutated; keys are the literal bytes, so a
+        # request that differs at all — even in field order — simply
+        # misses and takes the full path.
+        self.response_cache = LRUCache(response_cache_size)
+        # Keys whose install is currently in flight.  Coalesced waiters
+        # all resume at once when a shared solve lands; the first to
+        # reach the install step claims the key here (atomic between
+        # awaits — one event loop) and the rest skip, so one
+        # computation means one store append, not one per waiter.
+        self._installing: set = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    # request handlers
+    # ------------------------------------------------------------------
+    def _canonical_objective(self, doc: Dict[str, Any]) -> str:
+        from ..core.registry import REGISTRY
+        from ..engine.objectives import ensure_registered
+
+        ensure_registered()
+        return REGISTRY.canonical(doc.get("objective", "minbusy"))
+
+    async def _solve_one(
+        self,
+        plan,
+        *,
+        use_cache: bool,
+        deadline: Optional[float],
+    ):
+        """The layered core for one request: probe, execute, install.
+
+        Cache probes and installs run off-loop (``to_thread``): with a
+        persistent store attached they are real disk I/O — fcntl-locked
+        fsync'd appends, segment scans — and must not stall the event
+        loop for every other connection.
+        """
+        from ..engine.engine import cached_result, install_result
+
+        if use_cache:
+            hit = await asyncio.to_thread(cached_result, plan)
+            if hit is not None:
+                return hit
+        result = await self.executor.submit(plan.task(), deadline=deadline)
+        if plan.key not in self._installing:
+            self._installing.add(plan.key)
+            try:
+                await asyncio.to_thread(install_result, plan, result)
+            finally:
+                self._installing.discard(plan.key)
+        return result
+
+    @staticmethod
+    def _wire_cacheable(doc: Dict[str, Any]) -> bool:
+        """Whether a request's response may be replayed byte-for-byte.
+
+        Only plain cached ``solve`` requests qualify; ``id`` and
+        ``deadline`` are per-request fields, so their presence opts the
+        request out of the wire tier (it still hits the engine tiers).
+        """
+        return (
+            doc.get("op") == "solve"
+            and bool(doc.get("cache", True))
+            and "id" not in doc
+            and "deadline" not in doc
+        )
+
+    async def _handle_solve(
+        self,
+        doc: Dict[str, Any],
+        send: Send,
+        raw: Optional[bytes] = None,
+    ) -> None:
+        from ..engine.engine import plan_solve
+
+        objective = self._canonical_objective(doc)
+        use_cache = bool(doc.get("cache", True))
+        params = params_from_doc(objective, doc.get("params"))
+        inst = objective_instance_from_dict(doc.get("instance"), objective)
+        plan = await asyncio.to_thread(plan_solve, inst, objective, params)
+        result = await self._solve_one(
+            plan,
+            use_cache=use_cache,
+            deadline=doc.get("deadline", self.deadline),
+        )
+        result_doc = result_to_doc(result)
+        if raw is not None and self._wire_cacheable(doc):
+            # Install the fully-encoded replay: a repeat of these exact
+            # request bytes is answered straight from the read loop.
+            # Replays *are* cache hits, whichever tier first served us.
+            self.response_cache.put(
+                raw,
+                encode(
+                    {
+                        "ok": True,
+                        "result": {**result_doc, "from_cache": True},
+                    }
+                ),
+            )
+        await send(
+            {"ok": True, "result": result_doc, "id": doc.get("id")}
+        )
+
+    async def _handle_solve_many(
+        self, doc: Dict[str, Any], send: Send
+    ) -> None:
+        from ..engine.engine import plan_solve, solve_many
+
+        objective = self._canonical_objective(doc)
+        params = params_from_doc(objective, doc.get("params"))
+        docs = doc.get("instances")
+        if not isinstance(docs, list):
+            raise InstanceError(
+                'solve_many needs "instances": [instance documents]'
+            )
+        instances = [
+            objective_instance_from_dict(d, objective) for d in docs
+        ]
+        use_cache = bool(doc.get("cache", True))
+        deadline = doc.get("deadline", self.deadline)
+        request_id = doc.get("id")
+
+        if self.backend == "async":
+            # Per-item fan-out through the shared coalescing executor:
+            # results stream back in input order as they complete, and
+            # duplicate fingerprints (inside the batch or across other
+            # live requests) compute once.
+            plans = await asyncio.to_thread(
+                lambda: [
+                    plan_solve(inst, objective, params)
+                    for inst in instances
+                ]
+            )
+            pending = [
+                asyncio.ensure_future(
+                    self._solve_one(
+                        plan, use_cache=use_cache, deadline=deadline
+                    )
+                )
+                for plan in plans
+            ]
+            try:
+                for seq, fut in enumerate(pending):
+                    result = await fut
+                    await send(
+                        {
+                            "ok": True,
+                            "seq": seq,
+                            "result": result_to_doc(result),
+                            "id": request_id,
+                        }
+                    )
+            finally:
+                for fut in pending:
+                    fut.cancel()
+        else:
+            # serial/process/auto: one engine batch call off-loop —
+            # chunked multiprocessing and the in-batch fingerprint
+            # dedup come from the engine unchanged.
+            results = await asyncio.to_thread(
+                lambda: solve_many(
+                    instances,
+                    objective,
+                    workers=self.workers,
+                    use_cache=use_cache,
+                    backend=self.backend,
+                    **params,
+                )
+            )
+            for seq, result in enumerate(results):
+                await send(
+                    {
+                        "ok": True,
+                        "seq": seq,
+                        "result": result_to_doc(result),
+                        "id": request_id,
+                    }
+                )
+        await send(
+            {
+                "ok": True,
+                "done": True,
+                "count": len(instances),
+                "id": request_id,
+            }
+        )
+
+    async def _handle_cache_stats(
+        self, doc: Dict[str, Any], send: Send
+    ) -> None:
+        from ..engine.engine import tiered_cache
+
+        stats = await asyncio.to_thread(lambda: tiered_cache().stats())
+        info = self.response_cache.info()
+        stats["wire"] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "size": info.size,
+            "maxsize": info.maxsize,
+        }
+        await send({"ok": True, "stats": stats, "id": doc.get("id")})
+
+    async def _handle_meta(
+        self, doc: Dict[str, Any], send: Send
+    ) -> None:
+        from ..engine.engine import objectives
+
+        op = doc["op"]
+        if op == "ping":
+            await send({"ok": True, "pong": True, "id": doc.get("id")})
+        else:
+            await send(
+                {"ok": True, "objectives": objectives(), "id": doc.get("id")}
+            )
+
+    async def _dispatch(
+        self,
+        doc: Dict[str, Any],
+        send: Send,
+        raw: Optional[bytes] = None,
+    ) -> None:
+        op = doc.get("op")
+        try:
+            if op == "solve":
+                await self._handle_solve(doc, send, raw)
+            elif op == "solve_many":
+                await self._handle_solve_many(doc, send)
+            elif op == "cache_stats":
+                await self._handle_cache_stats(doc, send)
+            elif op in ("ping", "objectives"):
+                await self._handle_meta(doc, send)
+            else:
+                raise InstanceError(
+                    f"unknown op {op!r}; expected solve, solve_many, "
+                    "cache_stats, objectives or ping"
+                )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # Every per-request failure — family errors, timeouts, a
+            # sick store tier (OSError), even a solver bug — becomes an
+            # error *response line*; the client must never be left
+            # waiting on a request that silently died.
+            await send(error_doc(exc, doc.get("id")))
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+
+        async def send(doc: Dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(encode(doc))
+                await writer.drain()
+
+        async def send_bytes(data: bytes) -> None:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+
+        tasks: List[asyncio.Task] = []
+        cancelled = False
+        try:
+            while True:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError:
+                    break
+                except asyncio.LimitOverrunError:
+                    await send(
+                        error_doc(
+                            InstanceError(
+                                f"request line exceeds {MAX_LINE_BYTES} bytes"
+                            )
+                        )
+                    )
+                    break
+                if not line.strip():
+                    continue
+                # Wire-tier fast path: these exact bytes were answered
+                # before — replay the pre-encoded response from the
+                # read loop, no parsing, no task, no engine.
+                replay = self.response_cache.get(line)
+                if replay is not None:
+                    await send_bytes(replay)
+                    continue
+                try:
+                    doc = decode(line)
+                except InstanceError as exc:
+                    await send(error_doc(exc))
+                    continue
+                # Pipelined requests on one connection run concurrently;
+                # response lines carry the request id.
+                task = asyncio.ensure_future(
+                    self._dispatch(doc, send, line)
+                )
+                tasks.append(task)
+                tasks = [t for t in tasks if not t.done()]
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown mid-connection: fall through to cleanup
+            # and end the handler quietly.
+            cancelled = True
+        finally:
+            if cancelled:
+                for task in tasks:
+                    task.cancel()
+            # A half-closed client (EOF on reads, still listening) gets
+            # its remaining pipelined responses before the close.
+            try:
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            except asyncio.CancelledError:
+                pass
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> asyncio.AbstractServer:
+        """Bind and start accepting; resolves the actual port."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        return self._server
+
+    async def serve_async(
+        self, ready: Optional[Callable[["SolveServer"], None]] = None
+    ) -> None:
+        server = await self.start()
+        if ready is not None:
+            ready(self)  # the socket is bound; self.port is resolved
+        async with server:
+            await server.serve_forever()
+
+    def run(
+        self, ready: Optional[Callable[["SolveServer"], None]] = None
+    ) -> None:
+        """Blocking serve loop (the ``repro serve`` entry point).
+
+        Bind failures (occupied port, bad interface) raise ``OSError``
+        out of here before any traffic is handled, so the CLI can turn
+        them into actionable exit messages; ``ready`` fires only after
+        the socket is actually bound (use it for readiness banners).
+        """
+        try:
+            asyncio.run(self.serve_async(ready))
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    def run_in_thread(self) -> "ServerHandle":
+        """Host this server on a daemon thread; returns once bound.
+
+        The returned :class:`ServerHandle` exposes the resolved port
+        and a ``stop()``; bind errors re-raise here in the caller.
+        """
+        handle = ServerHandle(self)
+        handle._start()
+        return handle
+
+
+class ServerHandle:
+    """A live in-process server: its port, and the off switch."""
+
+    def __init__(self, server: SolveServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _start(self) -> None:
+        def _serve() -> None:
+            async def _main() -> None:
+                try:
+                    bound = await self.server.start()
+                except BaseException as exc:
+                    self._error = exc
+                    self._ready.set()
+                    return
+                self._loop = asyncio.get_running_loop()
+                self._ready.set()
+                async with bound:
+                    try:
+                        await bound.serve_forever()
+                    except asyncio.CancelledError:
+                        pass
+
+            asyncio.run(_main())
+
+        self._thread = threading.Thread(target=_serve, daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._error is not None:
+            raise self._error
+
+    def stop(self, timeout: float = 5.0) -> None:
+        loop, server = self._loop, self.server._server
+        if loop is not None and server is not None:
+
+            def _shutdown() -> None:
+                server.close()
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            try:
+                loop.call_soon_threadsafe(_shutdown)
+            except RuntimeError:  # loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,21 +1,36 @@
-"""Importable reference oracles shared across test modules.
+"""Importable reference oracles and generators shared across tests.
 
 These brute-force solvers used to live in ``conftest.py``, but test
 modules cannot import from a conftest with a plain import (and relative
 imports fail when the test directory is collected as top-level modules).
 Keeping them in a regular module makes ``from tests.helpers import ...``
 work everywhere — including under ``pytest --collect-only``.
+
+:func:`family_instance` / :func:`family_request` are the seeded
+per-family generators behind the executor-backend differential suite
+and the service tests: one canonical way to produce "a random instance
+of family F at seed s", both as an engine instance object and as the
+wire-format ``(instance document, params)`` pair the service speaks.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import zlib
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.intervals import union_length
 from repro.core.jobs import Job
 from repro.core.machines import max_concurrency
 
-__all__ = ["brute_force_min_busy", "brute_force_max_throughput"]
+__all__ = [
+    "brute_force_min_busy",
+    "brute_force_max_throughput",
+    "ALL_FAMILIES",
+    "family_instance",
+    "family_request",
+]
 
 
 def brute_force_min_busy(jobs: Sequence[Job], g: int) -> float:
@@ -67,3 +82,135 @@ def brute_force_max_throughput(jobs: Sequence[Job], g: int, budget: float) -> in
         if brute_force_min_busy(subset, g) <= budget + 1e-9:
             best = k
     return best
+
+
+# ----------------------------------------------------------------------
+# per-family seeded generators (wire format + engine instances)
+# ----------------------------------------------------------------------
+
+#: Every registered objective family, in registry order.
+ALL_FAMILIES = (
+    "capacity",
+    "energy",
+    "flexible",
+    "maxthroughput",
+    "minbusy",
+    "rect2d",
+    "ring",
+    "tree",
+)
+
+
+def family_request(family: str, seed: int) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """A seeded ``(instance document, params document)`` pair.
+
+    The documents use the wire/file JSON shapes of :mod:`repro.io` —
+    exactly what the service receives — and alternate dispatch arms by
+    seed parity where a family has several (2-D gamma ratio, flexible
+    tight-vs-slack, unit-vs-multi demand), so differential suites
+    built on this cover every algorithm the dispatch tables can pick.
+    """
+    # zlib.crc32, not hash(): string hashing is salted per process and
+    # the generated content must be reproducible across runs/hosts.
+    rng = np.random.default_rng(
+        zlib.crc32(f"{family}:{seed}".encode()) % (2**32)
+    )
+    n = 10
+
+    def _jobs(demands=False):
+        starts = rng.uniform(0.0, 40.0, n)
+        lengths = rng.uniform(1.0, 12.0, n)
+        return [
+            {
+                "start": float(s),
+                "end": float(s + ln),
+                "weight": float(rng.uniform(0.5, 2.0)),
+                "demand": int(rng.integers(1, 4)) if demands else 1,
+            }
+            for s, ln in zip(starts, lengths)
+        ]
+
+    if family == "minbusy":
+        return {"g": 3, "jobs": _jobs()}, {}
+    if family == "maxthroughput":
+        return (
+            {"g": 3, "budget": float(20.0 + seed % 17), "jobs": _jobs()},
+            {},
+        )
+    if family == "capacity":
+        multi = seed % 2 == 0  # alternate demand FirstFit vs minbusy arm
+        return {"g": 4, "jobs": _jobs(demands=multi)}, {}
+    if family == "energy":
+        return (
+            {"g": 3, "jobs": _jobs()},
+            {
+                "power": {
+                    "busy_power": 1.0,
+                    "idle_power": 0.4,
+                    "wake_cost": 2.5,
+                }
+            },
+        )
+    if family == "rect2d":
+        hi = 2.0 if seed % 2 == 0 else 8.0  # FirstFit vs Bucket arm
+        rects = []
+        for _ in range(n):
+            x0 = float(rng.uniform(0.0, 30.0))
+            w = float(rng.uniform(1.0, hi))
+            y0 = float(rng.uniform(0.0, 10.0))
+            h = float(rng.uniform(1.0, 4.0))
+            rects.append({"x0": x0, "y0": y0, "x1": x0 + w, "y1": y0 + h})
+        return {"g": 3, "rects": rects}, {}
+    if family == "ring":
+        lo, hi = (0.1, 0.3) if seed % 2 == 0 else (0.02, 0.45)
+        jobs = []
+        for t in rng.uniform(0.0, 40.0, n):
+            jobs.append(
+                {
+                    "a0": float(rng.uniform(0.0, 1.0)),
+                    "alen": float(rng.uniform(lo, hi)),
+                    "t0": float(t),
+                    "t1": float(t + rng.uniform(1.0, 10.0)),
+                }
+            )
+        return {"g": 3, "circumference": 1.0, "jobs": jobs}, {}
+    if family == "tree":
+        n_nodes = 8
+        edges = [
+            [int(rng.integers(0, v)), v, float(rng.uniform(0.5, 3.0))]
+            for v in range(1, n_nodes)
+        ]
+        pairs = rng.integers(0, n_nodes, size=(n + 2, 2))
+        paths = [[int(u), int(v)] for u, v in pairs if u != v]
+        return {"g": 3, "tree": {"n": n_nodes, "edges": edges}, "paths": paths}, {}
+    if family == "flexible":
+        tight = seed % 2 == 0  # tight windows route through the reduction
+        jobs = []
+        for s, w in zip(rng.uniform(0, 25, 8), rng.uniform(2.0, 8.0, 8)):
+            proc = w if tight else max(0.5, w * rng.uniform(0.3, 0.9))
+            jobs.append(
+                {
+                    "window_start": float(s),
+                    "window_end": float(s + w),
+                    "proc": float(proc),
+                }
+            )
+        return {"g": 2, "jobs": jobs}, {}
+    raise ValueError(f"unknown family {family!r}")
+
+
+def family_instance(family: str, seed: int) -> Tuple[Any, Dict[str, Any]]:
+    """The same seeded request as engine-level ``(instance, kwargs)``.
+
+    Built *from the wire documents* through the same :mod:`repro.io`
+    loaders the service uses, so in-process and over-the-wire tests
+    solve literally identical content.
+    """
+    from repro.io import objective_instance_from_dict
+    from repro.service.protocol import params_from_doc
+
+    doc, params = family_request(family, seed)
+    return (
+        objective_instance_from_dict(doc, family),
+        params_from_doc(family, params),
+    )

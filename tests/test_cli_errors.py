@@ -1,0 +1,212 @@
+"""CLI error paths and machine-readable output contracts.
+
+Every failure mode a CI script or operator hits must exit non-zero
+with an actionable one-liner — never a traceback: unknown
+``--objective``, malformed family JSON, an unusable ``REPRO_CACHE_DIR``
+(or ``--store``) directory, and ``repro serve`` on an occupied port.
+Alongside them, the machine-readable contracts: ``repro bench --json``
+and ``repro cache stats --json`` must emit parseable documents with
+stable keys so CI and the drift checker never scrape human tables.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.cli import main
+from repro.engine import clear_cache, reset_store_binding
+from tests.helpers import family_request
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine_state():
+    clear_cache()
+    reset_store_binding()
+    yield
+    clear_cache()
+    reset_store_binding()
+
+
+@pytest.fixture()
+def inst_path(tmp_path):
+    doc, _ = family_request("minbusy", 0)
+    path = tmp_path / "inst.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+@pytest.fixture()
+def bad_store_dir(tmp_path):
+    """A store path routed through a regular file: mkdir always fails
+    (even for root, unlike permission-bit tricks)."""
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    return str(blocker / "store")
+
+
+def exit_message(excinfo) -> str:
+    code = excinfo.value.code
+    return code if isinstance(code, str) else ""
+
+
+class TestUnknownObjective:
+    def test_solve_unknown_objective_lists_registry(self, inst_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", inst_path, "--objective", "makespan"])
+        message = exit_message(excinfo)
+        assert "unknown objective" in message
+        assert "minbusy" in message and "rect2d" in message
+        assert excinfo.value.code not in (0, None)
+
+    def test_batch_unknown_objective(self, inst_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["solve", inst_path, inst_path, "--objective", "nope"]
+            )
+        assert "unknown objective" in exit_message(excinfo)
+
+
+class TestMalformedFamilyJson:
+    def test_rect2d_missing_rects(self, tmp_path):
+        path = tmp_path / "bad_rect.json"
+        path.write_text(json.dumps({"g": 3}))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", str(path), "--objective", "rect2d"])
+        message = exit_message(excinfo)
+        assert str(path) in message
+        assert "rects" in message
+
+    def test_ring_bad_job_record(self, tmp_path):
+        path = tmp_path / "bad_ring.json"
+        path.write_text(
+            json.dumps({"g": 3, "jobs": [{"a0": 0.1}]})  # missing fields
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", str(path), "--objective", "ring"])
+        assert "ring job record" in exit_message(excinfo)
+
+    def test_not_json_at_all(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{definitely not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", str(path), "--objective", "flexible"])
+        assert "not valid JSON" in exit_message(excinfo)
+
+    def test_csv_rejected_for_family_format(self, tmp_path):
+        path = tmp_path / "jobs.csv"
+        path.write_text("start,end\n0,1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", str(path), "--objective", "rect2d", "--g", "2"])
+        assert "JSON format" in exit_message(excinfo)
+
+
+class TestUnusableStoreDir:
+    def test_env_cache_dir_actionable_exit(
+        self, inst_path, bad_store_dir, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", bad_store_dir)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", inst_path])
+        message = exit_message(excinfo)
+        assert "REPRO_CACHE_DIR" in message
+        assert "--no-store" in message
+        assert excinfo.value.code not in (0, None)
+
+    def test_store_flag_actionable_exit(self, inst_path, bad_store_dir):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", inst_path, "--store", bad_store_dir])
+        assert f"--store {bad_store_dir}" in exit_message(excinfo)
+
+    def test_no_store_flag_bypasses_bad_env(
+        self, inst_path, bad_store_dir, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", bad_store_dir)
+        assert main(["solve", inst_path, "--no-store", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["problem"] == "minbusy"
+
+    def test_serve_with_bad_store_dir(self, bad_store_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", bad_store_dir)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "0"])
+        assert "REPRO_CACHE_DIR" in exit_message(excinfo)
+
+
+class TestServeErrors:
+    def test_occupied_port_exits_with_hint(self, capsys):
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            with pytest.raises(SystemExit) as excinfo:
+                main(["serve", "--port", str(port), "--no-store"])
+        finally:
+            blocker.close()
+        message = exit_message(excinfo)
+        assert "cannot serve" in message
+        assert "--port" in message
+        assert excinfo.value.code not in (0, None)
+
+
+class TestMachineReadableOutput:
+    def test_bench_json_schema(self, capsys):
+        assert (
+            main(
+                [
+                    "bench",
+                    "--n", "256",
+                    "--firstfit-n", "128",
+                    "--batch-size", "4",
+                    "--batch-jobs", "8",
+                    "--repeats", "1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"kernels", "firstfit", "batch"}
+        for row in doc["kernels"]:
+            assert {"kernel", "n", "speedup"} <= set(row)
+        for row in doc["firstfit"]:
+            assert {"variant", "n", "auto_backend", "speedup"} <= set(row)
+        assert {"n_instances", "cold_seconds", "cache_speedup"} <= set(
+            doc["batch"]
+        )
+
+    def test_cache_stats_json_schema(self, tmp_path, capsys):
+        assert (
+            main(["cache", "stats", "--dir", str(tmp_path), "--json"]) == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert {
+            "path",
+            "exists",
+            "hits",
+            "misses",
+            "puts",
+            "entries",
+            "segments",
+            "total_bytes",
+        } <= set(doc)
+
+    def test_solve_backend_flag_json(self, inst_path, capsys):
+        for backend in ("serial", "process", "async"):
+            clear_cache()
+            assert (
+                main(
+                    [
+                        "solve", inst_path,
+                        "--backend", backend,
+                        "--no-store", "--json",
+                    ]
+                )
+                == 0
+            )
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["problem"] == "minbusy"
+            assert doc["cached"] is False
