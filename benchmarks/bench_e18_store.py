@@ -31,13 +31,7 @@ import time
 import pytest
 
 from repro.analysis.stats import Table
-from repro.engine import (
-    clear_cache,
-    configure_store,
-    reset_store_binding,
-    solve_many,
-    store_stats,
-)
+from repro.api import Session
 from repro.engine.bench import bench_instance
 
 from .conftest import report_table
@@ -56,23 +50,18 @@ def test_e18_warm_store_vs_cold_solve(benchmark):
             bench_instance(N_JOBS, seed=1000 + i) for i in range(N_INSTANCES)
         ]
         with tempfile.TemporaryDirectory() as tmp:
-            configure_store(tmp)
-            try:
-                clear_cache()
+            with Session(store_path=tmp) as cold_session:
                 t0 = time.perf_counter()
-                cold = solve_many(instances)
+                cold = cold_session.solve_many(instances)
                 cold_s = time.perf_counter() - t0
 
-                # A fresh process: empty LRU, store re-opened from disk.
-                clear_cache()
-                configure_store(tmp)
+            # A fresh process: a new session with an empty LRU, the
+            # store re-opened from disk (fresh index, segment scan).
+            with Session(store_path=tmp) as warm_session:
                 t0 = time.perf_counter()
-                warm = solve_many(instances)
+                warm = warm_session.solve_many(instances)
                 warm_s = time.perf_counter() - t0
-                stats = store_stats()
-            finally:
-                clear_cache()
-                reset_store_binding()
+                stats = warm_session.store_stats()
         return cold, warm, cold_s, warm_s, stats
 
     cold, warm, cold_s, warm_s, stats = benchmark.pedantic(

@@ -34,7 +34,7 @@ import time
 import pytest
 
 from repro.analysis.stats import Table
-from repro.engine import clear_cache, configure_store, reset_store_binding
+from repro.api import Session
 from repro.service import ServiceClient, SolveServer
 from repro.service.protocol import encode
 
@@ -75,9 +75,11 @@ def _requests():
 def test_e19_concurrent_service_vs_sequential_roundtrips(benchmark):
     def run():
         requests = _requests()
-        configure_store(None)  # isolate from any ambient REPRO_CACHE_DIR
-        clear_cache()
-        server = SolveServer(port=0, max_concurrency=32)
+        # A private session isolates the server from any ambient
+        # REPRO_CACHE_DIR and from other engine state in this process.
+        server = SolveServer(
+            port=0, max_concurrency=32, session=Session(store_path=None)
+        )
         handle = server.run_in_thread()
         try:
             port = handle.port
@@ -133,8 +135,6 @@ def test_e19_concurrent_service_vs_sequential_roundtrips(benchmark):
                 client.close()
         finally:
             handle.stop()
-            clear_cache()
-            reset_store_binding()
         return requests, sequential_docs, sequential_s, concurrent_docs, concurrent_s
 
     requests, sequential_docs, sequential_s, concurrent_docs, concurrent_s = (

@@ -6,19 +6,21 @@ diurnal burst arrives; we compare what the client pays under
 
 * one-VM-per-machine (the naive baseline),
 * plain FirstFit packing,
-* the library's dispatcher (the strongest algorithm for the instance),
+* the engine's dispatcher via a :class:`repro.Session` (the strongest
+  algorithm for the instance, cached by content fingerprint),
 
 and then flip to the budget-constrained view: with only T machine-hours
-pre-paid, how many requests can be served?  (On the burst's clique core
-Theorem 4.1's combined algorithm applies.)
+pre-paid, how many requests can be served?  Both views go through the
+*same* session front door — ``solve(inst)`` and
+``solve(inst, "maxthroughput", budget=T)``.
 
 Run:  python examples/cloud_scheduling.py
 """
 
+from repro import Session
 from repro.analysis.verify import verify_min_busy_schedule
 from repro.core.bounds import combined_lower_bound
-from repro.maxthroughput import solve_clique_max_throughput
-from repro.minbusy import solve_first_fit, solve_min_busy, solve_naive
+from repro.minbusy import solve_first_fit, solve_naive
 from repro.workloads.applications import cloud_requests
 
 
@@ -28,6 +30,8 @@ def main() -> None:
     print(f"{inst.n} VM lease requests over a day, capacity g={g}")
     print(f"busy-hour lower bound: {combined_lower_bound(inst):.1f} h")
     print()
+
+    session = Session(store_path=None)
 
     print("-- minimizing the bill (MinBusy) --")
     for name, solver in [
@@ -40,10 +44,10 @@ def main() -> None:
             f"{name:>22}: {cost:8.1f} machine-hours on "
             f"{sched.n_machines():3d} machines"
         )
-    result = solve_min_busy(inst)
+    result = session.solve(inst)  # the dispatcher, via the session
     cost = verify_min_busy_schedule(inst, result.schedule)
     print(
-        f"{'dispatcher (' + result.algorithm + ')':>22}: {cost:8.1f} "
+        f"{'session (' + result.algorithm + ')':>22}: {cost:8.1f} "
         f"machine-hours on {result.schedule.n_machines():3d} machines"
     )
     saved = solve_naive(inst).cost - cost
@@ -60,13 +64,14 @@ def main() -> None:
     assert burst.is_clique
     print(f"burst core: {burst.n} requests active at {peak:.0f}:00")
     for budget in (10.0, 25.0, 50.0, 100.0):
-        bi = burst.with_budget(budget)
-        sched = solve_clique_max_throughput(bi)
+        # Same session, budgeted objective (Theorem 4.1 on the clique).
+        res = session.solve(burst, "maxthroughput", budget=budget)
         print(
             f"  budget {budget:6.1f} machine-hours -> "
-            f"{sched.throughput:3d}/{burst.n} requests served "
-            f"(used {sched.cost:6.1f})"
+            f"{res.throughput:3d}/{burst.n} requests served "
+            f"(used {res.cost:6.1f}, {res.algorithm})"
         )
+    session.close()
 
 
 if __name__ == "__main__":

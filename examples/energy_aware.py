@@ -13,10 +13,10 @@ clique core) maximizes total priority.
 Run:  python examples/energy_aware.py
 """
 
-from repro.analysis.verify import verify_min_busy_schedule
+from repro import Session
 from repro.core.bounds import combined_lower_bound
 from repro.core.instance import BudgetInstance
-from repro.minbusy import bestcut_ratio, solve_best_cut, solve_first_fit
+from repro.minbusy import bestcut_ratio, solve_first_fit
 from repro.maxthroughput import (
     solve_weighted_proper_clique,
     weighted_throughput_value,
@@ -29,16 +29,19 @@ def minimize_energy() -> None:
     g = 6
     inst = energy_windows(90, g, seed=23)
     assert inst.is_proper
-    best = solve_best_cut(inst)
-    cost = verify_min_busy_schedule(inst, best)
+    # The session's dispatcher recognizes the proper structure and
+    # routes to BestCut on its own; verify=True re-checks the schedule.
+    with Session(store_path=None) as session:
+        result = session.solve(inst, verify=True)
     ff = solve_first_fit(inst).cost
     lb = combined_lower_bound(inst)
     print(f"{inst.n} batch windows over a week, g={g}")
     print(f"energy (busy hours), FirstFit : {ff:9.1f}")
-    print(f"energy (busy hours), BestCut  : {cost:9.1f}")
+    print(f"energy (busy hours), "
+          f"{result.algorithm:8s}: {result.cost:9.1f}")
     print(f"lower bound                   : {lb:9.1f}")
     print(
-        f"BestCut certified ratio       : {cost / lb:9.2f} "
+        f"certified ratio               : {result.cost / lb:9.2f} "
         f"(proven bound {bestcut_ratio(g):.2f})"
     )
     print()
@@ -83,7 +86,7 @@ def sleep_states() -> None:
     print()
     print("== sleep states (Section 5 future work: power-down [2,7]) ==")
     from repro.energy import PowerModel, gap_policy_threshold, schedule_energy
-    from repro.minbusy import solve_min_busy, solve_naive
+    from repro.minbusy import solve_naive
     from repro.workloads import random_general_instance
 
     inst = random_general_instance(50, 4, seed=31)
@@ -92,15 +95,23 @@ def sleep_states() -> None:
         f"power model: busy=1.0, idle=0.25, wake=3.0 "
         f"(sleep gaps longer than {gap_policy_threshold(model):.0f}h)"
     )
-    for name, sched in [
-        ("one job per machine", solve_naive(inst)),
-        ("dispatcher", solve_min_busy(inst).schedule),
-    ]:
-        e = schedule_energy(sched, model)
-        print(
-            f"  {name:>20}: busy {sched.cost:7.1f} h on "
-            f"{sched.n_machines():3d} machines -> energy {e:7.1f}"
-        )
+    naive = solve_naive(inst)
+    print(
+        f"  {'one job per machine':>20}: busy {naive.cost:7.1f} h on "
+        f"{naive.n_machines():3d} machines -> "
+        f"energy {schedule_energy(naive, model):7.1f}"
+    )
+    # The registry's energy objective = MinBusy dispatch + the optimal
+    # per-gap idle-vs-sleep policy; `power=` rides along and joins the
+    # fingerprint (same jobs under two models cache separately).
+    with Session(store_path=None) as session:
+        res = session.solve(inst, "energy", power=model)
+    print(
+        f"  {'session energy':>20}: busy "
+        f"{res.detail['busy_cost']:7.1f} h on "
+        f"{res.schedule.n_machines():3d} machines -> "
+        f"energy {res.cost:7.1f}  ({res.algorithm})"
+    )
     print("Busy time dominates the bill, but wake-up costs reward")
     print("consolidation beyond what MinBusy alone accounts for.")
 

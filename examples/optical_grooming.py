@@ -16,31 +16,30 @@ greedy for paths contained in one another).
 Run:  python examples/optical_grooming.py
 """
 
-from repro.analysis.verify import verify_min_busy_schedule
+from repro import Session
 from repro.core.bounds import combined_lower_bound
-from repro.minbusy import solve_first_fit, solve_min_busy
+from repro.minbusy import solve_first_fit
+from repro.topology.instance import RingInstance, TreeInstance
 from repro.topology.ring import ring_union_area
-from repro.topology.ring_firstfit import ring_bucket_first_fit
 from repro.topology.tree import PathJob, Tree
-from repro.topology.tree_greedy import (
-    tree_one_sided_greedy,
-    tree_schedule_cost,
-)
 from repro.workloads.applications import (
     optical_line_demands,
     optical_ring_demands,
 )
+
+# One session serves every network topology below: line (minbusy),
+# ring and tree are just different objectives through the same client.
+SESSION = Session(store_path=None)
 
 
 def line_network() -> None:
     print("== line network: grooming factor g = 4 ==")
     inst = optical_line_demands(80, 4, seed=11, n_sites=48)
     print(f"{inst.n} lightpath demands over 48 sites")
-    result = solve_min_busy(inst)
-    cost = verify_min_busy_schedule(inst, result.schedule)
+    result = SESSION.solve(inst, verify=True)
     ff = solve_first_fit(inst).cost
     print(f"regenerator length, FirstFit     : {ff:8.1f}")
-    print(f"regenerator length, {result.algorithm:13s}: {cost:8.1f}")
+    print(f"regenerator length, {result.algorithm:13s}: {result.cost:8.1f}")
     print(f"lower bound                      : "
           f"{combined_lower_bound(inst):8.1f}")
     print(f"colors (machines) used           : "
@@ -51,13 +50,13 @@ def line_network() -> None:
 def ring_network() -> None:
     print("== ring network (Section 5): timed arc demands, g = 4 ==")
     jobs = optical_ring_demands(60, seed=13, circumference=24.0)
-    sched = ring_bucket_first_fit(jobs, 4)
+    res = SESSION.solve(RingInstance(jobs=tuple(jobs), g=4), "ring")
     total = sum(j.area for j in jobs)
     lb = max(ring_union_area(jobs), total / 4)
     print(f"{len(jobs)} arc-time demands on a C=24 ring")
-    print(f"BucketFirstFit busy area : {sched.cost:8.1f}")
-    print(f"certificate lower bound  : {lb:8.1f}")
-    print(f"certified ratio          : {sched.cost / lb:8.2f} (<= g = 4)")
+    print(f"{res.algorithm:>15s} busy area : {res.cost:8.1f}")
+    print(f"certificate lower bound   : {lb:8.1f}")
+    print(f"certified ratio           : {res.cost / lb:8.2f} (<= g = 4)")
     print()
 
 
@@ -72,11 +71,12 @@ def tree_network() -> None:
         PathJob(0, int(rng.integers(1, 40)), job_id=i) for i in range(50)
     ]
     for g in (2, 4, 8):
-        sets = tree_one_sided_greedy(tree, paths, g)
-        cost = tree_schedule_cost(tree, sets)
+        res = SESSION.solve(
+            TreeInstance(tree=tree, paths=tuple(paths), g=g), "tree"
+        )
         print(
-            f"  g={g}: {len(sets):2d} regenerator groups, "
-            f"total length {cost:6.1f}"
+            f"  g={g}: {res.detail['n_machines']:2d} regenerator groups, "
+            f"total length {res.cost:6.1f}  ({res.algorithm})"
         )
 
 
@@ -84,3 +84,4 @@ if __name__ == "__main__":
     line_network()
     ring_network()
     tree_network()
+    SESSION.close()

@@ -14,8 +14,10 @@ adversarial instance that pins FirstFit's ratio near 6γ₁+3.
 Run:  python examples/periodic_jobs_2d.py
 """
 
+from repro import Session
 from repro.rect import bucket_first_fit, first_fit_2d, union_area
 from repro.rect.bucket import theorem33_constant
+from repro.rect.instance import RectInstance
 from repro.rect.rectangles import gamma, rects_total_area
 from repro.workloads import random_rects
 from repro.workloads.adversarial import fig3_instance, fig3_optimal_groups
@@ -27,7 +29,14 @@ def spread_sweep() -> None:
         f"(Theorem 3.3 constant: {theorem33_constant():.2f}·log γ + O(1))"
     )
     g = 6
-    header = f"{'gamma1':>8} {'FirstFit':>10} {'Bucket':>10} {'LB':>10} {'FF/LB':>7} {'B/LB':>7}"
+    # The session's rect2d dispatch picks FirstFit vs Bucket from the
+    # measured spread (small gamma1 -> FirstFit, else Bucket); the
+    # direct calls alongside show what each arm would have cost.
+    session = Session(store_path=None)
+    header = (
+        f"{'gamma1':>8} {'FirstFit':>10} {'Bucket':>10} {'LB':>10} "
+        f"{'FF/LB':>7} {'B/LB':>7}  session picks"
+    )
     print(header)
     for gamma1 in (2.0, 16.0, 128.0, 1024.0):
         rects = random_rects(
@@ -36,10 +45,13 @@ def spread_sweep() -> None:
         ff = first_fit_2d(rects, g).cost
         bucket = bucket_first_fit(rects, g).cost
         lb = max(union_area(rects), rects_total_area(rects) / g)
+        picked = session.solve(RectInstance(tuple(rects), g), "rect2d")
         print(
             f"{gamma(rects, 1):8.1f} {ff:10.1f} {bucket:10.1f} "
-            f"{lb:10.1f} {ff / lb:7.2f} {bucket / lb:7.2f}"
+            f"{lb:10.1f} {ff / lb:7.2f} {bucket / lb:7.2f}  "
+            f"{picked.algorithm} ({picked.cost:.1f})"
         )
+    session.close()
     print()
 
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: the two problems of the paper in a dozen lines each.
+"""Quickstart: the paper's two problems through the Session API.
 
 Run:  python examples/quickstart.py
 
@@ -7,18 +7,20 @@ MinBusy      — schedule *all* jobs on capacity-g machines, minimizing
                total busy time (how long machines are switched on).
 MaxThroughput — given a busy-time budget T, schedule as *many* jobs as
                possible.
+
+Everything goes through one front door: a :class:`repro.Session` — a
+solver client owning its *own* engine configuration (result cache,
+store binding, executor backend).  The same calls run unchanged
+against a server (``RemoteSession``) or a fleet (``ShardedClient``);
+see ``repro.api``.
 """
 
-from repro import Instance, solve_min_busy
-from repro.maxthroughput import solve_clique_max_throughput
-from repro.analysis.verify import (
-    verify_budget_schedule,
-    verify_min_busy_schedule,
-)
+from repro import Instance, Session
+from repro.analysis.gantt import render_gantt
 from repro.core.bounds import combined_lower_bound
 
 
-def minbusy_demo() -> None:
+def minbusy_demo(session: Session) -> None:
     print("=" * 64)
     print("MinBusy: schedule everything, minimize total busy time")
     print("=" * 64)
@@ -29,23 +31,25 @@ def minbusy_demo() -> None:
     )
     print(f"instance: {inst}")
 
-    result = solve_min_busy(inst)  # dispatches to the best algorithm
-    cost = verify_min_busy_schedule(inst, result.schedule)
+    # verify=True re-checks the schedule with the family's verifier.
+    result = session.solve(inst, verify=True)
 
     print(f"algorithm chosen : {result.algorithm}")
     print(f"a-priori ratio   : {result.guarantee or 'exact'}")
-    print(f"total busy time  : {cost:.2f}")
+    print(f"total busy time  : {result.cost:.2f}")
     print(f"lower bound      : {combined_lower_bound(inst):.2f}")
     print(f"machines used    : {result.schedule.n_machines()}")
     for m, jobs in sorted(result.schedule.machines().items()):
         spans = ", ".join(f"[{j.start:g},{j.end:g})" for j in sorted(jobs))
         print(f"  machine {m}: {spans}")
-    from repro.analysis.gantt import render_gantt
-
     print(render_gantt(result.schedule, width=48))
 
+    # Content-identical re-solves are cache hits inside this session.
+    again = session.solve(inst)
+    print(f"solved again     : from_cache={again.from_cache}")
 
-def maxthroughput_demo() -> None:
+
+def maxthroughput_demo(session: Session) -> None:
     print()
     print("=" * 64)
     print("MaxThroughput: fixed busy-time budget, maximize jobs served")
@@ -56,23 +60,43 @@ def maxthroughput_demo() -> None:
         [(-6, 1), (-4, 2), (-3, 3), (-2, 5), (-1, 6), (-1, 8)], g=2
     )
     budget = 12.0
-    bi = inst.with_budget(budget)
     print(f"instance: {inst},  budget T = {budget}")
 
-    sched = solve_clique_max_throughput(bi)  # Theorem 4.1, 4-approx
-    tput, cost = verify_budget_schedule(bi, sched)
+    # Same front door, different objective; the dispatcher picks the
+    # strongest applicable algorithm (Theorem 4.1 on cliques).
+    result = session.solve(inst, "maxthroughput", budget=budget)
 
     # On an instance this small the exact reference solver is feasible.
     from repro.maxthroughput import exact_max_throughput_value
 
-    print(f"jobs scheduled   : {tput} / {inst.n} "
-          f"(exact optimum: {exact_max_throughput_value(bi)})")
-    print(f"busy time used   : {cost:.2f} <= {budget}")
-    for m, jobs in sorted(sched.machines().items()):
+    exact = exact_max_throughput_value(inst.with_budget(budget))
+    print(f"algorithm chosen : {result.algorithm}")
+    print(f"jobs scheduled   : {result.throughput} / {inst.n} "
+          f"(exact optimum: {exact})")
+    print(f"busy time used   : {result.cost:.2f} <= {budget}")
+    for m, jobs in sorted(result.schedule.machines().items()):
         spans = ", ".join(f"[{j.start:g},{j.end:g})" for j in sorted(jobs))
         print(f"  machine {m}: {spans}")
 
 
+def session_isolation_demo() -> None:
+    print()
+    print("=" * 64)
+    print("Sessions are isolated: two clients, two disjoint caches")
+    print("=" * 64)
+    inst = Instance.from_spans([(0, 3), (1, 4), (2, 6)], g=2)
+    with Session(store_path=None) as a, Session(store_path=None) as b:
+        a.solve(inst)
+        hit_a = a.solve(inst).from_cache     # warm in a...
+        hit_b = b.solve(inst).from_cache     # ...cold in b
+        print(f"session a re-solve from cache : {hit_a}")
+        print(f"session b first solve cached  : {hit_b}")
+        print(f"session a tier counters       : {a.cache_stats()['lru']}")
+
+
 if __name__ == "__main__":
-    minbusy_demo()
-    maxthroughput_demo()
+    # One session for the demos: no persistent store, defaults else.
+    with Session(store_path=None) as session:
+        minbusy_demo(session)
+        maxthroughput_demo(session)
+    session_isolation_demo()

@@ -34,14 +34,22 @@ Quickstart::
     result = solve_min_busy(inst)
     print(result.algorithm, result.cost)
 
-Engine API::
+Session API (the serving layer — local, remote and sharded clients
+are interchangeable, see :mod:`repro.api`)::
 
-    from repro.engine import solve, solve_many, cache_info
+    from repro import Session, RemoteSession, ShardedClient
 
-    res = solve(inst)                                # MinBusy (cached)
-    res = solve(inst, "maxthroughput", budget=42.0)  # budgeted objective
-    batch = solve_many(instances, workers=4)         # deterministic order
-    print(cache_info())                              # hits/misses/size
+    with Session(store_path="/data/cache") as s:     # private cache stack
+        res = s.solve(inst)                          # MinBusy (cached)
+        res = s.solve(inst, "maxthroughput", budget=42.0)
+        batch = s.solve_many(instances, workers=4)   # deterministic order
+        print(s.cache_stats())                       # per-tier counters
+
+    fleet = ShardedClient([RemoteSession(h) for h in hosts])
+    batch = fleet.solve_many(instances)              # same bytes out
+
+(``repro.engine.solve``/``solve_many`` remain as thin shims over a
+process-default session.)
 
 Batch CLI (``pip install -e .`` provides the ``repro`` entry point)::
 
@@ -93,6 +101,13 @@ from .rect import Rect, RectSchedule, bucket_first_fit, first_fit_2d, union_area
 from .io import load_instance, save_instance
 from .analysis.gantt import render_gantt
 from .engine import EngineResult, solve, solve_many
+from .api import (
+    EngineConfig,
+    RemoteSession,
+    Session,
+    ShardedClient,
+    SolverClient,
+)
 
 __version__ = "1.0.0"
 
@@ -142,5 +157,10 @@ __all__ = [
     "EngineResult",
     "solve",
     "solve_many",
+    "EngineConfig",
+    "Session",
+    "RemoteSession",
+    "ShardedClient",
+    "SolverClient",
     "__version__",
 ]

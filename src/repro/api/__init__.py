@@ -1,0 +1,60 @@
+"""The session layer: explicit solver clients over the engine core.
+
+This package is the public API seam above the engine (see
+``ARCHITECTURE.md``, "Session layer"): one protocol —
+:class:`SolverClient` — with three conforming, byte-identical
+implementations, so local and remote solving are interchangeable:
+
+* :class:`Session` — in-process; owns a private
+  :class:`EngineConfig` (result LRU, persistent-store binding,
+  executor backend/workers, default deadline/objective), so two
+  sessions in one process have disjoint cache stacks;
+* :class:`RemoteSession` — the same calls over a ``repro serve``
+  socket (:class:`~repro.service.client.ServiceClient` underneath);
+* :class:`ShardedClient` — fan-out across N other clients by
+  fingerprint partition (the ROADMAP's sharded ``solve_many``).
+
+The legacy module-global entry points (``repro.engine.solve`` and
+friends) are thin, thread-safe shims over a lazily-created
+process-default session (:func:`repro.engine.default_session`);
+``configure_cache``/``configure_store`` additionally raise
+:class:`~repro.core.errors.ReproDeprecationWarning`.
+
+Quickstart::
+
+    from repro.api import EngineConfig, Session
+
+    with Session(EngineConfig(store_path="/data/cache")) as s:
+        res = s.solve(instance)                      # MinBusy by default
+        res = s.solve(instance, "maxthroughput", budget=42.0)
+        batch = s.solve_many(instances, backend="process", workers=4)
+        for res in s.solve_stream(instances):        # input order
+            ...
+        print(s.cache_stats())                       # per-tier counters
+
+Swap in a server fleet without touching the call sites::
+
+    from repro.api import RemoteSession, ShardedClient
+
+    fleet = ShardedClient([RemoteSession(h, 8753) for h in hosts])
+    batch = fleet.solve_many(instances)              # same bytes out
+"""
+
+from .config import FOLLOW_ENV, STORE_ENV_VAR, EngineConfig
+from .protocol import SolverClient
+from .remote import RemoteSession, result_from_doc
+from .session import Session
+from .sharded import ShardedClient
+from ..engine.engine import default_session
+
+__all__ = [
+    "FOLLOW_ENV",
+    "STORE_ENV_VAR",
+    "EngineConfig",
+    "SolverClient",
+    "Session",
+    "RemoteSession",
+    "ShardedClient",
+    "default_session",
+    "result_from_doc",
+]

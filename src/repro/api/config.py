@@ -1,0 +1,166 @@
+"""Per-session engine configuration.
+
+An :class:`EngineConfig` is everything that used to live in module
+globals spread over ``repro.engine.engine`` — the LRU bound, the
+persistent-store binding, the executor backend and its worker count,
+the default per-request deadline and default objective — collected
+into one immutable value that a :class:`repro.api.Session` owns.  Two
+sessions in one process can therefore run disjoint cache stacks and
+different backends; the process-default session (what the legacy
+module-global ``repro.engine.solve`` delegates to) is just
+``Session(EngineConfig.from_env())``.
+
+The store binding has three states:
+
+* :data:`FOLLOW_ENV` (default) — re-resolve the ``REPRO_CACHE_DIR``
+  environment variable on every access, the historical behaviour that
+  keeps tests and subprocesses predictable;
+* a path — pin the persistent tier to that directory;
+* ``None`` — no persistent tier, regardless of the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional, Union
+
+from ..engine.cache import DEFAULT_CACHE_SIZE
+from ..engine.executors import BACKENDS
+
+__all__ = [
+    "FOLLOW_ENV",
+    "EngineConfig",
+    "STORE_ENV_VAR",
+    "enforceable_backend",
+]
+
+
+def enforceable_backend(
+    backend: str, deadline: Optional[float]
+) -> str:
+    """The backend that will actually enforce ``deadline``.
+
+    The one place the deadline/backend rule lives — used both by
+    :class:`EngineConfig` validation at construction and by
+    :class:`~repro.api.session.Session` per-call overrides: no
+    deadline leaves the backend alone; ``auto`` promotes to the async
+    backend (the only one that can enforce a per-solve bound);
+    explicit ``serial``/``process`` with a deadline is an error.
+    """
+    if deadline is None:
+        return backend
+    if backend == "auto":
+        return "async"
+    if backend in ("serial", "process"):
+        raise ValueError(
+            f"deadline= cannot be enforced by the {backend!r} backend; "
+            "use backend='async' (or 'auto', which selects it when a "
+            "deadline is set)"
+        )
+    return backend
+
+#: Environment variable that binds the persistent store tier.
+STORE_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+class _FollowEnv:
+    """Sentinel: resolve the store from ``REPRO_CACHE_DIR`` per access."""
+
+    _instance: Optional["_FollowEnv"] = None
+
+    def __new__(cls) -> "_FollowEnv":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "FOLLOW_ENV"
+
+    def __reduce__(self):  # pickle back to the singleton
+        return (_FollowEnv, ())
+
+
+FOLLOW_ENV = _FollowEnv()
+
+StorePath = Union[None, str, os.PathLike, _FollowEnv]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One session's engine settings (immutable; ``replaced`` to vary).
+
+    ``backend`` is the default executor knob (``auto|serial|process|
+    async``); ``workers`` feeds the process/async backends; ``deadline``
+    (seconds) is the default per-solve time bound — it requires a
+    backend that can enforce it, so combining it with an explicit
+    ``serial``/``process`` backend is rejected (under ``auto`` the
+    session picks the async backend instead).  ``objective`` is the
+    default objective of ``solve``/``solve_many`` calls that do not
+    name one.
+    """
+
+    cache_size: int = DEFAULT_CACHE_SIZE
+    store_path: StorePath = FOLLOW_ENV
+    backend: str = "auto"
+    workers: Optional[int] = None
+    chunksize: Optional[int] = None
+    deadline: Optional[float] = None
+    objective: str = "minbusy"
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 1:
+            raise ValueError(
+                f"cache_size must be >= 1, got {self.cache_size}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose one of "
+                f"{', '.join(BACKENDS)}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.deadline is not None:
+            if self.deadline <= 0:
+                raise ValueError(
+                    f"deadline must be > 0 seconds, got {self.deadline}"
+                )
+            enforceable_backend(self.backend, self.deadline)
+
+    def replace(self, **overrides: Any) -> "EngineConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> "EngineConfig":
+        """The configuration the process environment asks for.
+
+        Reads ``REPRO_BACKEND``, ``REPRO_WORKERS``, ``REPRO_DEADLINE``
+        and ``REPRO_CACHE_SIZE`` when present; the store binding stays
+        :data:`FOLLOW_ENV` so later ``REPRO_CACHE_DIR`` changes keep
+        taking effect (the historical module-global behaviour).
+        """
+        env = os.environ if environ is None else environ
+
+        def parse(var: str, cast):
+            raw = env[var]
+            try:
+                return cast(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"environment variable {var}={raw!r} is not a "
+                    f"valid {cast.__name__}; fix or unset it"
+                ) from exc
+
+        kwargs: dict = {}
+        if env.get("REPRO_BACKEND"):
+            kwargs["backend"] = env["REPRO_BACKEND"]
+        if env.get("REPRO_WORKERS"):
+            kwargs["workers"] = parse("REPRO_WORKERS", int)
+        if env.get("REPRO_DEADLINE"):
+            kwargs["deadline"] = parse("REPRO_DEADLINE", float)
+        if env.get("REPRO_CACHE_SIZE"):
+            kwargs["cache_size"] = parse("REPRO_CACHE_SIZE", int)
+        return cls(**kwargs)

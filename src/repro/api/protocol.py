@@ -1,0 +1,84 @@
+"""The one client protocol every solve front end conforms to.
+
+:class:`SolverClient` is the seam that makes local and remote solving
+the same thing: :class:`repro.api.Session` (in-process, owns its own
+cache stack and executor), :class:`repro.api.RemoteSession` (the same
+calls over a ``repro serve`` socket), and
+:class:`repro.api.ShardedClient` (fan-out over N other clients by
+fingerprint partition) all implement it, byte-identically — the
+conformance suite in ``tests/test_api_clients.py`` pins that across
+all eight objective families.  Code written against the protocol can
+swap a laptop session for a server fleet by changing one constructor.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+__all__ = ["SolverClient"]
+
+
+@runtime_checkable
+class SolverClient(Protocol):
+    """A thing that solves instances — locally, remotely, or sharded.
+
+    All implementations accept the same engine-level instance objects
+    and return :class:`~repro.engine.EngineResult`-shaped results whose
+    canonical documents (:func:`repro.service.protocol.result_to_doc`)
+    are byte-identical for identical content, whatever the transport.
+    Clients are context managers; ``close()`` releases any transport
+    or store handles.
+    """
+
+    def solve(
+        self,
+        instance: Any,
+        objective: Optional[str] = None,
+        *,
+        budget: Optional[float] = None,
+        use_cache: bool = True,
+        verify: bool = False,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> Any: ...
+
+    def solve_many(
+        self,
+        instances: Sequence[Any],
+        objective: Optional[str] = None,
+        *,
+        budget: Optional[float] = None,
+        use_cache: bool = True,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> List[Any]: ...
+
+    def solve_stream(
+        self,
+        instances: Sequence[Any],
+        objective: Optional[str] = None,
+        *,
+        budget: Optional[float] = None,
+        use_cache: bool = True,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> Iterator[Any]: ...
+
+    def cache_stats(self) -> Dict[str, Any]: ...
+
+    def objectives(self) -> List[str]: ...
+
+    def close(self) -> None: ...
+
+    def __enter__(self) -> "SolverClient": ...
+
+    def __exit__(self, *exc: Any) -> None: ...

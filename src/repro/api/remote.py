@@ -1,0 +1,290 @@
+"""The remote solver client: a ``Session`` API over a solve service.
+
+:class:`RemoteSession` adapts the blocking
+:class:`~repro.service.client.ServiceClient` to the
+:class:`~repro.api.protocol.SolverClient` protocol, so code written
+against a local :class:`~repro.api.session.Session` runs unchanged
+against a ``repro serve`` process — same engine-level instance
+objects in, same :class:`~repro.engine.EngineResult`s out.
+
+Per call it runs the *local* half of the layered pipeline — registry
+dispatch through :func:`~repro.engine.engine.plan_solve` (type check,
+normalization, fingerprint) — serializes the normalized instance to
+the wire document shape (:func:`repro.io.objective_instance_to_dict`),
+and rebuilds the response document into an ``EngineResult`` whose
+schedule is re-expressed over the caller's own job objects.  The
+server computes the same content fingerprint from the rebuilt
+document; a mismatch (a serialization bug, or a server speaking a
+different fingerprint version) raises rather than silently caching
+under the wrong key.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..engine.engine import (
+    EngineResult,
+    SolvePlan,
+    _schedule_for,
+    _verified,
+    plan_solve,
+)
+from ..io import objective_instance_to_dict
+from ..service.client import ServiceClient
+from .config import EngineConfig
+
+__all__ = ["RemoteSession", "result_from_doc"]
+
+
+def result_from_doc(doc: Dict[str, Any], plan: SolvePlan) -> EngineResult:
+    """An :class:`EngineResult` rebuilt from one wire result document.
+
+    The schedule is re-inflated from the positional assignment over
+    the plan's normalized instance (exactly how a store hit is
+    re-expressed locally); ``detail`` keeps the JSON rendering (lists
+    where in-process results carry tuples — the canonical document
+    form is identical either way).
+    """
+    if doc["fingerprint"] != plan.fingerprint:
+        raise RuntimeError(
+            f"remote fingerprint mismatch for {plan.spec.name}: "
+            f"sent {plan.fingerprint[:12]}..., "
+            f"got {doc['fingerprint'][:12]}... — the wire round-trip "
+            "changed the instance content or the server disagrees on "
+            "the fingerprint scheme"
+        )
+    by_position = tuple(
+        None if m is None else int(m)
+        for m in doc.get("assignment_by_position") or ()
+    )
+    schedule = None
+    if by_position or doc.get("has_schedule"):
+        # Rebuilt even when the assignment is empty: the presence bit
+        # says this family carries a Schedule (e.g. an empty instance),
+        # and a local Session would return one too.
+        schedule = _schedule_for(plan.instance, by_position)
+    return EngineResult(
+        objective=doc["objective"],
+        algorithm=doc["algorithm"],
+        guarantee=doc.get("guarantee"),
+        cost=doc["cost"],
+        throughput=doc["throughput"],
+        schedule=schedule,
+        fingerprint=doc["fingerprint"],
+        assignment_by_position=by_position,
+        from_cache=bool(doc.get("from_cache", False)),
+        solve_seconds=float(doc.get("solve_seconds", 0.0)),
+        detail=doc.get("detail"),
+    )
+
+
+class RemoteSession:
+    """A :class:`~repro.api.protocol.SolverClient` over one ``repro
+    serve`` connection.
+
+    ``config`` only contributes call-shaping defaults (default
+    objective, default deadline) — the cache stack lives in the
+    server's session, which is what makes N remote sessions against
+    one server share its warm tiers.  Pass an existing
+    :class:`ServiceClient` via ``client=`` to manage the transport
+    yourself (e.g. custom timeouts)::
+
+        with RemoteSession(port=8753) as remote:
+            res = remote.solve(instance)            # same call as Session
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8753,
+        *,
+        client: Optional[ServiceClient] = None,
+        timeout: Optional[float] = 30.0,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.client = (
+            client
+            if client is not None
+            else ServiceClient(host, port, timeout=timeout)
+        )
+        self.config = config if config is not None else EngineConfig()
+
+    # ------------------------------------------------------------------
+    # wire marshalling
+    # ------------------------------------------------------------------
+    def _plan_and_doc(
+        self,
+        instance: Any,
+        objective: Optional[str],
+        params: Dict[str, Any],
+    ) -> Tuple[SolvePlan, Dict[str, Any], Dict[str, Any]]:
+        plan = plan_solve(
+            instance, objective or self.config.objective, params
+        )
+        doc, wire_params = objective_instance_to_dict(
+            plan.instance, plan.spec.name
+        )
+        return plan, doc, wire_params
+
+    def _deadline(self, deadline: Optional[float]) -> Optional[float]:
+        return deadline if deadline is not None else self.config.deadline
+
+    # ------------------------------------------------------------------
+    # SolverClient surface
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        instance: Any,
+        objective: Optional[str] = None,
+        *,
+        budget: Optional[float] = None,
+        use_cache: bool = True,
+        verify: bool = False,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> EngineResult:
+        """Solve one instance on the server; result rebound locally.
+
+        ``verify=True`` re-checks the rebuilt result with the family's
+        registered verifier *locally* — an independent check on what
+        came over the wire, same contract as ``Session.solve``.
+        """
+        if budget is not None:
+            params["budget"] = budget
+        plan, doc, wire_params = self._plan_and_doc(
+            instance, objective, params
+        )
+        served = self.client.solve(
+            doc,
+            plan.spec.name,
+            params=wire_params or None,
+            cache=use_cache,
+            deadline=self._deadline(deadline),
+        )
+        result = result_from_doc(served, plan)
+        return _verified(plan, result) if verify else result
+
+    def solve_many(
+        self,
+        instances: Sequence[Any],
+        objective: Optional[str] = None,
+        *,
+        budget: Optional[float] = None,
+        use_cache: bool = True,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> List[EngineResult]:
+        """One streamed server batch; results in input order."""
+        return list(
+            self.solve_stream(
+                instances,
+                objective,
+                budget=budget,
+                use_cache=use_cache,
+                deadline=deadline,
+                **params,
+            )
+        )
+
+    def solve_stream(
+        self,
+        instances: Sequence[Any],
+        objective: Optional[str] = None,
+        *,
+        budget: Optional[float] = None,
+        use_cache: bool = True,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> Iterator[EngineResult]:
+        """Results in input order as the server streams them back —
+        the consumer sees item *i* while items ``i+1..`` still
+        compute server-side."""
+        if budget is not None:
+            params["budget"] = budget
+        plans: List[SolvePlan] = []
+        docs: List[Dict[str, Any]] = []
+        per_item_params: List[Dict[str, Any]] = []
+        for inst in instances:
+            plan, doc, wp = self._plan_and_doc(inst, objective, params)
+            plans.append(plan)
+            docs.append(doc)
+            per_item_params.append(wp)
+        if not plans:
+            return
+        # The wire's solve_many op carries ONE params object for the
+        # whole batch.  Normalized instances can disagree on the params
+        # that were folded into them (e.g. EnergyInstances carrying
+        # different power models), so a mixed batch falls back to
+        # per-item solve requests — same results, one line each.
+        if any(wp != per_item_params[0] for wp in per_item_params[1:]):
+            for plan, doc, wp in zip(plans, docs, per_item_params):
+                served = self.client.solve(
+                    doc,
+                    plan.spec.name,
+                    params=wp or None,
+                    cache=use_cache,
+                    deadline=self._deadline(deadline),
+                )
+                yield result_from_doc(served, plan)
+            return
+        stream = self.client.iter_solve_many(
+            docs,
+            plans[0].spec.name,
+            params=per_item_params[0] or None,
+            cache=use_cache,
+            deadline=self._deadline(deadline),
+        )
+        # Connection hygiene, two layers: (a) the terminal ``done``
+        # line is consumed *before* the last result is handed out, so
+        # a consumer that pulls exactly ``len(instances)`` items and
+        # never resumes this generator leaves nothing unread; (b) the
+        # ``finally`` drain covers a consumer that abandons the stream
+        # early (break / GC / close()) — the remaining response lines
+        # are read off before the generator finishes, otherwise the
+        # next request on this connection would read a stale line as
+        # its response.  The drain blocks until the server finishes
+        # the batch; that is the price of keeping the one connection
+        # reusable.
+        try:
+            for i, served in enumerate(stream):
+                if i == len(plans) - 1:
+                    for _ in stream:
+                        pass
+                yield result_from_doc(served, plans[i])
+        finally:
+            for _ in stream:
+                pass
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """The server session's per-tier counters (plus its wire tier)."""
+        return self.client.cache_stats()
+
+    def objectives(self) -> List[str]:
+        return self.client.objectives()
+
+    def ping(self) -> bool:
+        """Server liveness (transport-level convenience)."""
+        return self.client.ping()
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RemoteSession({self.client.host}:{self.client.port})"
+        )

@@ -1,0 +1,295 @@
+"""The sharded solver client: fan-out over N interchangeable clients.
+
+:class:`ShardedClient` closes the ROADMAP's "sharded ``solve_many``
+across machines" item on top of the session seam: because local
+:class:`~repro.api.session.Session`s and remote
+:class:`~repro.api.remote.RemoteSession`s are the *same thing* (the
+:class:`~repro.api.protocol.SolverClient` protocol), a shard router
+does not care which it fans out to — mix an in-process session with
+two ``repro serve`` machines and the router neither knows nor cares.
+
+Routing is by **fingerprint partition**: every solve is planned
+locally (registry dispatch → objective-qualified content key, the
+same key the cache tiers use), and the key's CRC32 picks the shard.
+The shard then re-plans the (already normalized) instance on its own
+side — one redundant SHA-256 per item, the deliberate price of shards
+speaking the plain ``SolverClient`` protocol rather than a private
+plan-passing channel (normalization is idempotent, so re-planning is
+a content no-op; a ``SolvePlan``-aware fast path is a ROADMAP option
+if fingerprinting ever shows up in router profiles).
+Content-identical instances therefore always land on the same shard —
+whatever that shard cached stays authoritative for its keyspace, and
+in-batch duplicates are deduplicated *inside* the owning shard's
+``solve_many`` exactly as a single engine batch would.  Results are
+byte-identical to an unsharded solve by construction (the conformance
+suite in ``tests/test_api_clients.py`` pins this across all eight
+objective families).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+)
+
+from ..engine.engine import EngineResult, SolvePlan, plan_solve
+from .config import EngineConfig
+
+__all__ = ["ShardedClient"]
+
+
+class ShardedClient:
+    """A :class:`~repro.api.protocol.SolverClient` that partitions work
+    across other clients by content fingerprint.
+
+    ``clients`` is any mix of conforming clients (local sessions,
+    remote sessions, or even nested sharded clients); the sharded
+    client owns them — :meth:`close` closes every shard.  Batches fan
+    out concurrently (one thread per shard with work; the per-shard
+    order is preserved, so reassembly is positional and
+    deterministic)::
+
+        fleet = ShardedClient([
+            Session(store_path=None),
+            RemoteSession(port=8753),
+            RemoteSession("10.0.0.2", 8753),
+        ])
+        results = fleet.solve_many(instances)   # same bytes, 3-way split
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[Any],
+        *,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        if not clients:
+            raise ValueError("ShardedClient needs at least one client")
+        self.clients: List[Any] = list(clients)
+        self.config = config if config is not None else EngineConfig()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of(self, plan: SolvePlan) -> int:
+        """The shard index owning this plan's cache keyspace.
+
+        CRC32 of the objective-qualified cache key: stable across
+        processes and runs (no salted hashing), uniform enough for
+        load spreading, and independent of the fingerprint scheme's
+        internal format.
+        """
+        return zlib.crc32(plan.key.encode()) % len(self.clients)
+
+    def _plan(
+        self,
+        instance: Any,
+        objective: Optional[str],
+        params: Dict[str, Any],
+    ) -> SolvePlan:
+        return plan_solve(
+            instance, objective or self.config.objective, params
+        )
+
+    # ------------------------------------------------------------------
+    # SolverClient surface
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        instance: Any,
+        objective: Optional[str] = None,
+        *,
+        budget: Optional[float] = None,
+        use_cache: bool = True,
+        verify: bool = False,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> EngineResult:
+        """Route one solve to its fingerprint's shard (``verify=`` is
+        forwarded — the owning shard runs the family's verifier)."""
+        if budget is not None:
+            params["budget"] = budget
+        plan = self._plan(instance, objective, params)
+        client = self.clients[self.shard_of(plan)]
+        # The plan's instance is normalized with every parameter folded
+        # in, so the shard needs no params — normalization is
+        # idempotent on its side.
+        return client.solve(
+            plan.instance,
+            plan.spec.name,
+            use_cache=use_cache,
+            verify=verify,
+            deadline=deadline,
+        )
+
+    def solve_many(
+        self,
+        instances: Sequence[Any],
+        objective: Optional[str] = None,
+        *,
+        budget: Optional[float] = None,
+        use_cache: bool = True,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> List[EngineResult]:
+        """Partition a batch by fingerprint, fan out, reassemble.
+
+        Each shard receives one ``solve_many`` sub-batch (concurrently,
+        one thread per shard) and returns its results in sub-batch
+        order; reassembly is positional, so the output order equals the
+        input order regardless of shard scheduling.
+        """
+        if budget is not None:
+            params["budget"] = budget
+        plans = [
+            self._plan(inst, objective, params) for inst in instances
+        ]
+        if not plans:
+            return []
+        by_shard: Dict[int, List[int]] = {}
+        for i, plan in enumerate(plans):
+            by_shard.setdefault(self.shard_of(plan), []).append(i)
+
+        def run_shard(shard: int, indices: List[int]):
+            return self.clients[shard].solve_many(
+                [plans[i].instance for i in indices],
+                plans[indices[0]].spec.name,
+                use_cache=use_cache,
+                deadline=deadline,
+            )
+
+        results: List[Optional[EngineResult]] = [None] * len(plans)
+        with ThreadPoolExecutor(max_workers=len(by_shard)) as pool:
+            futures = {
+                shard: pool.submit(run_shard, shard, indices)
+                for shard, indices in by_shard.items()
+            }
+            for shard, indices in by_shard.items():
+                for i, result in zip(indices, futures[shard].result()):
+                    results[i] = result
+        return results  # type: ignore[return-value]
+
+    def solve_stream(
+        self,
+        instances: Sequence[Any],
+        objective: Optional[str] = None,
+        *,
+        budget: Optional[float] = None,
+        use_cache: bool = True,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> Iterator[EngineResult]:
+        """Results in input order, pulled from per-shard streams.
+
+        Each shard's sub-batch stream is consumed by its own pump
+        thread into a queue, so every shard starts computing (and
+        streaming) immediately — a generator-only merge would not send
+        shard B's request until shard A's first result had been pulled.
+        The merger yields the next result for input position *i* from
+        the queue of the shard owning it: output order equals input
+        order while shards stream concurrently.
+        """
+        if budget is not None:
+            params["budget"] = budget
+        plans = [
+            self._plan(inst, objective, params) for inst in instances
+        ]
+        if not plans:
+            return
+        by_shard: Dict[int, List[int]] = {}
+        for i, plan in enumerate(plans):
+            by_shard.setdefault(self.shard_of(plan), []).append(i)
+
+        queues: Dict[int, "queue.SimpleQueue"] = {
+            shard: queue.SimpleQueue() for shard in by_shard
+        }
+
+        def pump(shard: int, indices: List[int]) -> None:
+            out = queues[shard]
+            try:
+                stream = self.clients[shard].solve_stream(
+                    [plans[i].instance for i in indices],
+                    plans[indices[0]].spec.name,
+                    use_cache=use_cache,
+                    deadline=deadline,
+                )
+                for result in stream:
+                    out.put((None, result))
+            except BaseException as exc:
+                out.put((exc, None))
+
+        threads = [
+            threading.Thread(
+                target=pump, args=(shard, indices), daemon=True
+            )
+            for shard, indices in by_shard.items()
+        ]
+        for t in threads:
+            t.start()
+        shard_of_index = {
+            i: shard
+            for shard, indices in by_shard.items()
+            for i in indices
+        }
+        try:
+            for i in range(len(plans)):
+                error, result = queues[shard_of_index[i]].get()
+                if error is not None:
+                    raise error
+                yield result
+        finally:
+            # Unbounded join: a pump owns its shard client's (single)
+            # connection until its sub-batch stream is fully drained,
+            # so returning earlier would let a later request on this
+            # ShardedClient race the pump's reads on one socket.
+            # Abandoning the stream therefore blocks until in-flight
+            # shard sub-batches complete — the same price
+            # RemoteSession.solve_stream itself pays for keeping its
+            # connection reusable.
+            for t in threads:
+                t.join()
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Per-shard stats, keyed ``shard0..shardN-1`` (each value is
+        that client's own per-tier mapping)."""
+        return {
+            f"shard{i}": client.cache_stats()
+            for i, client in enumerate(self.clients)
+        }
+
+    def objectives(self) -> List[str]:
+        return self.clients[0].objectives()
+
+    def close(self) -> None:
+        """Close every shard; the first failure propagates after all
+        shards were attempted."""
+        first_error: Optional[BaseException] = None
+        for client in self.clients:
+            try:
+                client.close()
+            except BaseException as exc:  # pragma: no cover - defensive
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:  # pragma: no cover - defensive
+            raise first_error
+
+    def __enter__(self) -> "ShardedClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardedClient({len(self.clients)} shards)"

@@ -20,12 +20,16 @@ Usage (after ``pip install -e .``)::
 human-readable report on stdout; ``--json`` switches to a
 machine-readable document (for piping into other tools).
 
-``repro solve`` routes every objective through :mod:`repro.engine` —
-the pluggable registry plus fingerprint-keyed caching.  With a
-persistent store attached (``--store DIR``, or the ``REPRO_CACHE_DIR``
-environment variable) repeated invocations share results across
-processes: the second ``repro solve`` of the same instance is served
-from disk, observable in the ``repro cache stats`` hit counters.
+``repro solve`` and ``repro serve`` each construct an explicit
+:class:`repro.api.Session` from one shared flag set (``--backend``,
+``--workers``, ``--deadline``, ``--cache-size``, ``--store`` /
+``--no-store``) — no module-global engine state — and route every
+objective through the pluggable registry plus fingerprint-keyed
+caching.  With a persistent store attached (``--store DIR``, or the
+``REPRO_CACHE_DIR`` environment variable) repeated invocations share
+results across processes: the second ``repro solve`` of the same
+instance is served from disk, observable in the ``repro cache stats``
+hit counters.
 ``repro bench`` prints the scalar-vs-vectorized kernel speedups, the
 FirstFit placement-loop speedups (scalar probing vs the occupancy
 engine), and cold/cached batch timings.
@@ -84,25 +88,50 @@ def _resolve_objective(name: str) -> str:
         raise SystemExit(str(exc)) from exc
 
 
-def _apply_store_flags(args: argparse.Namespace) -> None:
-    """Bind the persistent store tier for this invocation.
+def session_from_args(
+    args: argparse.Namespace,
+    *,
+    default_backend: str = "auto",
+    include_deadline: bool = True,
+):
+    """One :class:`repro.api.Session` built from the shared engine flags.
 
-    ``--no-store`` disables it, ``--store DIR`` attaches it explicitly;
-    otherwise the ``REPRO_CACHE_DIR`` environment variable decides.
-    The binding is resolved eagerly so an unusable store directory
-    (unwritable, or a path through a regular file) fails here with an
-    actionable message instead of a traceback mid-solve.
+    Both ``repro solve`` and ``repro serve`` construct their engine
+    state here — the one place the CLI turns flags/environment into an
+    :class:`~repro.api.EngineConfig` — instead of mutating module
+    globals.  The store binding is resolved eagerly (inside ``Session``
+    construction) so an unusable store directory (unwritable, or a
+    path through a regular file) fails with an actionable message
+    instead of a traceback mid-solve; an unenforceable
+    ``--deadline``/``--backend`` combination fails the same way.
+    ``include_deadline=False`` keeps the deadline out of the session
+    (``repro serve`` enforces it per request in its own executor, so
+    its batch backend may be serial/process).
     """
-    from .engine import configure_store
-    from .engine.engine import _active_store
+    from .api import FOLLOW_ENV, EngineConfig, Session
 
+    if getattr(args, "no_store", False):
+        store = None
+    elif getattr(args, "store", None):
+        store = args.store
+    else:
+        store = FOLLOW_ENV
+    kwargs = {}
+    if getattr(args, "cache_size", None) is not None:
+        kwargs["cache_size"] = args.cache_size
+    if include_deadline:
+        kwargs["deadline"] = getattr(args, "deadline", None)
     try:
-        if getattr(args, "no_store", False):
-            configure_store(None)
-        elif getattr(args, "store", None):
-            configure_store(args.store)
-        else:
-            _active_store()  # resolve the REPRO_CACHE_DIR binding now
+        config = EngineConfig(
+            store_path=store,
+            backend=args.backend or default_backend,
+            workers=getattr(args, "workers", None),
+            **kwargs,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        return Session(config)
     except OSError as exc:
         source = (
             f"--store {args.store}"
@@ -162,10 +191,9 @@ def _n_machines(res) -> object:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     objective = _resolve_objective(args.objective)
-    _apply_store_flags(args)
+    session = session_from_args(args)
     if args.batch or len(args.instance) > 1:
-        return _cmd_solve_batch(args, objective)
-    from .engine import solve as engine_solve
+        return _cmd_solve_batch(args, objective, session)
 
     path = args.instance[0]
     try:
@@ -173,14 +201,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     except (OSError, InstanceError) as exc:
         raise SystemExit(f"{path}: {exc}") from exc
     try:
-        result = engine_solve(
+        result = session.solve(
             inst,
             objective,
-            backend=args.backend,
             **_solve_params(args, objective),
         )
-    except InstanceError as exc:
+    except (InstanceError, ValueError) as exc:
         raise SystemExit(str(exc)) from exc
+    except TimeoutError as exc:
+        raise SystemExit(
+            f"{exc}\nraise --deadline (or drop it) to let this "
+            "instance finish"
+        ) from exc
 
     if objective == "minbusy":
         # The classic report: independently re-verified cost + bound.
@@ -260,10 +292,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_solve_batch(args: argparse.Namespace, objective: str) -> int:
+def _cmd_solve_batch(
+    args: argparse.Namespace, objective: str, session
+) -> int:
     """Any registry objective over many instance files, batched."""
-    from .engine import solve_many
-
     instances = []
     for path in args.instance:
         try:
@@ -272,15 +304,18 @@ def _cmd_solve_batch(args: argparse.Namespace, objective: str) -> int:
             raise SystemExit(f"{path}: {exc}") from exc
         instances.append(inst)
     try:
-        results = solve_many(
+        results = session.solve_many(
             instances,
             objective,
-            workers=args.workers,
-            backend=args.backend,
             **_solve_params(args, objective),
         )
-    except InstanceError as exc:
+    except (InstanceError, ValueError) as exc:
         raise SystemExit(str(exc)) from exc
+    except TimeoutError as exc:
+        raise SystemExit(
+            f"{exc}\nraise --deadline (or drop it) to let this "
+            "batch finish"
+        ) from exc
     if args.json:
         docs = [
             {
@@ -374,15 +409,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the asyncio solve service (blocking until interrupted)."""
     from .service.server import SolveServer
 
-    _apply_store_flags(args)
+    # The server owns an explicit Session built from the same shared
+    # flags as `repro solve`.  The deadline stays out of the session —
+    # the server enforces it per request in its own async executor, so
+    # serial/process batch backends remain valid alongside --deadline.
+    session = session_from_args(
+        args, default_backend="async", include_deadline=False
+    )
     try:
+        # Executor knobs (backend, workers) derive from the session's
+        # config — one source of truth for both front doors.  An
+        # explicit --backend is passed through so `--backend auto`
+        # keeps meaning the engine's auto contract for batches (the
+        # session-config derivation maps auto to the serving default).
         server = SolveServer(
             host=args.host,
             port=args.port,
             backend=args.backend,
-            workers=args.workers,
             max_concurrency=args.max_concurrency,
             deadline=args.deadline,
+            session=session,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -392,7 +438,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # (and reports the resolved port when --port 0 was asked).
         print(
             f"repro service listening on {args.host}:{bound.port} "
-            f"(backend={args.backend}, "
+            f"(backend={server.backend}, "
             f"max_concurrency={args.max_concurrency})",
             flush=True,
         )
@@ -599,15 +645,73 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_flags_parent() -> argparse.ArgumentParser:
+    """The engine flags `repro solve` and `repro serve` share.
+
+    One argparse parent → one :class:`repro.api.EngineConfig` → one
+    :class:`repro.api.Session`, so the two front doors accept and honor
+    the same knobs (``--backend``, ``--workers``, ``--deadline``,
+    ``--cache-size``, ``--store``/``--no-store``) with the same
+    semantics and the same actionable failure messages.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--backend",
+        default=None,
+        choices=["auto", "serial", "process", "async"],
+        help="executor backend (solve default: auto — processes iff "
+        "--workers >= 2; serve default: async — the shared coalescing "
+        "executor; all backends return identical results)",
+    )
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the process backend / concurrency "
+        "bound for the async backend (default: in-process)",
+    )
+    parent.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-solve deadline in seconds (default: none; needs a "
+        "backend that can enforce it — async, or auto which then "
+        "selects async)",
+    )
+    parent.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound of the in-process result LRU (default 1024)",
+    )
+    parent.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="attach the persistent result store at DIR "
+        "(default: $REPRO_CACHE_DIR when set)",
+    )
+    parent.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent store even if REPRO_CACHE_DIR is set",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="Busy-time scheduling (Mertzios et al., IPDPS 2012)",
     )
     sub = p.add_subparsers(dest="command", required=True)
+    engine_flags = _engine_flags_parent()
 
     sp = sub.add_parser(
-        "solve", help="solve any registered objective via the engine"
+        "solve",
+        help="solve any registered objective via the engine",
+        parents=[engine_flags],
     )
     sp.add_argument(
         "instance", nargs="+", help="JSON or CSV instance file(s)"
@@ -648,31 +752,6 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="solve through the batch engine (implied by multiple files)",
     )
-    sp.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for batch mode (default: in-process)",
-    )
-    sp.add_argument(
-        "--backend",
-        default="auto",
-        choices=["auto", "serial", "process", "async"],
-        help="executor backend for cache misses (auto: processes iff "
-        "--workers >= 2; all backends return identical results)",
-    )
-    sp.add_argument(
-        "--store",
-        default=None,
-        metavar="DIR",
-        help="attach the persistent result store at DIR "
-        "(default: $REPRO_CACHE_DIR when set)",
-    )
-    sp.add_argument(
-        "--no-store",
-        action="store_true",
-        help="disable the persistent store even if REPRO_CACHE_DIR is set",
-    )
     sp.set_defaults(func=_cmd_solve)
 
     cc = sub.add_parser(
@@ -689,48 +768,19 @@ def build_parser() -> argparse.ArgumentParser:
     cc.set_defaults(func=_cmd_cache)
 
     sv = sub.add_parser(
-        "serve", help="run the NDJSON solve service over a socket"
+        "serve",
+        help="run the NDJSON solve service over a socket",
+        parents=[engine_flags],
     )
     sv.add_argument("--host", default="127.0.0.1")
     sv.add_argument(
         "--port", type=int, default=8753, help="TCP port (default 8753)"
     )
     sv.add_argument(
-        "--backend",
-        default="async",
-        choices=["auto", "serial", "process", "async"],
-        help="executor for solve_many batches (async: shared coalescing "
-        "executor; process: fan out over --workers processes)",
-    )
-    sv.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for the process backend",
-    )
-    sv.add_argument(
         "--max-concurrency",
         type=int,
         default=16,
         help="solves in flight at once (default 16)",
-    )
-    sv.add_argument(
-        "--deadline",
-        type=float,
-        default=None,
-        help="default per-request deadline in seconds (default: none)",
-    )
-    sv.add_argument(
-        "--store",
-        default=None,
-        metavar="DIR",
-        help="attach the persistent result store at DIR "
-        "(default: $REPRO_CACHE_DIR when set)",
-    )
-    sv.add_argument(
-        "--no-store",
-        action="store_true",
-        help="disable the persistent store even if REPRO_CACHE_DIR is set",
     )
     sv.set_defaults(func=_cmd_serve)
 

@@ -4,7 +4,11 @@ The rest of the library is organized around the paper's case analysis —
 one module per algorithm, one call per instance.  This package is the
 execution core on top, built as explicit layers (``ARCHITECTURE.md``
 has the full picture; :mod:`repro.service` is the network front end
-over the same primitives):
+over the same primitives, and :mod:`repro.api` is the session layer
+above both — explicit :class:`~repro.api.Session` objects own the
+state that used to live in this package's module globals; the
+functions below are thread-safe shims over a lazily-created
+process-default session):
 
 * :func:`solve` / :func:`solve_many` — unified entry points routing
   any instance to the strongest applicable algorithm for the requested
@@ -17,13 +21,16 @@ over the same primitives):
 * **Cache layer** (:mod:`repro.engine.tiers`) — solves are memoized by
   a versioned, objective-qualified SHA-256 content fingerprint
   (:mod:`repro.engine.fingerprint`) in a :class:`TieredCache` probed
-  top-down with upward promotion: a per-process :class:`LRUTier`
-  (:func:`cache_info` / :func:`clear_cache` / :func:`configure_cache`)
-  over an optional disk-backed, cross-process :class:`StoreTier`
-  (:mod:`repro.engine.store`; attach with :func:`configure_store` or
-  the ``REPRO_CACHE_DIR`` environment variable, inspect with
-  :func:`store_stats` or ``repro cache stats``).  Worker pools and
-  repeated CLI invocations share persisted hits.
+  top-down with upward promotion: a per-session :class:`LRUTier`
+  (:func:`cache_info` / :func:`clear_cache`) over an optional
+  disk-backed, cross-process :class:`StoreTier`
+  (:mod:`repro.engine.store`; bind with
+  ``Session(store_path=...)``/``EngineConfig`` or the
+  ``REPRO_CACHE_DIR`` environment variable, inspect with
+  :func:`store_stats` or ``repro cache stats``; the
+  :func:`configure_cache`/:func:`configure_store` shims are
+  deprecated).  Worker pools and repeated CLI invocations share
+  persisted hits.
 * **Executor layer** (:mod:`repro.engine.executors`) — cache misses
   run on a pluggable backend selected by ``backend=auto|serial|
   process|async``: an in-process loop, the deterministic chunked
@@ -97,13 +104,16 @@ from .engine import (
     clear_store,
     configure_cache,
     configure_store,
+    default_session,
     install_result,
     objectives,
     plan_solve,
     reset_store_binding,
+    serve_hit,
     solve,
     solve_many,
     store_stats,
+    strip_for_store,
     tiered_cache,
 )
 from .executors import (
@@ -141,13 +151,16 @@ __all__ = [
     "clear_store",
     "configure_cache",
     "configure_store",
+    "default_session",
     "install_result",
     "objectives",
     "plan_solve",
     "reset_store_binding",
+    "serve_hit",
     "solve",
     "solve_many",
     "store_stats",
+    "strip_for_store",
     "tiered_cache",
     "BACKENDS",
     "AsyncQueueExecutor",

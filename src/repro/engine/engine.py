@@ -1,39 +1,40 @@
-"""The unified solve front door, shrunk to layered dispatch.
+"""The engine's solve primitives, plus the legacy module-global shims.
 
-:func:`solve` and :func:`solve_many` no longer hand-roll their own
-caching and fan-out pipelines; they compose three explicit layers:
+Since the session redesign (see ``ARCHITECTURE.md``, "Session layer")
+the engine's *state* — result LRU, persistent-store binding, executor
+defaults — lives in :class:`repro.api.Session` objects, each owning an
+:class:`repro.api.EngineConfig`.  What remains here is:
 
-* **registry** — the objective is resolved through
-  :data:`repro.core.registry.REGISTRY` (all eight families register
-  there, see :mod:`repro.engine.objectives`), which normalizes the
-  instance and fingerprints its content;
-* **cache stack** — a :class:`~repro.engine.tiers.TieredCache` of
-  per-process LRU over the optional disk-backed cross-process store
-  (:mod:`repro.engine.store`), probed top-down with upward promotion
-  and write-through installs;
-* **executor** — remaining misses run on a pluggable
-  :class:`~repro.engine.executors.Executor` backend
-  (``backend=auto|serial|process|async``), all byte-identical by
-  construction and differential-tested.
+* the **stateless primitives** every client composes —
+  :func:`plan_solve` (registry dispatch: resolve, type-check,
+  normalize, fingerprint), :func:`cached_result` /
+  :func:`install_result` (one tiered probe / write-through against an
+  explicit :class:`~repro.engine.tiers.TieredCache`), and the hit
+  rebinding / store stripping transforms;
+* the **process-default session** (:func:`default_session`, created
+  lazily under a lock) and the **module-global shims** that delegate
+  to it: :func:`solve`, :func:`solve_many`, :func:`cache_info`,
+  :func:`store_stats` and friends keep working exactly as before,
+  while :func:`configure_cache` / :func:`configure_store` additionally
+  raise :class:`~repro.core.errors.ReproDeprecationWarning` — new code
+  should construct an explicit ``Session`` instead of mutating
+  process-wide state.  Tier-1 CI promotes that warning to an error, so
+  nothing inside ``repro`` may call the deprecated shims.
 
-The decomposition is exposed as four primitives — :func:`plan_solve`,
-:func:`cached_result`, :func:`install_result`, and
-:class:`~repro.engine.executors.SolveTask` via :func:`SolvePlan.task`
-— which is exactly the loop the async service front end
-(:mod:`repro.service`) runs per request, with in-flight coalescing in
-between.  Content-identical instances inside one :func:`solve_many`
-batch are deduplicated by fingerprint before dispatch and the shared
-result is fanned back out positionally.
+This module is the *only* place in the package that touches the
+process-default session; every other entry point (CLI, service,
+examples) builds its own ``Session``.
 """
 
 from __future__ import annotations
 
-import os
+import threading
 import time
+import warnings
 from dataclasses import dataclass, replace
 from typing import (
+    TYPE_CHECKING,
     Any,
-    Dict,
     List,
     Mapping,
     Optional,
@@ -42,15 +43,18 @@ from typing import (
     Union,
 )
 
-from ..core.errors import InstanceError
+from ..core.errors import ReproDeprecationWarning
 from ..core.instance import BudgetInstance, Instance
 from ..core.registry import REGISTRY, ObjectiveSpec, Solved
 from ..core.schedule import Schedule
-from .cache import DEFAULT_CACHE_SIZE, CacheInfo, LRUCache
-from .executors import Executor, SolveTask, resolve_executor
+from .cache import CacheInfo
+from .executors import Executor, SolveTask
 from .fingerprint import key_from_fingerprint
-from .store import ResultStore, StoreStats, default_store_dir
-from .tiers import LRUTier, StoreTier, TieredCache
+from .store import StoreStats
+from .tiers import TieredCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.session import Session
 
 __all__ = [
     "MINBUSY",
@@ -60,6 +64,9 @@ __all__ = [
     "plan_solve",
     "cached_result",
     "install_result",
+    "strip_for_store",
+    "serve_hit",
+    "default_session",
     "tiered_cache",
     "solve",
     "solve_many",
@@ -68,6 +75,7 @@ __all__ = [
     "clear_cache",
     "configure_cache",
     "configure_store",
+    "reset_store_binding",
     "store_stats",
     "clear_store",
 ]
@@ -76,14 +84,6 @@ AnyInstance = Union[Instance, BudgetInstance]
 
 MINBUSY = "minbusy"
 MAXTHROUGHPUT = "maxthroughput"
-
-_RESULT_CACHE = LRUCache(DEFAULT_CACHE_SIZE)
-
-_STORE_ENV_VAR = "REPRO_CACHE_DIR"
-# (store, resolved-against-env-value, explicitly-configured)
-_STORE: Optional[ResultStore] = None
-_STORE_ENV: Optional[str] = None
-_STORE_EXPLICIT = False
 
 
 @dataclass(frozen=True)
@@ -146,7 +146,7 @@ def _schedule_for(
     return schedule
 
 
-def _serve_hit(hit: EngineResult, instance: Any) -> EngineResult:
+def serve_hit(hit: EngineResult, instance: Any) -> EngineResult:
     """A cache hit, rebound to the querying instance's own items.
 
     Sound because equal fingerprints imply identical per-position
@@ -187,90 +187,20 @@ def _solve_uncached(
     )
 
 
-# ----------------------------------------------------------------------
-# persistent store tier
-# ----------------------------------------------------------------------
-
-
-def _active_store() -> Optional[ResultStore]:
-    """The store tier, or ``None`` when disabled.
-
-    Enabled by :func:`configure_store` or by the ``REPRO_CACHE_DIR``
-    environment variable; the env binding is re-checked whenever the
-    variable changes, so tests and subprocesses behave predictably.
-    """
-    global _STORE, _STORE_ENV
-    if _STORE_EXPLICIT:
-        return _STORE
-    env = os.environ.get(_STORE_ENV_VAR)
-    if env != _STORE_ENV:
-        _STORE = ResultStore(env) if env else None
-        _STORE_ENV = env
-    return _STORE
-
-
-def configure_store(path: Optional[os.PathLike]) -> Optional[ResultStore]:
-    """Attach the persistent tier at ``path`` (``None`` disables it).
-
-    Overrides the ``REPRO_CACHE_DIR`` environment binding until
-    :func:`reset_store_binding` (or a new ``configure_store``) is
-    called.  Returns the attached store.
-    """
-    global _STORE, _STORE_EXPLICIT
-    _STORE = ResultStore(path) if path is not None else None
-    _STORE_EXPLICIT = True
-    return _STORE
-
-
-def reset_store_binding() -> None:
-    """Return store resolution to the environment variable."""
-    global _STORE, _STORE_ENV, _STORE_EXPLICIT
-    _STORE = None
-    _STORE_ENV = None
-    _STORE_EXPLICIT = False
-
-
-def store_stats() -> Optional[StoreStats]:
-    """Counters of the persistent tier, or ``None`` when disabled."""
-    store = _active_store()
-    return store.stats() if store is not None else None
-
-
-def clear_store() -> None:
-    """Drop every persisted result (no-op when the tier is disabled)."""
-    store = _active_store()
-    if store is not None:
-        store.clear()
-
-
-def _stripped(result: EngineResult) -> EngineResult:
+def strip_for_store(result: EngineResult) -> EngineResult:
     """The persisted form: positional encodings only, no live objects.
 
     An *empty* schedule is kept as-is: it references no Job objects,
     and it is the only way a served hit can know the objective carries
     a schedule when ``assignment_by_position`` is empty (empty
     instance, or a budget too small to schedule anything) —
-    ``_serve_hit`` still rebuilds a fresh one, so nothing is aliased.
+    :func:`serve_hit` still rebuilds a fresh one, so nothing is
+    aliased.
     """
     schedule = result.schedule
     if schedule is not None and schedule.assignment:
         schedule = None
     return replace(result, schedule=schedule, from_cache=False)
-
-
-def tiered_cache() -> TieredCache:
-    """The engine's current cache stack: LRU over the optional store.
-
-    Rebuilt per call from the live bindings (cheap — two adapter
-    objects), so ``configure_store``/``REPRO_CACHE_DIR`` changes take
-    effect immediately and every entry point shares one composition
-    rule instead of special-casing tiers.
-    """
-    tiers: List[Any] = [LRUTier(_RESULT_CACHE)]
-    store = _active_store()
-    if store is not None:
-        tiers.append(StoreTier(store, prepare=_stripped))
-    return TieredCache(tiers)
 
 
 # ----------------------------------------------------------------------
@@ -285,7 +215,9 @@ class SolvePlan:
     Produced by :func:`plan_solve`; consumed by :func:`cached_result`
     (tiered probe), the executor layer (via :meth:`task`), and
     :func:`install_result` (write-through fold-back).  The service
-    front end drives exactly this cycle per request.
+    front end drives exactly this cycle per request; a
+    :class:`~repro.api.ShardedClient` partitions batches by
+    ``plan.key``.
     """
 
     spec: ObjectiveSpec
@@ -325,12 +257,13 @@ def cached_result(
     plan: SolvePlan, cache: Optional[TieredCache] = None
 ) -> Optional[EngineResult]:
     """The plan's result from the cache stack, rebound to its instance
-    (tiers are probed top-down; lower-tier hits are promoted)."""
+    (tiers are probed top-down; lower-tier hits are promoted).  With no
+    explicit ``cache`` the process-default session's stack is probed."""
     cache = cache if cache is not None else tiered_cache()
     hit = cache.get(plan.key)
     if hit is None:
         return None
-    return _serve_hit(hit, plan.instance)
+    return serve_hit(hit, plan.instance)
 
 
 def install_result(
@@ -349,50 +282,6 @@ def _verified(plan: SolvePlan, result: EngineResult) -> EngineResult:
     return result
 
 
-# ----------------------------------------------------------------------
-# front door
-# ----------------------------------------------------------------------
-
-
-def solve(
-    instance: Any,
-    objective: str = MINBUSY,
-    *,
-    budget: Optional[float] = None,
-    use_cache: bool = True,
-    verify: bool = False,
-    backend: str = "auto",
-    **params: Any,
-) -> EngineResult:
-    """Solve one instance with the strongest applicable algorithm.
-
-    ``objective`` is any registered objective name or alias —
-    ``minbusy`` (default), ``maxthroughput`` (alias ``throughput``),
-    ``capacity``, ``rect2d``, ``ring``, ``tree``, ``flexible``,
-    ``energy``; see :func:`objectives`.  Family parameters ride along
-    as keywords (``budget=`` for MaxThroughput, ``power=`` for
-    energy).  Results are memoized by objective-qualified content
-    fingerprint through the tiered cache stack (LRU, then the
-    persistent store when attached); pass ``use_cache=False`` to force
-    a fresh solve (the result still refreshes every tier).
-    ``backend`` picks the executor for a cache miss (single solves run
-    serially under ``auto``); ``verify=True`` re-checks the returned
-    result with the family's registered verifier.
-    """
-    if budget is not None:
-        params["budget"] = budget
-    plan = plan_solve(instance, objective, params)
-    cache = tiered_cache()
-    if use_cache:
-        result = cached_result(plan, cache)
-        if result is not None:
-            return _verified(plan, result) if verify else result
-    executor = resolve_executor(backend)
-    result = executor.run([plan.task()])[0]
-    install_result(plan, result, cache)
-    return _verified(plan, result) if verify else result
-
-
 def _as_solved(result: EngineResult) -> Solved:
     return Solved(
         algorithm=result.algorithm,
@@ -405,102 +294,174 @@ def _as_solved(result: EngineResult) -> Solved:
     )
 
 
+# ----------------------------------------------------------------------
+# the process-default session and the module-global shims
+# ----------------------------------------------------------------------
+
+_DEFAULT_LOCK = threading.RLock()
+_DEFAULT_SESSION: Optional["Session"] = None
+
+
+def default_session() -> "Session":
+    """The lazily-created process-default :class:`~repro.api.Session`.
+
+    This is what the module-global :func:`solve`/:func:`solve_many`
+    delegate to.  Creation is double-checked under a lock so concurrent
+    first calls (threads, the async backend's worker threads) share one
+    session instead of racing several into existence; its store binding
+    follows ``REPRO_CACHE_DIR`` (see
+    :data:`repro.api.FOLLOW_ENV`), preserving the historical
+    module-global behaviour.
+    """
+    global _DEFAULT_SESSION
+    session = _DEFAULT_SESSION
+    if session is not None:
+        return session
+    with _DEFAULT_LOCK:
+        if _DEFAULT_SESSION is None:
+            from ..api.config import EngineConfig
+            from ..api.session import Session
+
+            _DEFAULT_SESSION = Session(EngineConfig.from_env())
+        return _DEFAULT_SESSION
+
+
+def _reset_default_session() -> None:
+    """Drop the process-default session (test hygiene only)."""
+    global _DEFAULT_SESSION
+    with _DEFAULT_LOCK:
+        _DEFAULT_SESSION = None
+
+
+def _deprecated_global(name: str, instead: str) -> None:
+    warnings.warn(
+        f"repro.engine.{name} mutates process-global engine state and is "
+        f"deprecated; {instead}",
+        ReproDeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def tiered_cache() -> TieredCache:
+    """The process-default session's cache stack (LRU over the optional
+    store), rebuilt per call from its live bindings."""
+    return default_session().cache()
+
+
+def solve(
+    instance: Any,
+    objective: Optional[str] = None,
+    *,
+    budget: Optional[float] = None,
+    use_cache: bool = True,
+    verify: bool = False,
+    backend: Optional[str] = None,
+    **params: Any,
+) -> EngineResult:
+    """Solve one instance on the process-default session.
+
+    Thin delegation to :meth:`repro.api.Session.solve` — see there for
+    the full contract.  ``objective`` is any registered name or alias
+    (default ``minbusy``); family parameters ride along as keywords
+    (``budget=`` for MaxThroughput, ``power=`` for energy); ``backend``
+    picks the executor for a cache miss.  Prefer an explicit
+    ``Session`` when you need isolated caches or non-default
+    configuration.
+    """
+    return default_session().solve(
+        instance,
+        objective,
+        budget=budget,
+        use_cache=use_cache,
+        verify=verify,
+        backend=backend,
+        **params,
+    )
+
+
 def solve_many(
     instances: Sequence[Any],
-    objective: str = MINBUSY,
+    objective: Optional[str] = None,
     *,
     budget: Optional[float] = None,
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     use_cache: bool = True,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     executor: Optional[Executor] = None,
     **params: Any,
 ) -> List[EngineResult]:
-    """Solve a batch of instances; results in input order.
-
-    The batch runs the layered pipeline once: plan every instance,
-    probe the cache stack with one batched top-down pass, deduplicate
-    the remaining misses by fingerprint (content-identical instances
-    in one batch are solved once and fanned back out positionally),
-    run the unique misses on the selected executor backend, and fold
-    fresh results through every cache tier.
-
-    ``backend`` picks the executor: ``auto`` (default) preserves the
-    historical contract — fan out across a ``multiprocessing`` pool
-    iff ``workers >= 2``, else solve in-process; ``serial``,
-    ``process`` and ``async`` force a specific backend (all
-    byte-identical, differential-tested).  An explicit ``executor=``
-    instance overrides the knob entirely.  Results always come back in
-    input order regardless of worker scheduling.
-    """
-    if budget is not None:
-        params["budget"] = budget
-    plans = [plan_solve(inst, objective, params) for inst in instances]
-    cache = tiered_cache()
-    results: List[Optional[EngineResult]] = [None] * len(plans)
-
-    misses = list(range(len(plans)))
-    if use_cache and plans:
-        # One batched top-down probe of the whole stack; hits found in
-        # lower tiers are promoted on the way up.
-        hits = cache.get_many([plan.key for plan in plans])
-        still: List[int] = []
-        for i, plan in enumerate(plans):
-            hit = hits.get(plan.key)
-            if hit is not None:
-                results[i] = _serve_hit(hit, plan.instance)
-            else:
-                still.append(i)
-        misses = still
-
-    if not misses:
-        return results  # type: ignore[return-value]
-
-    # Fingerprint-dedup before dispatch: duplicate keys inside one
-    # batch are solved once; every occurrence shares the result
-    # (rebound to its own jobs if the ids differ).
-    representative: Dict[str, int] = {}
-    unique: List[int] = []
-    for i in misses:
-        if plans[i].key not in representative:
-            representative[plans[i].key] = i
-            unique.append(i)
-
-    if executor is None:
-        executor = resolve_executor(
-            backend, workers=workers, chunksize=chunksize
-        )
-    solved_list = executor.run([plans[i].task() for i in unique])
-    solved = {plans[i].key: res for i, res in zip(unique, solved_list)}
-
-    cache.put_many(solved)
-    for i in misses:
-        result = solved[plans[i].key]
-        if i != representative[plans[i].key]:
-            # In-batch duplicate: served from the entry its
-            # representative just populated, rebound to its own jobs.
-            result = _serve_hit(result, plans[i].instance)
-        results[i] = result
-    return results  # type: ignore[return-value]
+    """Solve a batch on the process-default session; results in input
+    order.  Thin delegation to :meth:`repro.api.Session.solve_many`."""
+    return default_session().solve_many(
+        instances,
+        objective,
+        budget=budget,
+        workers=workers,
+        chunksize=chunksize,
+        use_cache=use_cache,
+        backend=backend,
+        executor=executor,
+        **params,
+    )
 
 
 # ----------------------------------------------------------------------
-# cache management
+# cache/store management shims
 # ----------------------------------------------------------------------
 
 
 def cache_info() -> CacheInfo:
-    """Hit/miss/size counters of the engine result cache."""
-    return _RESULT_CACHE.info()
+    """Hit/miss/size counters of the default session's result LRU."""
+    return default_session().cache_info()
 
 
 def clear_cache() -> None:
-    """Drop all cached results and reset the counters (LRU tier only)."""
-    _RESULT_CACHE.clear()
+    """Drop the default session's cached results (LRU tier only)."""
+    default_session().clear_cache()
 
 
 def configure_cache(maxsize: int) -> None:
-    """Replace the result cache with an empty one of the given bound."""
-    global _RESULT_CACHE
-    _RESULT_CACHE = LRUCache(maxsize)
+    """Replace the default session's result cache (deprecated).
+
+    Prefer ``Session(EngineConfig(cache_size=...))`` — a private
+    session whose cache cannot be clobbered by other callers.
+    """
+    _deprecated_global(
+        "configure_cache",
+        "construct repro.api.Session(EngineConfig(cache_size=...)) instead",
+    )
+    default_session().configure_cache(maxsize)
+
+
+def configure_store(path: Optional[Any]):
+    """Attach the default session's persistent tier (deprecated).
+
+    ``None`` disables it; a path pins it, overriding the
+    ``REPRO_CACHE_DIR`` environment binding until
+    :func:`reset_store_binding`.  Returns the attached store.  Prefer
+    ``Session(EngineConfig(store_path=...))``.
+    """
+    _deprecated_global(
+        "configure_store",
+        "construct repro.api.Session(EngineConfig(store_path=...)) instead",
+    )
+    return default_session().configure_store(path)
+
+
+def reset_store_binding() -> None:
+    """Return the default session's store resolution to the
+    ``REPRO_CACHE_DIR`` environment variable (test hygiene hook)."""
+    default_session().reset_store_binding()
+
+
+def store_stats() -> Optional[StoreStats]:
+    """Counters of the default session's persistent tier, or ``None``
+    when disabled."""
+    return default_session().store_stats()
+
+
+def clear_store() -> None:
+    """Drop every result the default session persisted (no-op when the
+    tier is disabled)."""
+    default_session().clear_store()

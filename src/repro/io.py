@@ -58,6 +58,7 @@ __all__ = [
     "tree_instance_from_dict",
     "flex_instance_from_dict",
     "objective_instance_from_dict",
+    "objective_instance_to_dict",
     "load_objective_instance",
     "FAMILY_FORMAT_OBJECTIVES",
 ]
@@ -237,8 +238,14 @@ def tree_instance_from_dict(data: dict):
     paths = []
     for i, rec in enumerate(_require(data, "paths", "tree")):
         try:
-            u, v = rec
-            paths.append(PathJob(u=int(u), v=int(v), job_id=i))
+            # ``[u, v]`` (ids assigned positionally) or ``[u, v, id]``
+            # (id-faithful round trips, e.g. RemoteSession's wire docs).
+            if len(rec) == 2:
+                u, v = rec
+                job_id = i
+            else:
+                u, v, job_id = rec
+            paths.append(PathJob(u=int(u), v=int(v), job_id=int(job_id)))
         except (TypeError, ValueError) as exc:
             raise InstanceError(
                 f"malformed path record #{i}: {exc}"
@@ -303,6 +310,111 @@ def objective_instance_from_dict(data: dict, objective: str):
     if loader is None:
         return instance_from_dict(data)
     return loader(data)
+
+
+def _rect_instance_to_dict(instance) -> dict:
+    return {
+        "g": instance.g,
+        "rects": [
+            {
+                "x0": r.x0,
+                "y0": r.y0,
+                "x1": r.x1,
+                "y1": r.y1,
+                "rect_id": r.rect_id,
+            }
+            for r in instance.rects
+        ],
+    }
+
+
+def _ring_instance_to_dict(instance) -> dict:
+    out = {
+        "g": instance.g,
+        "jobs": [
+            {
+                "a0": j.a0,
+                "alen": j.alen,
+                "t0": j.t0,
+                "t1": j.t1,
+                "job_id": j.job_id,
+            }
+            for j in instance.jobs
+        ],
+    }
+    if instance.jobs:
+        out["circumference"] = instance.jobs[0].circumference
+    return out
+
+
+def _tree_instance_to_dict(instance) -> dict:
+    return {
+        "g": instance.g,
+        "tree": {
+            "n": instance.tree.n,
+            "edges": [
+                [u, v, w]
+                for (u, v), w in sorted(instance.tree.edges.items())
+            ],
+        },
+        "paths": [[p.u, p.v, p.job_id] for p in instance.paths],
+    }
+
+
+def _flex_instance_to_dict(instance) -> dict:
+    return {
+        "g": instance.g,
+        "jobs": [
+            {
+                "window_start": j.window_start,
+                "window_end": j.window_end,
+                "proc": j.proc,
+                "job_id": j.job_id,
+            }
+            for j in instance.jobs
+        ],
+    }
+
+
+_OBJECTIVE_SERIALIZERS = {
+    "rect2d": _rect_instance_to_dict,
+    "ring": _ring_instance_to_dict,
+    "tree": _tree_instance_to_dict,
+    "flexible": _flex_instance_to_dict,
+}
+
+
+def objective_instance_to_dict(instance, objective: str) -> tuple:
+    """Serialize a *normalized* instance to ``(document, params)``.
+
+    The inverse of :func:`objective_instance_from_dict` for instances
+    that already went through the objective's registry normalizer —
+    this is what :class:`repro.api.RemoteSession` puts on the wire, so
+    a round trip through JSON must rebuild byte-identical content
+    (fingerprints are compared across the trip).  Parameters the
+    normalizer folded *into* the instance come back out in the params
+    document where the wire format wants them there: the energy
+    family's power model travels as ``params.power``; a MaxThroughput
+    budget stays inside the instance document.
+    """
+    serializer = _OBJECTIVE_SERIALIZERS.get(objective)
+    if serializer is not None:
+        return serializer(instance), {}
+    params: dict = {}
+    if objective == "energy":
+        from .energy.instance import EnergyInstance
+
+        if isinstance(instance, EnergyInstance):
+            params["power"] = {
+                "busy_power": instance.model.busy_power,
+                "idle_power": instance.model.idle_power,
+                "wake_cost": instance.model.wake_cost,
+            }
+            instance = instance.instance
+    doc = instance_to_dict(instance)
+    for job_doc, job in zip(doc["jobs"], instance.jobs):
+        job_doc["job_id"] = job.job_id
+    return doc, params
 
 
 def load_objective_instance(path: Union[str, Path], objective: str):

@@ -113,6 +113,13 @@ def result_to_doc(result: Any) -> Dict[str, Any]:
         "assignment_by_position": _jsonify(
             list(result.assignment_by_position)
         ),
+        # The presence bit matters when the assignment is empty (an
+        # empty instance still carries an empty Schedule): without it
+        # a remote client could not tell a schedule-bearing family
+        # from a detail-only one and would drop the Schedule a local
+        # session keeps — same reason strip_for_store preserves empty
+        # schedules.
+        "has_schedule": result.schedule is not None,
         "detail": _jsonify(result.detail),
         "from_cache": result.from_cache,
         "solve_seconds": result.solve_seconds,

@@ -63,7 +63,10 @@ class SolveServer:
     processes).  ``max_concurrency`` bounds simultaneous solves,
     ``deadline`` is the default per-request time limit in seconds
     (``None`` = unbounded), and ``port=0`` binds an ephemeral port
-    (read :attr:`port` after startup).
+    (read :attr:`port` after startup).  ``session`` is the
+    :class:`repro.api.Session` whose cache stack the server probes and
+    installs into (default: the process-default session, so in-process
+    test servers share tiers with direct engine calls).
     """
 
     def __init__(
@@ -71,19 +74,42 @@ class SolveServer:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
-        backend: str = "async",
+        backend: Optional[str] = None,
         workers: Optional[int] = None,
         max_concurrency: int = 16,
         deadline: Optional[float] = None,
         response_cache_size: int = 4096,
+        session=None,
     ) -> None:
+        self.host = host
+        self.port = port
+        # The cache stack this server probes and installs into.  An
+        # explicit Session isolates the server from everything else in
+        # the process (the CLI's `repro serve` builds one from its
+        # flags); the default is the process-default session, so an
+        # in-process test server shares tiers with direct engine calls
+        # exactly as before the session layer.
+        if session is None:
+            from ..engine.engine import default_session
+
+            session = default_session()
+        self.session = session
+        # Executor knobs default to the session's own config, so a
+        # server given Session(backend="process", workers=8) serves
+        # batches that way without the caller repeating itself; the
+        # config's "auto" (= no batch preference) maps to the serving
+        # default, the shared coalescing async executor.
+        if backend is None:
+            backend = session.config.backend
+            if backend == "auto":
+                backend = "async"
+        if workers is None:
+            workers = session.config.workers
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose one of "
                 f"{', '.join(BACKENDS)}"
             )
-        self.host = host
-        self.port = port
         self.backend = backend
         self.workers = workers
         self.deadline = deadline
@@ -107,6 +133,10 @@ class SolveServer:
         # awaits — one event loop) and the rest skip, so one
         # computation means one store append, not one per waiter.
         self._installing: set = set()
+        # Strong refs to batch tasks that outlived their request's
+        # deadline: the loop only keeps weak ones, and the abandoned
+        # batch must finish (it warms the cache for later requests).
+        self._background: set = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
 
@@ -129,22 +159,23 @@ class SolveServer:
     ):
         """The layered core for one request: probe, execute, install.
 
-        Cache probes and installs run off-loop (``to_thread``): with a
+        Probes and installs go through the server's *session* (its own
+        tiered stack) and run off-loop (``to_thread``): with a
         persistent store attached they are real disk I/O — fcntl-locked
         fsync'd appends, segment scans — and must not stall the event
         loop for every other connection.
         """
-        from ..engine.engine import cached_result, install_result
-
         if use_cache:
-            hit = await asyncio.to_thread(cached_result, plan)
+            hit = await asyncio.to_thread(self.session.cached_result, plan)
             if hit is not None:
                 return hit
         result = await self.executor.submit(plan.task(), deadline=deadline)
         if plan.key not in self._installing:
             self._installing.add(plan.key)
             try:
-                await asyncio.to_thread(install_result, plan, result)
+                await asyncio.to_thread(
+                    self.session.install_result, plan, result
+                )
             finally:
                 self._installing.discard(plan.key)
         return result
@@ -203,7 +234,7 @@ class SolveServer:
     async def _handle_solve_many(
         self, doc: Dict[str, Any], send: Send
     ) -> None:
-        from ..engine.engine import plan_solve, solve_many
+        from ..engine.engine import plan_solve
 
         objective = self._canonical_objective(doc)
         params = params_from_doc(objective, doc.get("params"))
@@ -253,19 +284,49 @@ class SolveServer:
                 for fut in pending:
                     fut.cancel()
         else:
-            # serial/process/auto: one engine batch call off-loop —
+            # serial/process/auto: one session batch call off-loop —
             # chunked multiprocessing and the in-batch fingerprint
-            # dedup come from the engine unchanged.
-            results = await asyncio.to_thread(
-                lambda: solve_many(
-                    instances,
-                    objective,
-                    workers=self.workers,
-                    use_cache=use_cache,
-                    backend=self.backend,
-                    **params,
+            # dedup come from the engine unchanged.  The deadline
+            # bounds how long this *request* waits (same contract as
+            # the async executor): the batch itself is not interrupted,
+            # so its results still land in the cache for later
+            # requests.
+            runner = asyncio.ensure_future(
+                asyncio.to_thread(
+                    lambda: self.session.solve_many(
+                        instances,
+                        objective,
+                        workers=self.workers,
+                        use_cache=use_cache,
+                        backend=self.backend,
+                        **params,
+                    )
                 )
             )
+            self._background.add(runner)
+
+            def _batch_done(task: "asyncio.Task") -> None:
+                self._background.discard(task)
+                if not task.cancelled():
+                    # Mark any failure retrieved even if the waiter
+                    # timed out before it landed; awaiting re-raises.
+                    task.exception()
+
+            runner.add_done_callback(_batch_done)
+            if deadline is None:
+                results = await runner
+            else:
+                try:
+                    results = await asyncio.wait_for(
+                        asyncio.shield(runner), timeout=deadline
+                    )
+                except asyncio.TimeoutError:
+                    raise TimeoutError(
+                        f"solve_many of {len(instances)} instances "
+                        f"exceeded its {deadline:.3g}s deadline "
+                        f"(batch backend {self.backend!r}; the batch "
+                        "keeps computing and will warm the cache)"
+                    ) from None
             for seq, result in enumerate(results):
                 await send(
                     {
@@ -287,9 +348,7 @@ class SolveServer:
     async def _handle_cache_stats(
         self, doc: Dict[str, Any], send: Send
     ) -> None:
-        from ..engine.engine import tiered_cache
-
-        stats = await asyncio.to_thread(lambda: tiered_cache().stats())
+        stats = await asyncio.to_thread(self.session.cache_stats)
         info = self.response_cache.info()
         stats["wire"] = {
             "hits": info.hits,

@@ -30,6 +30,7 @@ __all__ = [
     "ALL_FAMILIES",
     "family_instance",
     "family_request",
+    "spawn_serve_subprocess",
 ]
 
 
@@ -197,6 +198,60 @@ def family_request(family: str, seed: int) -> Tuple[Dict[str, Any], Dict[str, An
             )
         return {"g": 2, "jobs": jobs}, {}
     raise ValueError(f"unknown family {family!r}")
+
+
+def spawn_serve_subprocess(*extra_args: str, timeout: float = 30.0):
+    """A real ``repro serve`` process on an ephemeral port.
+
+    Starts ``python -m repro serve --port 0 --no-store`` (plus any
+    ``extra_args``), waits for the post-bind readiness banner, and
+    returns ``(process, port)``.  The caller owns the process
+    (``terminate()`` + ``wait()`` when done) — the RemoteSession
+    conformance suite runs against exactly this, a live server over a
+    real socket.
+    """
+    import os
+    import re
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{src}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(src)
+    )
+    env.pop("REPRO_CACHE_DIR", None)  # hermetic: no ambient store
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--no-store", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    # readline() blocks, so the banner read runs on a helper thread —
+    # a child that hangs before printing must fail within `timeout`,
+    # not stall the whole test session.
+    import threading
+
+    box: list = []
+    reader = threading.Thread(
+        target=lambda: box.append(proc.stdout.readline()), daemon=True
+    )
+    reader.start()
+    reader.join(timeout)
+    banner = box[0] if box else ""
+    match = re.search(r"listening on [\w.\-]+:(\d+)", banner or "")
+    if match is None:
+        proc.terminate()
+        proc.wait(timeout=5)
+        raise RuntimeError(
+            f"repro serve produced no readiness banner: {banner!r}"
+        )
+    return proc, int(match.group(1))
 
 
 def family_instance(family: str, seed: int) -> Tuple[Any, Dict[str, Any]]:

@@ -152,6 +152,93 @@ class TestServeErrors:
         assert excinfo.value.code not in (0, None)
 
 
+class TestEngineFlagParity:
+    """`repro solve` and `repro serve` share one argparse parent →
+    one EngineConfig: the engine knobs are accepted uniformly and the
+    unenforceable combinations exit with the same actionable message."""
+
+    ENGINE_FLAGS = ("backend", "workers", "deadline", "cache_size",
+                    "store", "no_store")
+
+    def test_both_commands_accept_the_shared_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        solve_args = parser.parse_args(
+            ["solve", "x.json", "--backend", "serial", "--workers", "2",
+             "--deadline", "1.5", "--cache-size", "64",
+             "--store", "/tmp/s"]
+        )
+        serve_args = parser.parse_args(
+            ["serve", "--backend", "process", "--workers", "3",
+             "--deadline", "2.5", "--cache-size", "32", "--no-store"]
+        )
+        for flag in self.ENGINE_FLAGS:
+            assert hasattr(solve_args, flag), f"solve lacks --{flag}"
+            assert hasattr(serve_args, flag), f"serve lacks --{flag}"
+        assert solve_args.deadline == 1.5
+        assert serve_args.deadline == 2.5
+
+    def test_solve_honors_deadline_via_async_auto(
+        self, inst_path, capsys
+    ):
+        # auto + --deadline selects the async backend, so the deadline
+        # is actually enforced; a generous bound must still succeed.
+        assert (
+            main(
+                ["solve", inst_path, "--deadline", "30",
+                 "--no-store", "--json"]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["problem"] == "minbusy"
+
+    def test_solve_rejects_unenforceable_deadline(self, inst_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["solve", inst_path, "--backend", "serial",
+                 "--deadline", "1", "--no-store"]
+            )
+        message = exit_message(excinfo)
+        assert "deadline" in message and "async" in message
+        assert excinfo.value.code not in (0, None)
+
+    def test_solve_honors_cache_size(self, inst_path, capsys):
+        assert (
+            main(
+                ["solve", inst_path, "--cache-size", "8",
+                 "--no-store", "--json"]
+            )
+            == 0
+        )
+        json.loads(capsys.readouterr().out)
+
+    def test_solve_rejects_bad_worker_count(self, inst_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["solve", inst_path, "--workers", "0", "--no-store"]
+            )
+        assert "workers" in exit_message(excinfo)
+
+    def test_tiny_deadline_exits_with_timeout(self, tmp_path):
+        # A deadline the solve cannot possibly meet must surface as an
+        # actionable error, not a hang (SolveTimeout -> InstanceError
+        # path would traceback; assert a clean non-zero exit).
+        doc, _ = family_request("minbusy", 3)
+        doc["jobs"] = doc["jobs"] * 40  # big enough to take > 1e-6 s
+        path = tmp_path / "big.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["solve", str(path), "--deadline", "0.000001",
+                 "--no-store"]
+            )
+        message = exit_message(excinfo)
+        assert "deadline" in message and "--deadline" in message
+        assert excinfo.value.code not in (0, None)
+
+
 class TestMachineReadableOutput:
     def test_bench_json_schema(self, capsys):
         assert (

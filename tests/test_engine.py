@@ -17,7 +17,7 @@ from repro.analysis.verify import (
     verify_min_busy_schedule,
 )
 from repro.cli import main
-from repro.core.errors import InstanceError
+from repro.core.errors import InstanceError, ReproDeprecationWarning
 from repro.core.instance import BudgetInstance, Instance
 from repro.engine import (
     EngineResult,
@@ -185,7 +185,10 @@ class TestCache:
         assert solve(inst).from_cache
 
     def test_configure_cache_evicts_lru(self):
-        configure_cache(2)
+        # The module-global shim is deprecated (Session(EngineConfig(
+        # cache_size=...)) replaces it) but must keep delegating.
+        with pytest.warns(ReproDeprecationWarning):
+            configure_cache(2)
         try:
             insts = _instances(3)
             for inst in insts:
@@ -196,7 +199,8 @@ class TestCache:
             assert solve(insts[1]).from_cache is True
             assert solve(insts[0]).from_cache is False
         finally:
-            configure_cache(1024)
+            with pytest.warns(ReproDeprecationWarning):
+                configure_cache(1024)
 
     def test_lru_cache_unit(self):
         c = LRUCache(maxsize=2)

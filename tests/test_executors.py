@@ -28,13 +28,11 @@ from repro.engine import (
     SolveTimeout,
     TieredCache,
     clear_cache,
-    configure_store,
     plan_solve,
     reset_store_binding,
     resolve_executor,
     solve,
     solve_many,
-    tiered_cache,
 )
 from repro.engine import executors as executors_module
 from repro.service.protocol import result_to_doc
@@ -361,12 +359,13 @@ class TestTieredCache:
         assert list(stack.stats()) == ["top", "bottom"]
 
     def test_engine_stack_composition(self, tmp_path):
-        """The live engine stack: LRU alone, or LRU over the store."""
-        reset_store_binding()
-        configure_store(None)
-        assert list(tiered_cache().stats()) == ["lru"]
-        configure_store(tmp_path)
-        stats = tiered_cache().stats()
+        """The live session stack: LRU alone, or LRU over the store."""
+        from repro.api import Session
+
+        session = Session(store_path=None)
+        assert list(session.cache_stats()) == ["lru"]
+        session = Session(store_path=tmp_path)
+        stats = session.cache_stats()
         assert list(stats) == ["lru", "store"]
         assert stats["store"]["path"] == str(tmp_path)
 
@@ -374,12 +373,12 @@ class TestTieredCache:
         """Fresh-process simulation: an empty LRU is warmed from the
         store through the tiered probe, and the rebound result matches
         the original bit-for-bit."""
-        configure_store(tmp_path)
+        from repro.api import Session
+
         inst, _ = family_instance("minbusy", 11)
-        cold = solve(inst, "minbusy")
-        clear_cache()  # "new process": LRU empty, store persists
-        configure_store(tmp_path)
-        warm = solve(inst, "minbusy")
+        cold = Session(store_path=tmp_path).solve(inst, "minbusy")
+        # "New process": a fresh session, LRU empty, store persists.
+        warm = Session(store_path=tmp_path).solve(inst, "minbusy")
         assert warm.from_cache
         assert canonical(warm) == canonical(cold)
 

@@ -107,6 +107,26 @@ class TestServiceOps:
         assert warm["from_cache"]
         assert wire_canonical(warm) == wire_canonical(cold)
 
+    def test_solve_many_deadline_enforced_on_batch_backends(self):
+        """A non-async batch backend must still bound how long a
+        solve_many *request* waits (regression: the deadline was
+        silently dropped on the serial/process path)."""
+        from repro.api import Session
+
+        handle = SolveServer(
+            port=0, backend="serial", session=Session(store_path=None)
+        ).run_in_thread()
+        try:
+            docs = [family_request("minbusy", 700 + s)[0] for s in range(4)]
+            with ServiceClient(port=handle.port, timeout=30.0) as c:
+                with pytest.raises(ServiceError, match="deadline"):
+                    c.solve_many(docs, cache=False, deadline=1e-7)
+                # The connection survives and an unbounded retry works.
+                results = c.solve_many(docs, cache=False)
+            assert len(results) == 4
+        finally:
+            handle.stop()
+
     def test_wire_replay_counts_hits(self, server):
         doc, _ = family_request("tree", 3)
         with client_for(server) as c:

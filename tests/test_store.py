@@ -25,7 +25,6 @@ import pytest
 from repro.cli import main
 from repro.engine import (
     clear_cache,
-    configure_store,
     reset_store_binding,
     solve,
     solve_many,
@@ -217,8 +216,8 @@ class TestConcurrentWriters:
 
 
 class TestEngineWiring:
-    def test_read_through_write_behind(self, tmp_path):
-        configure_store(tmp_path)
+    def test_read_through_write_behind(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         inst = random_general_instance(20, 3, seed=3)
         fresh = solve(inst)
         assert not fresh.from_cache
@@ -233,8 +232,8 @@ class TestEngineWiring:
         s = store_stats()
         assert s is not None and s.hits >= 1 and s.puts >= 1
 
-    def test_solve_many_folds_into_store(self, tmp_path):
-        configure_store(tmp_path)
+    def test_solve_many_folds_into_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         insts = [random_general_instance(15, 3, seed=s) for s in range(6)]
         cold = solve_many(insts)
         assert not any(r.from_cache for r in cold)
@@ -243,8 +242,8 @@ class TestEngineWiring:
         assert all(r.from_cache for r in warm)
         assert [r.cost for r in warm] == [r.cost for r in cold]
 
-    def test_use_cache_false_still_writes(self, tmp_path):
-        configure_store(tmp_path)
+    def test_use_cache_false_still_writes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         inst = random_general_instance(12, 2, seed=9)
         solve(inst, use_cache=False)
         clear_cache()
@@ -264,10 +263,12 @@ class TestEngineWiring:
         monkeypatch.delenv("REPRO_CACHE_DIR")
         assert store_stats() is None
 
-    def test_empty_instance_store_hit_keeps_schedule(self, tmp_path):
+    def test_empty_instance_store_hit_keeps_schedule(
+        self, tmp_path, monkeypatch
+    ):
         from repro.core.instance import Instance
 
-        configure_store(tmp_path)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         empty = Instance(jobs=(), g=2)
         fresh = solve(empty)
         assert fresh.schedule is not None
@@ -278,10 +279,10 @@ class TestEngineWiring:
         assert hit.schedule.assignment == {}
         assert hit.schedule.g == 2
 
-    def test_registry_objectives_share_store(self, tmp_path):
+    def test_registry_objectives_share_store(self, tmp_path, monkeypatch):
         from repro.workloads import random_demand_instance
 
-        configure_store(tmp_path)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         inst = random_demand_instance(18, 4, seed=5)
         fresh = solve(inst, "capacity")
         clear_cache()
