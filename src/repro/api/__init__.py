@@ -11,8 +11,12 @@ implementations, so local and remote solving are interchangeable:
   sessions in one process have disjoint cache stacks;
 * :class:`RemoteSession` — the same calls over a ``repro serve``
   socket (:class:`~repro.service.client.ServiceClient` underneath);
-* :class:`ShardedClient` — fan-out across N other clients by
-  fingerprint partition (the ROADMAP's sharded ``solve_many``).
+* :class:`ShardedClient` — a thin Session whose execute slot is a
+  :class:`~repro.engine.executors.ShardedExecutor`: consistent-hash
+  fan-out across N other clients with shard failover and fleet
+  circuit health (the ROADMAP's fleet-scale item).  Shard endpoints
+  parse from :data:`SHARDS_ENV_VAR` (``REPRO_SHARDS``) or CLI
+  ``--shard`` flags into :class:`ShardSpec`\\ s.
 
 The legacy module-global entry points (``repro.engine.solve`` and
 friends) are thin, thread-safe shims over a lazily-created
@@ -36,11 +40,22 @@ Swap in a server fleet without touching the call sites::
 
     from repro.api import RemoteSession, ShardedClient
 
-    fleet = ShardedClient([RemoteSession(h, 8753) for h in hosts])
+    fleet = ShardedClient([RemoteSession(h, 8753) for h in hosts],
+                          weights=[1, 2], hedge_delay=5.0)
     batch = fleet.solve_many(instances)              # same bytes out
+    # or, straight from endpoint specs / REPRO_SHARDS:
+    fleet = ShardedClient.from_specs(["10.0.0.1:8753", "local*2"])
 """
 
-from .config import FOLLOW_ENV, STORE_ENV_VAR, EngineConfig
+from .config import (
+    FOLLOW_ENV,
+    SHARDS_ENV_VAR,
+    STORE_ENV_VAR,
+    EngineConfig,
+    ShardSpec,
+    parse_shard_entry,
+    parse_shards,
+)
 from .protocol import SolverClient
 from .remote import RemoteSession, result_from_doc
 from .session import Session
@@ -49,12 +64,16 @@ from ..engine.engine import default_session
 
 __all__ = [
     "FOLLOW_ENV",
+    "SHARDS_ENV_VAR",
     "STORE_ENV_VAR",
     "EngineConfig",
+    "ShardSpec",
     "SolverClient",
     "Session",
     "RemoteSession",
     "ShardedClient",
     "default_session",
+    "parse_shard_entry",
+    "parse_shards",
     "result_from_doc",
 ]

@@ -22,8 +22,8 @@ The store binding has three states:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
-from typing import Any, Mapping, Optional, Union
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Tuple, Union
 
 from ..engine.cache import DEFAULT_CACHE_SIZE
 from ..engine.executors import BACKENDS
@@ -32,7 +32,11 @@ __all__ = [
     "FOLLOW_ENV",
     "EngineConfig",
     "STORE_ENV_VAR",
+    "SHARDS_ENV_VAR",
+    "ShardSpec",
     "enforceable_backend",
+    "parse_shard_entry",
+    "parse_shards",
 ]
 
 
@@ -62,6 +66,116 @@ def enforceable_backend(
 
 #: Environment variable that binds the persistent store tier.
 STORE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Environment variable naming the shard fleet (comma-separated
+#: ``host:port`` / ``local`` entries, optional ``*weight`` suffix).
+SHARDS_ENV_VAR = "REPRO_SHARDS"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard endpoint: a serve socket, or an in-process session.
+
+    ``host is None`` means a local shard (its own
+    :class:`~repro.api.session.Session`); otherwise ``host:port`` of a
+    ``repro serve`` process.  ``weight`` scales the shard's share of
+    the consistent-hash ring (capacity-proportional routing).
+    """
+
+    host: Optional[str] = None
+    port: Optional[int] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if (self.host is None) != (self.port is None):
+            raise ValueError(
+                "ShardSpec needs both host and port, or neither (local)"
+            )
+        if self.port is not None and not 0 < self.port < 65536:
+            raise ValueError(
+                f"shard port must be in 1..65535, got {self.port}"
+            )
+        if not self.weight > 0:
+            raise ValueError(
+                f"shard weight must be > 0, got {self.weight}"
+            )
+
+    @property
+    def is_local(self) -> bool:
+        return self.host is None
+
+    def __str__(self) -> str:
+        base = "local" if self.is_local else f"{self.host}:{self.port}"
+        return base if self.weight == 1.0 else f"{base}*{self.weight:g}"
+
+
+def parse_shard_entry(
+    text: str, *, source: str = SHARDS_ENV_VAR
+) -> ShardSpec:
+    """One shard entry — ``host:port``, ``local``, optional ``*weight``.
+
+    Errors name ``source`` (the env var or flag the entry came from)
+    and show the accepted grammar, same actionable style as the other
+    ``REPRO_*`` parsers.
+    """
+    entry = text.strip()
+    grammar = (
+        f"{source} entries are 'host:port' or 'local', each with an "
+        "optional '*weight' suffix — e.g. "
+        "'10.0.0.1:8753,10.0.0.2:8753*2,local'"
+    )
+    if not entry:
+        raise ValueError(f"{source} contains an empty shard entry; {grammar}")
+    weight = 1.0
+    if "*" in entry:
+        entry, _, raw_weight = entry.rpartition("*")
+        try:
+            weight = float(raw_weight)
+        except ValueError as exc:
+            raise ValueError(
+                f"{source}: shard weight {raw_weight!r} in {text.strip()!r} "
+                f"is not a number; {grammar}"
+            ) from exc
+        if not weight > 0:
+            raise ValueError(
+                f"{source}: shard weight must be > 0, got {weight} in "
+                f"{text.strip()!r}"
+            )
+    if entry == "local":
+        return ShardSpec(weight=weight)
+    host, sep, raw_port = entry.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"{source}: shard entry {text.strip()!r} is neither 'local' "
+            f"nor 'host:port'; {grammar}"
+        )
+    try:
+        port = int(raw_port)
+    except ValueError as exc:
+        raise ValueError(
+            f"{source}: shard port {raw_port!r} in {text.strip()!r} is "
+            f"not an integer; {grammar}"
+        ) from exc
+    if not 0 < port < 65536:
+        raise ValueError(
+            f"{source}: shard port must be in 1..65535, got {port} in "
+            f"{text.strip()!r}"
+        )
+    return ShardSpec(host=host, port=port, weight=weight)
+
+
+def parse_shards(
+    text: str, *, source: str = SHARDS_ENV_VAR
+) -> Tuple[ShardSpec, ...]:
+    """A comma-separated shard list → validated :class:`ShardSpec`s."""
+    entries = [part for part in text.split(",") if part.strip()]
+    if not entries:
+        raise ValueError(
+            f"{source}={text!r} names no shards; list them comma-"
+            "separated as 'host:port' or 'local' (optional '*weight'), "
+            "or unset it"
+        )
+    return tuple(parse_shard_entry(entry, source=source) for entry in entries)
 
 
 class _FollowEnv:
@@ -107,8 +221,25 @@ class EngineConfig:
     chunksize: Optional[int] = None
     deadline: Optional[float] = None
     objective: str = "minbusy"
+    #: Shard fleet for sharded clients/servers; entries may be given
+    #: as ``ShardSpec`` objects or ``"host:port"``/``"local"`` strings
+    #: (normalized here).  Empty = unsharded.
+    shards: Tuple[ShardSpec, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
+        normalized = tuple(
+            parse_shard_entry(s, source="shards")
+            if isinstance(s, str)
+            else s
+            for s in self.shards
+        )
+        for spec in normalized:
+            if not isinstance(spec, ShardSpec):
+                raise ValueError(
+                    f"shards entries must be ShardSpec or str, got "
+                    f"{type(spec).__name__}"
+                )
+        object.__setattr__(self, "shards", normalized)
         if self.cache_size < 1:
             raise ValueError(
                 f"cache_size must be >= 1, got {self.cache_size}"
@@ -137,10 +268,11 @@ class EngineConfig:
     ) -> "EngineConfig":
         """The configuration the process environment asks for.
 
-        Reads ``REPRO_BACKEND``, ``REPRO_WORKERS``, ``REPRO_DEADLINE``
-        and ``REPRO_CACHE_SIZE`` when present; the store binding stays
-        :data:`FOLLOW_ENV` so later ``REPRO_CACHE_DIR`` changes keep
-        taking effect (the historical module-global behaviour).
+        Reads ``REPRO_BACKEND``, ``REPRO_WORKERS``, ``REPRO_DEADLINE``,
+        ``REPRO_CACHE_SIZE`` and ``REPRO_SHARDS`` when present; the
+        store binding stays :data:`FOLLOW_ENV` so later
+        ``REPRO_CACHE_DIR`` changes keep taking effect (the historical
+        module-global behaviour).
         """
         env = os.environ if environ is None else environ
 
@@ -163,4 +295,6 @@ class EngineConfig:
             kwargs["deadline"] = parse("REPRO_DEADLINE", float)
         if env.get("REPRO_CACHE_SIZE"):
             kwargs["cache_size"] = parse("REPRO_CACHE_SIZE", int)
+        if env.get(SHARDS_ENV_VAR):
+            kwargs["shards"] = parse_shards(env[SHARDS_ENV_VAR])
         return cls(**kwargs)

@@ -275,6 +275,10 @@ class RemoteSession:
         """Server liveness (transport-level convenience)."""
         return self.client.ping()
 
+    def health(self) -> Dict[str, Any]:
+        """The server's readiness snapshot (``health`` op)."""
+        return self.client.health()
+
     def close(self) -> None:
         self.client.close()
 

@@ -77,16 +77,29 @@ class Session:
     The store binding is resolved eagerly, so an unusable store
     directory fails at construction with an ``OSError`` instead of a
     traceback mid-solve.
+
+    ``executor=`` installs a *default executor* that replaces backend
+    resolution: every solve dispatches through it unless a call names
+    an explicit ``backend=`` or passes its own ``executor=``.  This is
+    the seam the sharded client uses — a router session whose default
+    executor is a :class:`~repro.engine.executors.ShardedExecutor`
+    runs the full local pipeline (cache probe, fingerprint dedup,
+    install) with only the unique misses crossing the fleet.
     """
 
     def __init__(
-        self, config: Optional[EngineConfig] = None, **overrides: Any
+        self,
+        config: Optional[EngineConfig] = None,
+        *,
+        executor: Optional[Executor] = None,
+        **overrides: Any,
     ) -> None:
         if config is None:
             config = EngineConfig()
         if overrides:
             config = config.replace(**overrides)
         self.config = config
+        self.default_executor = executor
         self._lock = threading.RLock()
         self._lru = LRUCache(config.cache_size)
         self._store: Optional[ResultStore] = None
@@ -177,7 +190,20 @@ class Session:
         the async backend is selected; an explicit ``serial``/
         ``process`` backend with a deadline is a ``ValueError`` (the
         same rule :class:`EngineConfig` applies at construction).
+
+        A session-level default executor wins whenever the call names
+        no explicit ``backend`` — per-call deadlines are plumbed
+        through its ``with_deadline`` view when it has one (the
+        sharded executor does).
         """
+        if self.default_executor is not None and backend is None:
+            executor = self.default_executor
+            if deadline is None:
+                deadline = self.config.deadline
+            with_deadline = getattr(executor, "with_deadline", None)
+            if deadline is not None and with_deadline is not None:
+                return with_deadline(deadline)
+            return executor
         backend = backend or self.config.backend
         if workers is None:
             workers = self.config.workers
@@ -210,6 +236,7 @@ class Session:
         verify: bool = False,
         backend: Optional[str] = None,
         deadline: Optional[float] = None,
+        executor: Optional[Executor] = None,
         **params: Any,
     ) -> EngineResult:
         """Solve one instance with the strongest applicable algorithm.
@@ -234,7 +261,10 @@ class Session:
             result = cached_result(plan, cache)
             if result is not None:
                 return _verified(plan, result) if verify else result
-        executor = self._executor(backend, deadline=deadline, single=True)
+        if executor is None:
+            executor = self._executor(
+                backend, deadline=deadline, single=True
+            )
         result = executor.run([plan.task()])[0]
         install_result(plan, result, cache)
         return _verified(plan, result) if verify else result
@@ -339,6 +369,7 @@ class Session:
         use_cache: bool = True,
         backend: Optional[str] = None,
         deadline: Optional[float] = None,
+        executor: Optional[Executor] = None,
         **params: Any,
     ) -> Iterator[EngineResult]:
         """Results in input order, yielded as each item completes.
@@ -357,12 +388,23 @@ class Session:
                 use_cache=use_cache,
                 backend=backend,
                 deadline=deadline,
+                executor=executor,
                 **params,
             )
 
     def cache_stats(self) -> Dict[str, Dict[str, Any]]:
-        """Per-tier counters of this session's stack, keyed by tier."""
-        return self.cache().stats()
+        """Per-tier counters of this session's stack, keyed by tier.
+
+        When the default executor is a shard fleet, its aggregated
+        per-shard counters (cache tiers + circuit health) ride along
+        under ``"shards"`` — one call shows the whole stack, router
+        tiers and fleet alike.
+        """
+        stats = self.cache().stats()
+        shard_stats = getattr(self.default_executor, "shard_stats", None)
+        if shard_stats is not None:
+            stats["shards"] = shard_stats()
+        return stats
 
     def objectives(self) -> List[str]:
         """Canonical names of every registered objective."""

@@ -33,6 +33,35 @@ hit counters.
 ``repro bench`` prints the scalar-vs-vectorized kernel speedups, the
 FirstFit placement-loop speedups (scalar probing vs the occupancy
 engine), and cold/cached batch timings.
+
+Running a sharded fleet
+-----------------------
+
+Both front doors scale past one process by naming shard endpoints —
+repeatable ``--shard`` flags, or the ``REPRO_SHARDS`` environment
+variable (comma-separated; same grammar)::
+
+    repro serve --port 8701 &                       # three plain shards
+    repro serve --port 8702 &
+    repro serve --port 8703 &
+
+    repro solve *.json --batch \\
+        --shard 127.0.0.1:8701 --shard 127.0.0.1:8702 \\
+        --shard 127.0.0.1:8703                      # consistent-hash fan-out
+
+    REPRO_SHARDS=10.0.0.1:8753,10.0.0.2:8753*2,local repro serve \\
+        --port 8700                                 # a router in front
+
+Entries are ``host:port`` or ``local`` (an in-process shard), each
+with an optional ``*weight`` scaling its share of the consistent-hash
+ring.  Routing is by content fingerprint, so content-identical
+instances always hit the same shard's cache; a shard that dies
+mid-batch has its slice re-routed to the survivors (``--hedge-delay
+S`` additionally hedges slow shards), and results stay byte-identical
+to an unsharded solve.  Fleet observability rides the same wire:
+``repro cache stats --json --shard HOST:PORT ...`` reports per-shard
+cache counters plus circuit health and an aggregate, and the NDJSON
+``{"op": "health"}`` probe answers readiness per shard.
 """
 
 from __future__ import annotations
@@ -88,6 +117,32 @@ def _resolve_objective(name: str) -> str:
         raise SystemExit(str(exc)) from exc
 
 
+def _shard_specs(args: argparse.Namespace) -> list:
+    """The fleet named by ``--shard`` flags, else ``REPRO_SHARDS``.
+
+    Empty when neither names any shards (the single-session case).
+    Malformed entries exit with the parser's actionable message — it
+    names the offending source (``--shard`` or the variable) and the
+    accepted grammar.
+    """
+    import os
+
+    from .api import SHARDS_ENV_VAR, parse_shard_entry, parse_shards
+
+    try:
+        flags = getattr(args, "shard", None)
+        if flags:
+            return [
+                parse_shard_entry(s, source="--shard") for s in flags
+            ]
+        raw = os.environ.get(SHARDS_ENV_VAR)
+        if raw:
+            return list(parse_shards(raw))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    return []
+
+
 def session_from_args(
     args: argparse.Namespace,
     *,
@@ -107,8 +162,17 @@ def session_from_args(
     ``include_deadline=False`` keeps the deadline out of the session
     (``repro serve`` enforces it per request in its own executor, so
     its batch backend may be serial/process).
+
+    When ``--shard``/``REPRO_SHARDS`` names a fleet, the return value
+    is a :class:`repro.api.ShardedClient` instead — same call surface,
+    consistent-hash fan-out underneath (``repro serve`` unwraps its
+    router session; ``repro solve`` uses it directly).  The store and
+    LRU flags then shape the *router*; the shards own their own
+    caches.
     """
-    from .api import FOLLOW_ENV, EngineConfig, Session
+    from .api import FOLLOW_ENV, EngineConfig, Session, ShardedClient
+
+    specs = _shard_specs(args)
 
     if getattr(args, "no_store", False):
         store = None
@@ -126,10 +190,33 @@ def session_from_args(
             store_path=store,
             backend=args.backend or default_backend,
             workers=getattr(args, "workers", None),
+            shards=tuple(specs),
             **kwargs,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
+    if specs:
+        if args.backend in ("serial", "process"):
+            raise SystemExit(
+                f"--backend {args.backend} cannot drive a shard fleet "
+                "(the fleet executor does the fan-out); drop --backend "
+                "or use auto/async alongside --shard/REPRO_SHARDS"
+            )
+        try:
+            return ShardedClient.from_specs(
+                specs,
+                config=config,
+                hedge_delay=getattr(args, "hedge_delay", None),
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot assemble the shard fleet: {exc}\n"
+                "every remote shard must be a live `repro serve` "
+                "endpoint; start it, fix the address, or drop it from "
+                "--shard/REPRO_SHARDS"
+            ) from exc
     try:
         return Session(config)
     except OSError as exc:
@@ -349,9 +436,120 @@ def _cmd_solve_batch(
     return 0
 
 
+def _sum_stats(docs: List[dict]) -> dict:
+    """Numeric leaves summed across same-shaped stats documents.
+
+    Nested dicts merge recursively; strings (paths, states) and
+    booleans drop out — the aggregate is counters only.
+    """
+    out: dict = {}
+    for doc in docs:
+        for key, value in doc.items():
+            if isinstance(value, dict):
+                seed = out.get(key)
+                out[key] = _sum_stats(
+                    [seed, value] if isinstance(seed, dict) else [value]
+                )
+            elif isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                out[key] = out.get(key, 0) + value
+    return out
+
+
+def _cmd_cache_sharded_stats(args: argparse.Namespace) -> int:
+    """``repro cache stats`` against live serve endpoints.
+
+    Each ``--shard host:port`` is asked for its cache counters and its
+    ``health`` snapshot over the wire; the report carries the
+    per-shard breakdown plus a counters-only aggregate.  Unreachable
+    shards are reported, not fatal — unless the whole fleet is dark.
+    """
+    from .api import parse_shard_entry
+    from .service.client import ServiceClient, ServiceError
+
+    try:
+        specs = [
+            parse_shard_entry(s, source="--shard") for s in args.shard
+        ]
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    shards: dict = {}
+    reachable = 0
+    for spec in specs:
+        if spec.is_local:
+            raise SystemExit(
+                "--shard local has no server to ask for cache stats; "
+                "point --shard at `repro serve` endpoints (host:port)"
+            )
+        key = f"{spec.host}:{spec.port}"
+        try:
+            with ServiceClient(
+                spec.host, spec.port, timeout=10.0
+            ) as client:
+                shards[key] = {
+                    "reachable": True,
+                    "stats": client.cache_stats(),
+                    "health": client.health(),
+                }
+                reachable += 1
+        except (OSError, ServiceError) as exc:
+            shards[key] = {"reachable": False, "error": str(exc)}
+    if not reachable:
+        raise SystemExit(
+            "none of the --shard endpoints answered:\n"
+            + "\n".join(
+                f"  {key}: {info['error']}" for key, info in shards.items()
+            )
+            + "\nstart the shards with `repro serve` or fix the addresses"
+        )
+    doc = {
+        "n_shards": len(specs),
+        "reachable": reachable,
+        "shards": shards,
+        "aggregate": _sum_stats(
+            [s["stats"] for s in shards.values() if s["reachable"]]
+        ),
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(f"shards      : {reachable}/{len(specs)} reachable")
+    for key, info in shards.items():
+        if not info["reachable"]:
+            print(f"{key:21s}: unreachable ({info['error']})")
+            continue
+        health = info["health"]
+        tiers = ", ".join(
+            f"{tier} {stats.get('hits', 0)}h/{stats.get('misses', 0)}m"
+            for tier, stats in info["stats"].items()
+            if isinstance(stats, dict)
+        )
+        print(
+            f"{key:21s}: {health.get('status', '?')} "
+            f"(pid {health.get('pid', '?')}, "
+            f"inflight {health.get('inflight', '?')}) — {tiers}"
+        )
+    for tier, stats in doc["aggregate"].items():
+        if isinstance(stats, dict):
+            rendered = ", ".join(
+                f"{k}={v}" for k, v in sorted(stats.items())
+            )
+            print(f"aggregate {tier:11s}: {rendered}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Inspect/clear the persistent result store."""
     from .engine.store import ResultStore, default_store_dir
+
+    if getattr(args, "shard", None):
+        if args.action != "stats":
+            raise SystemExit(
+                "--shard only applies to `repro cache stats`; clear/"
+                "path operate on a local store directory"
+            )
+        return _cmd_cache_sharded_stats(args)
 
     def _open_store(root: Path) -> "ResultStore":
         try:
@@ -413,9 +611,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # flags as `repro solve`.  The deadline stays out of the session —
     # the server enforces it per request in its own async executor, so
     # serial/process batch backends remain valid alongside --deadline.
+    # A --shard/REPRO_SHARDS fleet arrives as a ShardedClient; the
+    # server speaks to its router session (whose default executor is
+    # the fleet), which is what makes this process a sharding router:
+    # local tiers and request coalescing in front, consistent-hash
+    # fan-out with failover behind.
     session = session_from_args(
         args, default_backend="async", include_deadline=False
     )
+    from .api import ShardedClient
+
+    fleet = None
+    if isinstance(session, ShardedClient):
+        fleet = session
+        session = fleet.session
     try:
         # Executor knobs (backend, workers) derive from the session's
         # config — one source of truth for both front doors.  An
@@ -436,10 +645,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def _announce(bound) -> None:
         # Fired post-bind, so the banner is a real readiness signal
         # (and reports the resolved port when --port 0 was asked).
+        sharded = f", shards={len(fleet)}" if fleet is not None else ""
         print(
             f"repro service listening on {args.host}:{bound.port} "
             f"(backend={server.backend}, "
-            f"max_concurrency={args.max_concurrency})",
+            f"max_concurrency={args.max_concurrency}{sharded})",
             flush=True,
         )
 
@@ -451,6 +661,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "the port is occupied or the interface cannot be bound; "
             "pick another one with --port/--host"
         ) from exc
+    finally:
+        if fleet is not None:
+            fleet.close()
     return 0
 
 
@@ -697,6 +910,24 @@ def _engine_flags_parent() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent store even if REPRO_CACHE_DIR is set",
     )
+    parent.add_argument(
+        "--shard",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="add a fleet shard: 'host:port' (a live `repro serve`) or "
+        "'local' (in-process), optionally '*weight' for its share of "
+        "the consistent-hash ring; repeatable — without flags, "
+        "REPRO_SHARDS (comma-separated, same grammar) is read instead",
+    )
+    parent.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with shards: hedge a shard's batch onto another shard "
+        "after S seconds without an answer (default: no hedging)",
+    )
     return parent
 
 
@@ -765,6 +996,15 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro/store)",
     )
     cc.add_argument("--json", action="store_true")
+    cc.add_argument(
+        "--shard",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="for `stats`: ask live `repro serve` endpoint(s) over the "
+        "wire instead of reading a local store directory (repeatable; "
+        "reports per-shard counters, health, and an aggregate)",
+    )
     cc.set_defaults(func=_cmd_cache)
 
     sv = sub.add_parser(

@@ -122,11 +122,15 @@ from .executors import (
     Executor,
     ProcessPoolExecutor,
     SerialExecutor,
+    ShardedExecutor,
+    ShardFleetError,
     SolveTask,
     SolveTimeout,
     resolve_executor,
 )
 from .fingerprint import fingerprint_v2, instance_fingerprint, solve_key
+from .health import EJECTED, HEALTHY, SUSPECT, FleetHealth, ShardCircuit
+from .partition import ModuloPartitioner, Partitioner, RingPartitioner
 from .store import STORE_VERSION, ResultStore, StoreStats, default_store_dir
 from .tiers import CacheTier, LRUTier, StoreTier, TieredCache
 
@@ -167,9 +171,19 @@ __all__ = [
     "Executor",
     "ProcessPoolExecutor",
     "SerialExecutor",
+    "ShardedExecutor",
+    "ShardFleetError",
     "SolveTask",
     "SolveTimeout",
     "resolve_executor",
+    "FleetHealth",
+    "ShardCircuit",
+    "HEALTHY",
+    "SUSPECT",
+    "EJECTED",
+    "Partitioner",
+    "ModuloPartitioner",
+    "RingPartitioner",
     "CacheTier",
     "LRUTier",
     "StoreTier",

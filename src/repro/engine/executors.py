@@ -23,6 +23,15 @@ Backends:
   backend under ``repro serve``; its async API (:meth:`submit`) is
   what the service awaits per request, and its sync :meth:`run` makes
   it a drop-in ``solve_many`` backend.
+* :class:`ShardedExecutor` — fan-out over a fleet of shard clients
+  (local ``Session``s or remote serve sockets) routed by a
+  :class:`~repro.engine.partition.Partitioner`, with circuit-breaker
+  health tracking (:mod:`repro.engine.health`), failover (a failed
+  shard's slice re-routes to the survivors next in its keys'
+  preference order) and optional request hedging.  Because it is just
+  another :class:`Executor`, it plugs in *under* ``solve_many``'s
+  cache probe and fingerprint dedup: a sharded batch dedups once at
+  the router, then fans only unique misses out to the fleet.
 
 :func:`resolve_executor` maps the public ``backend=`` knob
 (``auto | serial | process | async``) plus ``workers=`` onto a
@@ -33,8 +42,14 @@ concrete backend, preserving the historical ``solve_many`` behaviour:
 from __future__ import annotations
 
 import asyncio
+import copy
 import multiprocessing
 import threading
+from concurrent.futures import (
+    ThreadPoolExecutor as _ThreadPool,
+    as_completed,
+    wait as _wait_futures,
+)
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -44,8 +59,13 @@ from typing import (
     Optional,
     Protocol,
     Sequence,
+    Set,
+    Tuple,
     runtime_checkable,
 )
+
+from .health import FleetHealth
+from .partition import Partitioner, RingPartitioner
 
 __all__ = [
     "BACKENDS",
@@ -55,6 +75,8 @@ __all__ = [
     "SerialExecutor",
     "ProcessPoolExecutor",
     "AsyncQueueExecutor",
+    "ShardedExecutor",
+    "ShardFleetError",
     "resolve_executor",
 ]
 
@@ -181,6 +203,13 @@ class AsyncQueueExecutor:
     * Duplicate concurrent submissions of the same ``task.key``
       *coalesce*: the first starts the solve, the rest await the same
       future and share the one result.
+    * ``delegate`` replaces the in-process solve with another
+      :class:`Executor`: each admitted task runs ``delegate.run([task])``
+      in the worker thread instead of computing locally.  This is how
+      ``repro serve --shard`` keeps the service's coalescing, bounded
+      concurrency and per-request deadlines *above* a
+      :class:`ShardedExecutor` fanning the actual solves out to a
+      fleet.
     """
 
     name = "async"
@@ -190,6 +219,7 @@ class AsyncQueueExecutor:
         max_concurrency: int = 8,
         *,
         deadline: Optional[float] = None,
+        delegate: Optional["Executor"] = None,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(
@@ -197,6 +227,7 @@ class AsyncQueueExecutor:
             )
         self.max_concurrency = max_concurrency
         self.deadline = deadline
+        self.delegate = delegate
         self._inflight: Dict[str, _Inflight] = {}
         # Strong refs to in-flight compute tasks: the event loop only
         # keeps weak ones, and a GC'd task would strand its waiters.
@@ -224,10 +255,15 @@ class AsyncQueueExecutor:
                 }
         return sem
 
+    def _run_one(self, task: SolveTask) -> Any:
+        if self.delegate is not None:
+            return self.delegate.run([task])[0]
+        return _solve_task(task)
+
     async def _compute(self, task: SolveTask, slot: _Inflight) -> None:
         try:
             async with self._semaphore():
-                result = await asyncio.to_thread(_solve_task, task)
+                result = await asyncio.to_thread(self._run_one, task)
         except asyncio.CancelledError:
             # Event-loop shutdown: cancel (not fail) the slot so a
             # never-awaited future doesn't log at GC time, and let the
@@ -309,6 +345,274 @@ class AsyncQueueExecutor:
         if error:
             raise error[0]
         return box[0]
+
+
+class ShardFleetError(RuntimeError):
+    """Every shard that could own a slice failed or is ejected."""
+
+    def __init__(self, n_shards: int, failures: Sequence[Dict[str, Any]]):
+        recent = "; ".join(
+            f"shard{f['shard']}: {f['error']}" for f in list(failures)[-3:]
+        )
+        super().__init__(
+            f"all {n_shards} shards failed or are ejected"
+            + (f" — recent failures: {recent}" if recent else "")
+        )
+        self.failures = list(failures)
+
+
+class ShardedExecutor:
+    """Fan solve tasks out across a fleet of shard clients.
+
+    ``shards`` is any sequence of :class:`~repro.api.protocol.
+    SolverClient`-shaped objects (local sessions, remote sessions,
+    even nested sharded clients) — the executor only calls their
+    ``solve_many``/``cache_stats``.  Routing is by ``task.key``
+    through ``partitioner`` (default: an equal-weight
+    :class:`~repro.engine.partition.RingPartitioner`), so
+    content-identical work always lands on the same shard and that
+    shard's cache stays authoritative for its keyspace.
+
+    Failover is round-based: each round routes the remaining tasks to
+    the first *available* shard in their keys' preference order and
+    fans out one ``solve_many`` per shard (its own thread).  A shard
+    that raises has its failure recorded in :class:`~repro.engine.
+    health.FleetHealth` (suspect → ejected with re-probe backoff) and
+    its slice re-routed to survivors next round — the caller sees
+    merged results in submission order, never the shard failure.  Only
+    when *no* shard remains routable does :class:`ShardFleetError`
+    propagate.
+
+    ``hedge_delay`` (seconds) arms hedged requests: a shard slower
+    than the delay gets its slice speculatively re-submitted to the
+    next shard in preference order, first response wins.  Per-shard
+    locks serialize calls into each client (remote sessions hold one
+    socket), so hedges and overlapping runs never interleave requests
+    on one connection.
+
+    The executor satisfies the :class:`Executor` protocol, which is
+    the point: plugged under ``Session.solve_many`` it runs *after*
+    the router's cache probe and in-batch fingerprint dedup — each
+    unique fingerprint crosses the fleet exactly once.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: Sequence[Any],
+        *,
+        partitioner: Optional[Partitioner] = None,
+        deadline: Optional[float] = None,
+        hedge_delay: Optional[float] = None,
+        use_cache: bool = True,
+        health: Optional[FleetHealth] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("ShardedExecutor needs at least one shard")
+        self.shards: List[Any] = list(shards)
+        if partitioner is None:
+            partitioner = RingPartitioner([1.0] * len(self.shards))
+        if partitioner.n_shards != len(self.shards):
+            raise ValueError(
+                f"partitioner covers {partitioner.n_shards} shards but "
+                f"{len(self.shards)} clients were given"
+            )
+        self.partitioner = partitioner
+        self.deadline = deadline
+        if hedge_delay is not None and hedge_delay <= 0:
+            raise ValueError(
+                f"hedge_delay must be > 0 seconds, got {hedge_delay}"
+            )
+        self.hedge_delay = hedge_delay
+        self.use_cache = use_cache
+        self.health = health or FleetHealth(len(self.shards))
+        #: Recorded (not propagated) shard failures, most recent last.
+        self.failures: List[Dict[str, Any]] = []
+        self._shard_locks = [threading.Lock() for _ in self.shards]
+
+    def with_deadline(
+        self, deadline: Optional[float]
+    ) -> "ShardedExecutor":
+        """A view with a different per-call deadline.
+
+        Shares the shard clients, partitioner, circuit state, failure
+        log and per-shard locks — only the deadline differs, so the
+        session layer can plumb per-call deadlines through without
+        forking fleet state.
+        """
+        if deadline is None or deadline == self.deadline:
+            return self
+        clone = copy.copy(self)
+        clone.deadline = deadline
+        return clone
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(
+        self, key: str, available: Optional[Set[int]] = None
+    ) -> Optional[int]:
+        """First available shard in the key's preference order."""
+        if available is None:
+            available = set(self.health.available_shards())
+        for shard in self.partitioner.preference(key):
+            if shard in available:
+                return shard
+        return None
+
+    def _record_failure(
+        self, shard: int, error: BaseException, n_tasks: int
+    ) -> None:
+        self.health.record_failure(shard, error)
+        self.failures.append(
+            {
+                "shard": shard,
+                "error": f"{type(error).__name__}: {error}",
+                "tasks": n_tasks,
+            }
+        )
+        del self.failures[:-100]  # bound the log
+
+    # ------------------------------------------------------------------
+    # fan-out
+    # ------------------------------------------------------------------
+    def _attempt(
+        self, shard: int, tasks: Sequence[SolveTask]
+    ) -> List[Any]:
+        """One shard's slice, via its client's own ``solve_many``.
+
+        The shard re-plans the (already normalized) instances on its
+        side — normalization is idempotent, so this is a content
+        no-op; the lock serializes access to the client's single
+        connection.
+        """
+        client = self.shards[shard]
+        by_objective: Dict[str, List[int]] = {}
+        for position, task in enumerate(tasks):
+            by_objective.setdefault(task.objective, []).append(position)
+        results: List[Any] = [None] * len(tasks)
+        with self._shard_locks[shard]:
+            for objective, positions in by_objective.items():
+                served = client.solve_many(
+                    [tasks[p].instance for p in positions],
+                    objective,
+                    use_cache=self.use_cache,
+                    deadline=self.deadline,
+                )
+                for position, result in zip(positions, served):
+                    results[position] = result
+        return results
+
+    def run(self, tasks: Sequence[SolveTask]) -> List[Any]:
+        if not tasks:
+            return []
+        results: List[Any] = [None] * len(tasks)
+        remaining = list(range(len(tasks)))
+        dead: Set[int] = set()  # shards that failed during THIS run
+        # No context manager: shutdown(wait=False) lets a hung hedged
+        # primary finish in the background instead of blocking the
+        # merged results that are already complete.
+        pool = _ThreadPool(max_workers=max(2 * len(self.shards), 2))
+        try:
+            while remaining:
+                avail = {
+                    s
+                    for s in self.health.available_shards()
+                    if s not in dead
+                }
+                if not avail:
+                    raise ShardFleetError(len(self.shards), self.failures)
+                by_shard: Dict[int, List[int]] = {}
+                for i in remaining:
+                    owner = self.route(tasks[i].key, avail)
+                    by_shard.setdefault(owner, []).append(i)
+                futures = {
+                    shard: pool.submit(
+                        self._attempt, shard, [tasks[i] for i in idxs]
+                    )
+                    for shard, idxs in by_shard.items()
+                }
+                hedges: Dict[int, Tuple[int, Any]] = {}
+                if self.hedge_delay is not None and len(avail) > 1:
+                    _, laggards = _wait_futures(
+                        list(futures.values()), timeout=self.hedge_delay
+                    )
+                    for shard, idxs in by_shard.items():
+                        if futures[shard] not in laggards:
+                            continue
+                        alt = self.route(
+                            tasks[idxs[0]].key, avail - {shard}
+                        )
+                        if alt is not None:
+                            hedges[shard] = (
+                                alt,
+                                pool.submit(
+                                    self._attempt,
+                                    alt,
+                                    [tasks[i] for i in idxs],
+                                ),
+                            )
+                next_remaining: List[int] = []
+                for shard, idxs in by_shard.items():
+                    candidates = [(shard, futures[shard])]
+                    if shard in hedges:
+                        candidates.append(hedges[shard])
+                    fut_owner = {fut: s for s, fut in candidates}
+                    served: Optional[List[Any]] = None
+                    for fut in as_completed(list(fut_owner)):
+                        responder = fut_owner[fut]
+                        try:
+                            served = fut.result()
+                        except Exception as exc:
+                            self._record_failure(responder, exc, len(idxs))
+                            dead.add(responder)
+                        else:
+                            self.health.record_success(responder)
+                            break
+                    if served is None:
+                        next_remaining.extend(idxs)
+                    else:
+                        for i, result in zip(idxs, served):
+                            results[i] = result
+                remaining = next_remaining
+        finally:
+            pool.shutdown(wait=False)
+        return results
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-shard cache counters + circuit state, keyed ``shardN``.
+
+        A shard whose ``cache_stats`` call fails (dead endpoint)
+        contributes its circuit state plus the error string — the
+        fleet view stays renderable with members down.
+        """
+        stats: Dict[str, Dict[str, Any]] = {}
+        for i, client in enumerate(self.shards):
+            entry: Dict[str, Any] = {
+                "health": self.health.circuit(i).stats()
+            }
+            try:
+                with self._shard_locks[i]:
+                    tiers = client.cache_stats()
+                for tier, counters in tiers.items():
+                    entry[tier] = counters
+            except Exception as exc:
+                entry["health"] = {
+                    **entry["health"],
+                    "stats_error": f"{type(exc).__name__}: {exc}",
+                }
+            stats[f"shard{i}"] = entry
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedExecutor({len(self.shards)} shards, "
+            f"partitioner={self.partitioner!r})"
+        )
 
 
 def resolve_executor(

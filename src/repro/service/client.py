@@ -48,20 +48,66 @@ class ServiceClient:
     ) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection(
-            (host, port), timeout=timeout
-        )
-        self._fh = self._sock.makefile("rb")
+        self.timeout = timeout
+        self._closed = False
+        self._sock: Optional[socket.socket] = None
+        self._fh = None
+        self._broken = False
+        self._connect()  # fail fast on an unreachable endpoint
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        self._teardown()
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._fh = self._sock.makefile("rb")
+        self._broken = False
+
+    def _teardown(self) -> None:
+        fh, sock = self._fh, self._sock
+        self._fh = None
+        self._sock = None
+        try:
+            if fh is not None:
+                fh.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass
+        try:
+            if sock is not None:
+                sock.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass
+
     def _send(self, doc: Dict[str, Any]) -> None:
-        self._sock.sendall(encode(doc))
+        # A connection known broken (EOF, reset, or a timed-out read
+        # that left a response in flight) is replaced at the next
+        # request boundary — that is what lets a shard that died and
+        # came back on the same port heal through the circuit's
+        # half-open probe instead of failing forever on a dead socket.
+        if self._broken or self._sock is None:
+            if self._closed:
+                raise ConnectionError("this ServiceClient is closed")
+            self._connect()
+        try:
+            self._sock.sendall(encode(doc))
+        except OSError:
+            self._broken = True
+            raise
 
     def _recv(self) -> Dict[str, Any]:
-        line = self._fh.readline(MAX_LINE_BYTES)
+        fh = self._fh
+        if fh is None:
+            raise ConnectionError("this ServiceClient is closed")
+        try:
+            line = fh.readline(MAX_LINE_BYTES)
+        except OSError:
+            self._broken = True
+            raise
         if not line:
+            self._broken = True
             raise ConnectionError("server closed the connection")
         return decode(line)
 
@@ -147,14 +193,19 @@ class ServiceClient:
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))
 
+    def health(self) -> Dict[str, Any]:
+        """The server's liveness/readiness snapshot (``health`` op)."""
+        response = self.request({"op": "health"})
+        return {
+            k: v for k, v in response.items() if k not in ("ok", "id")
+        }
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        try:
-            self._fh.close()
-        finally:
-            self._sock.close()
+        self._closed = True
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self

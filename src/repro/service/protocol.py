@@ -10,6 +10,12 @@ Requests are JSON objects::
      "params": {...}, "id": 7, "deadline": 2.5}
     {"op": "solve_many", "objective": "rect2d", "instances": [{...}]}
     {"op": "cache_stats"} | {"op": "objectives"} | {"op": "ping"}
+    {"op": "health"}
+
+``ping`` is pure liveness (one line in, one ``pong`` line out);
+``health`` is the readiness probe behind fleet health checks — it
+reports the serving configuration, in-flight load, and (for a sharded
+server) the downstream fleet's circuit summary (:func:`health_doc`).
 
 ``instance`` documents use exactly the family JSON shapes of
 :mod:`repro.io` (the CLI's file formats — one source of truth);
@@ -48,6 +54,7 @@ __all__ = [
     "result_to_doc",
     "params_from_doc",
     "error_doc",
+    "health_doc",
 ]
 
 #: Upper bound on one request/response line; protects the server from
@@ -162,6 +169,37 @@ def params_from_doc(
         except (TypeError, ValueError) as exc:
             raise InstanceError(f"bad budget: {exc}") from exc
     return out
+
+
+def health_doc(server: Any) -> Dict[str, Any]:
+    """The ``health`` response body for one serve process.
+
+    ``server`` is anything server-shaped (``backend``, ``executor``
+    with ``max_concurrency``/``_inflight``, ``session``); duck-typed
+    so tests can probe it without a socket.  When the server's session
+    fans out to a shard fleet, the fleet's circuit summary rides along
+    under ``"shards"`` — a load balancer can eject a router whose
+    whole downstream fleet is dark without a second request.
+    """
+    import os
+
+    executor = getattr(server, "executor", None)
+    doc: Dict[str, Any] = {
+        "status": "healthy",
+        "pid": os.getpid(),
+        "backend": getattr(server, "backend", None),
+        "max_concurrency": getattr(executor, "max_concurrency", None),
+        "inflight": len(getattr(executor, "_inflight", ()) or ()),
+    }
+    session = getattr(server, "session", None)
+    fleet = getattr(
+        getattr(session, "default_executor", None), "health", None
+    )
+    if fleet is not None:
+        doc["shards"] = fleet.summary()
+        if doc["shards"].get("healthy", 0) == 0:
+            doc["status"] = "degraded"
+    return doc
 
 
 def error_doc(

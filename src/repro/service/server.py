@@ -17,7 +17,9 @@ Request handling:
   executor; responses stream back one line per result *in input
   order*, so clients consume results while later items still compute.
 * ``cache_stats`` — per-tier counters of the live cache stack.
-* ``objectives`` / ``ping`` — introspection and liveness.
+* ``objectives`` / ``ping`` / ``health`` — introspection, liveness,
+  and the readiness probe (serving config, in-flight load, and the
+  downstream shard-fleet summary when this server routes to one).
 
 Connections are independent asyncio tasks; within a connection,
 pipelined requests are handled concurrently and responses (tagged
@@ -113,8 +115,14 @@ class SolveServer:
         self.backend = backend
         self.workers = workers
         self.deadline = deadline
+        # A session with a default executor (e.g. the ShardedExecutor
+        # behind `repro serve --shard`) delegates the actual solves to
+        # it: the service keeps its coalescing/deadline layer on top
+        # while the fleet does the computing underneath.
         self.executor = AsyncQueueExecutor(
-            max_concurrency, deadline=deadline
+            max_concurrency,
+            deadline=deadline,
+            delegate=getattr(session, "default_executor", None),
         )
         # The wire tier: exact request line bytes -> pre-encoded
         # response bytes.  The engine's tiered cache dedupes *solves*;
@@ -366,6 +374,12 @@ class SolveServer:
         op = doc["op"]
         if op == "ping":
             await send({"ok": True, "pong": True, "id": doc.get("id")})
+        elif op == "health":
+            from .protocol import health_doc
+
+            await send(
+                {"ok": True, "id": doc.get("id"), **health_doc(self)}
+            )
         else:
             await send(
                 {"ok": True, "objectives": objectives(), "id": doc.get("id")}
@@ -385,12 +399,12 @@ class SolveServer:
                 await self._handle_solve_many(doc, send)
             elif op == "cache_stats":
                 await self._handle_cache_stats(doc, send)
-            elif op in ("ping", "objectives"):
+            elif op in ("ping", "objectives", "health"):
                 await self._handle_meta(doc, send)
             else:
                 raise InstanceError(
                     f"unknown op {op!r}; expected solve, solve_many, "
-                    "cache_stats, objectives or ping"
+                    "cache_stats, objectives, ping or health"
                 )
         except asyncio.CancelledError:
             raise

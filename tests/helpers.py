@@ -224,6 +224,9 @@ def spawn_serve_subprocess(*extra_args: str, timeout: float = 30.0):
         else str(src)
     )
     env.pop("REPRO_CACHE_DIR", None)  # hermetic: no ambient store
+    # Hermetic twice over: an ambient fleet spec would turn every
+    # spawned shard into a recursive sharding router.
+    env.pop("REPRO_SHARDS", None)
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
          "--no-store", *extra_args],

@@ -297,3 +297,122 @@ class TestMachineReadableOutput:
             doc = json.loads(capsys.readouterr().out)
             assert doc["problem"] == "minbusy"
             assert doc["cached"] is False
+
+
+class TestShardFlagErrors:
+    """--shard/REPRO_SHARDS failure modes exit with actionable text."""
+
+    def test_malformed_repro_shards_names_the_variable(
+        self, inst_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SHARDS", "not-an-endpoint")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", inst_path, "--no-store"])
+        message = exit_message(excinfo)
+        assert "REPRO_SHARDS" in message
+        assert "host:port" in message
+        assert excinfo.value.code not in (0, None)
+
+    def test_malformed_shard_flag_names_the_flag(self, inst_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["solve", inst_path, "--no-store", "--shard", "host:zap"]
+            )
+        assert "--shard" in exit_message(excinfo)
+
+    def test_unreachable_shard_exits_with_hint(self, inst_path):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nobody listens here now
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "solve", inst_path, "--no-store",
+                    "--shard", f"127.0.0.1:{port}",
+                ]
+            )
+        message = exit_message(excinfo)
+        assert "cannot assemble the shard fleet" in message
+        assert "repro serve" in message
+
+    def test_serial_backend_rejected_with_shards(self, inst_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "solve", inst_path, "--no-store",
+                    "--shard", "local", "--backend", "serial",
+                ]
+            )
+        message = exit_message(excinfo)
+        assert "--backend serial" in message
+        assert "shard" in message
+
+    def test_cache_clear_rejects_shard_flag(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "clear", "--shard", "127.0.0.1:1"])
+        assert "cache stats" in exit_message(excinfo)
+
+    def test_cache_stats_rejects_local_shard(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "stats", "--shard", "local"])
+        assert "host:port" in exit_message(excinfo)
+
+    def test_cache_stats_all_shards_unreachable(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["cache", "stats", "--shard", f"127.0.0.1:{port}"]
+            )
+        message = exit_message(excinfo)
+        assert "none of the --shard endpoints answered" in message
+        assert f"127.0.0.1:{port}" in message
+
+    def test_solve_through_local_shards_succeeds(self, inst_path, capsys):
+        assert (
+            main(
+                [
+                    "solve", inst_path, "--no-store", "--json",
+                    "--shard", "local", "--shard", "local",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["problem"] == "minbusy"
+
+
+class TestShardedCacheStatsSchema:
+    def test_sharded_cache_stats_json_schema(self, capsys):
+        from tests.helpers import spawn_serve_subprocess
+
+        proc, port = spawn_serve_subprocess()
+        try:
+            assert (
+                main(
+                    [
+                        "cache", "stats", "--json",
+                        "--shard", f"127.0.0.1:{port}",
+                    ]
+                )
+                == 0
+            )
+            doc = json.loads(capsys.readouterr().out)
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+        assert set(doc) == {"n_shards", "reachable", "shards", "aggregate"}
+        assert doc["n_shards"] == 1 and doc["reachable"] == 1
+        entry = doc["shards"][f"127.0.0.1:{port}"]
+        assert entry["reachable"] is True
+        assert {"lru", "wire"} <= set(entry["stats"])
+        assert entry["health"]["status"] == "healthy"
+        assert isinstance(entry["health"]["pid"], int)
+        for tier, counters in doc["aggregate"].items():
+            assert isinstance(counters, dict)
+            assert all(
+                isinstance(v, (int, float)) for v in counters.values()
+            )
