@@ -25,12 +25,17 @@ re-run would measure):
 * ``e16_batch``: the cache speedup,
 * ``e17_firstfit``: each FirstFit variant's speedup,
 * ``e18_store``: the warm-store speedup,
-* ``e19_service``: the concurrent-vs-sequential service speedup.
+* ``e19_service``: the concurrent-vs-sequential service speedup,
+* ``e20_loadgen``: the loadgen run — requests/sec, bytes/sec,
+  validated fraction, inverted p99 latency (``1/p99_seconds``, so a
+  latency *increase* reads as a drop) and per-tier cache hit rates.
 
-Only *speedups* are compared — absolute wall times shift with runner
-hardware, but scalar-vs-vectorized (and cold-vs-warm) ratios are
-self-normalizing, which is what makes cross-run comparison meaningful
-on shared runners at all.
+Only ratios and rates are compared — absolute wall times shift with
+runner hardware, but scalar-vs-vectorized (and cold-vs-warm) ratios,
+hit rates and validated fractions are self-normalizing, which is what
+makes cross-run comparison meaningful on shared runners at all.
+(``e20.rps``/``e20.bytes_per_sec`` are the exception: they are
+absolute, so the CI threshold gives them headroom.)
 """
 
 from __future__ import annotations
@@ -78,6 +83,21 @@ def extract_metrics(entries: List[dict]) -> Dict[str, float]:
     e19 = latest.get("e19_service")
     if e19 and isinstance(e19.get("service_speedup"), (int, float)):
         metrics["e19.service_speedup"] = float(e19["service_speedup"])
+    e20 = latest.get("e20_loadgen")
+    if e20:
+        for key in (
+            "rps",
+            "bytes_per_sec",
+            "validated_fraction",
+            "p99_inv",
+        ):
+            if isinstance(e20.get(key), (int, float)):
+                metrics[f"e20.{key}"] = float(e20[key])
+        hit_rates = e20.get("hit_rates")
+        if isinstance(hit_rates, dict):
+            for tier, rate in hit_rates.items():
+                if isinstance(rate, (int, float)):
+                    metrics[f"e20.hit.{tier}"] = float(rate)
     return metrics
 
 

@@ -13,13 +13,19 @@ sets it; plain local runs leave no files behind).  The file is a JSON
 list of ``{"experiment", "recorded_at", ...payload}`` objects; each
 run appends, so pointing the variable at a persistent path accumulates
 a local history too.
+
+The history now has two writer populations — the bench suite and
+``repro loadgen`` — which can run concurrently in CI, so the append
+is the *locked* shared path in :mod:`repro.loadgen.report`: an
+``fcntl`` exclusive lock brackets the read-modify-write and the file
+is published with an atomic rename.  The historical implementation
+here (bare read → append → ``write_text``) silently dropped entries
+whenever two writers raced.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import time
 from pathlib import Path
 from typing import Optional
 
@@ -34,24 +40,6 @@ def record_bench(experiment: str, payload: dict) -> Optional[Path]:
     dest = os.environ.get(HISTORY_ENV_VAR)
     if not dest:
         return None
-    path = Path(dest)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    entries = []
-    if path.exists():
-        try:
-            entries = json.loads(path.read_text())
-        except (ValueError, OSError):
-            entries = []
-        if not isinstance(entries, list):
-            entries = []
-    entries.append(
-        {
-            "experiment": experiment,
-            "recorded_at": time.strftime(
-                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
-            ),
-            **payload,
-        }
-    )
-    path.write_text(json.dumps(entries, indent=2) + "\n")
-    return path
+    from repro.loadgen.report import append_history
+
+    return append_history(Path(dest), experiment, payload)

@@ -15,6 +15,9 @@ Usage (after ``pip install -e .``)::
     repro bench --n 10000                           # kernel + batch bench
     repro cache stats --json                        # persistent store
     repro serve --port 8753 --max-concurrency 32    # NDJSON solve service
+    repro loadgen --port 8753 --requests 500        # validated load test
+    repro loadgen --fuzz --duration 60              # divergence hunting
+    repro loadgen --replay reproducers/repro-*.json # re-run a failure
 
 (``python -m repro ...`` works identically.)  Output is a
 human-readable report on stdout; ``--json`` switches to a
@@ -60,8 +63,27 @@ mid-batch has its slice re-routed to the survivors (``--hedge-delay
 S`` additionally hedges slow shards), and results stay byte-identical
 to an unsharded solve.  Fleet observability rides the same wire:
 ``repro cache stats --json --shard HOST:PORT ...`` reports per-shard
-cache counters plus circuit health and an aggregate, and the NDJSON
-``{"op": "health"}`` probe answers readiness per shard.
+cache counters plus circuit health and an aggregate (a dead shard is
+rendered as unreachable in the report, never a traceback), and the
+NDJSON ``{"op": "health"}`` probe answers readiness per shard.
+
+Exercising a live service
+-------------------------
+
+``repro loadgen`` closes the loop: it fans Zipf-skewed mixed-family
+traffic — every registry family via the seeded workload generators,
+with the paper's adversarial constructions in the cold tail — at a
+live endpoint (or a ``--shard`` fleet, rotating away from dead
+members mid-run), validates **every** response against a local oracle
+session plus the registry verifier, and reports p50/p99 latency,
+throughput, per-tier cache hit rates and orphaned-batch counters
+(recorded to the drift-tracked bench history via ``--history`` or
+``$BENCH_HISTORY_PATH``).  With ``--fuzz`` it additionally mutates
+instances and request framing (oversized ids, near-zero deadlines,
+abandoned streams, dropped connections) hunting for divergence; any
+failure is delta-debugged down to a minimal reproducer file, and
+``repro loadgen --replay FILE`` re-runs that exact request — exit 1
+while the bug lives, exit 0 once it is fixed.
 """
 
 from __future__ import annotations
@@ -489,12 +511,22 @@ def _cmd_cache_sharded_stats(args: argparse.Namespace) -> int:
             ) as client:
                 shards[key] = {
                     "reachable": True,
+                    "state": "ok",
                     "stats": client.cache_stats(),
                     "health": client.health(),
                 }
                 reachable += 1
-        except (OSError, ServiceError) as exc:
-            shards[key] = {"reachable": False, "error": str(exc)}
+        except (OSError, ServiceError, InstanceError) as exc:
+            # InstanceError covers a shard dying mid-response: the
+            # partial line fails protocol decoding, and that is the
+            # same operational fact as a refused connection — the
+            # shard is down, which the report renders instead of a
+            # traceback.
+            shards[key] = {
+                "reachable": False,
+                "state": "unreachable",
+                "error": str(exc),
+            }
     if not reachable:
         raise SystemExit(
             "none of the --shard endpoints answered:\n"
@@ -503,13 +535,21 @@ def _cmd_cache_sharded_stats(args: argparse.Namespace) -> int:
             )
             + "\nstart the shards with `repro serve` or fix the addresses"
         )
+    aggregate = _sum_stats(
+        [s["stats"] for s in shards.values() if s["reachable"]]
+    )
+    # Fleet circuit summary: how many endpoints answered, how many are
+    # dark — in the aggregate, so one ejected shard degrades the report
+    # instead of aborting it.
+    aggregate["fleet"] = {
+        "reachable": reachable,
+        "unreachable": len(specs) - reachable,
+    }
     doc = {
         "n_shards": len(specs),
         "reachable": reachable,
         "shards": shards,
-        "aggregate": _sum_stats(
-            [s["stats"] for s in shards.values() if s["reachable"]]
-        ),
+        "aggregate": aggregate,
     }
     if args.json:
         print(json.dumps(doc, indent=2))
@@ -523,7 +563,7 @@ def _cmd_cache_sharded_stats(args: argparse.Namespace) -> int:
         tiers = ", ".join(
             f"{tier} {stats.get('hits', 0)}h/{stats.get('misses', 0)}m"
             for tier, stats in info["stats"].items()
-            if isinstance(stats, dict)
+            if isinstance(stats, dict) and "hits" in stats
         )
         print(
             f"{key:21s}: {health.get('status', '?')} "
@@ -638,6 +678,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_concurrency=args.max_concurrency,
             deadline=args.deadline,
             session=session,
+            max_orphaned_batches=args.max_orphaned_batches,
+            inject_fault=args.inject_fault,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -665,6 +707,164 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if fleet is not None:
             fleet.close()
     return 0
+
+
+def _loadgen_targets(args: argparse.Namespace) -> list:
+    """The endpoints loadgen drives: ``--shard`` flags, else host:port."""
+    from .api import parse_shard_entry
+
+    flags = getattr(args, "shard", None)
+    if not flags:
+        return [(args.host, args.port)]
+    targets = []
+    try:
+        for raw in flags:
+            spec = parse_shard_entry(raw, source="--shard")
+            if spec.is_local:
+                raise SystemExit(
+                    "loadgen drives live sockets; --shard local has "
+                    "nothing to connect to (use host:port endpoints)"
+                )
+            targets.append((spec.host, spec.port))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    return targets
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive validated traffic at a live service — or replay a repro.
+
+    Exit code contract: ``--replay`` exits 1 while the recorded
+    failure still reproduces and 0 once it stops (red while broken —
+    usable directly as a regression guard); a traffic run exits 1 on
+    any divergence, unexpected error, or unanswered request.
+    """
+    from .loadgen import (
+        LoadgenOptions,
+        TrafficModel,
+        replay_reproducer,
+        run_loadgen,
+    )
+
+    targets = _loadgen_targets(args)
+
+    if args.replay:
+        try:
+            outcome, report = replay_reproducer(
+                Path(args.replay), targets, timeout=args.timeout
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+        except ConnectionError as exc:
+            raise SystemExit(str(exc)) from exc
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"reproducer : {report['reproducer']}")
+            print(f"objective  : {report['objective']}")
+            recorded = report.get("recorded_failure", {})
+            print(
+                f"recorded   : {recorded.get('status', '?')} — "
+                f"{recorded.get('detail', '')}"
+            )
+            print(f"outcome    : {outcome.status} — {outcome.detail}")
+            print(
+                "reproduced : yes (the bug is still live)"
+                if report["reproduced"]
+                else "reproduced : no (the failure no longer occurs)"
+            )
+        return 1 if report["reproduced"] else 0
+
+    try:
+        traffic = TrafficModel(
+            seed=args.seed,
+            corpus_size=args.corpus_size,
+            zipf=args.zipf,
+            solve_many_fraction=args.solve_many_fraction,
+            fuzz=args.fuzz,
+            fuzz_fraction=args.fuzz_fraction,
+        )
+        options = LoadgenOptions(
+            targets=targets,
+            duration=args.duration,
+            max_requests=args.requests or None,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+            minimize=not args.no_minimize,
+            reproducer_dir=(
+                Path(args.reproducer_dir) if args.reproducer_dir else None
+            ),
+            history_path=Path(args.history) if args.history else None,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        report = run_loadgen(options, traffic)
+    except ConnectionError as exc:
+        raise SystemExit(
+            f"{exc}\nstart the service with `repro serve` or point "
+            "--host/--port/--shard at a live one"
+        ) from exc
+
+    validation = report["validation"]
+    transport = report["transport"]
+    clean = (
+        validation["divergences"] == 0
+        and validation["unexpected_errors"] == 0
+        and transport["failed"] == 0
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0 if clean else 1
+    latency = report["latency_ms"]
+    print(f"targets    : {', '.join(report['targets'])}")
+    print(
+        f"traffic    : {report['answered']}/{report['requests']} answered "
+        f"in {report['wall_seconds']:.1f}s "
+        f"({report['rps']:.1f} req/s, "
+        f"{report['bytes_per_sec'] / 1024:.1f} KiB/s)"
+    )
+    print(
+        f"latency    : p50 {latency['p50_ms']:.1f}ms  "
+        f"p99 {latency['p99_ms']:.1f}ms  max {latency['max_ms']:.1f}ms"
+    )
+    print(
+        f"validation : {validation['validated']} validated, "
+        f"{validation['expected_errors']} expected errors, "
+        f"{validation['divergences']} divergences, "
+        f"{validation['unexpected_errors']} unexpected errors "
+        f"({validation['validated_fraction']:.1%} clean)"
+    )
+    print(
+        f"transport  : {transport['retries']} retries, "
+        f"{transport['reconnects']} reconnects, "
+        f"{transport['abandoned']} abandoned, "
+        f"{transport['dropped']} dropped, "
+        f"{transport['failed']} failed"
+    )
+    for tier, stats in sorted(report["tiers"].items()):
+        print(
+            f"tier {tier:10s}: {stats['hits']:.0f}h/{stats['misses']:.0f}m "
+            f"({stats['hit_rate']:.1%} hit)"
+        )
+    orphaned = report.get("orphaned_batches") or {}
+    if orphaned:
+        rendered = ", ".join(
+            f"{k}={v:.0f}" for k, v in sorted(orphaned.items())
+        )
+        print(f"orphans    : {rendered}")
+    for failure in report["failures"]:
+        print(
+            f"FAILURE    : {failure['status']} "
+            f"[{failure['family']}/{failure['op']}"
+            f"{'/' + failure['mutation'] if failure['mutation'] else ''}] "
+            f"{failure['detail']}"
+        )
+    for path in report["reproducers"]:
+        print(f"reproducer : {path}  (re-run: repro loadgen --replay {path})")
+    if "history" in report:
+        print(f"history    : recorded to {report['history']}")
+    return 0 if clean else 1
 
 
 def _pick_throughput_solver(inst: BudgetInstance):
@@ -1022,7 +1222,140 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="solves in flight at once (default 16)",
     )
+    sv.add_argument(
+        "--max-orphaned-batches",
+        type=int,
+        default=8,
+        metavar="N",
+        help="serial/process solve_many batches allowed to keep "
+        "computing after their request's deadline expired; at the cap "
+        "new deadline-bearing batches are rejected (default 8)",
+    )
+    sv.add_argument(
+        "--inject-fault",
+        default=None,
+        metavar="OBJECTIVE[:DELTA]",
+        help="(testing) perturb served cost documents for one "
+        "objective by DELTA (default 1.0) — a deliberate serving-layer "
+        "bug for `repro loadgen` to catch",
+    )
     sv.set_defaults(func=_cmd_serve)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive validated adversarial traffic at a live service",
+        description="Fan Zipf-skewed mixed-family traffic (with the "
+        "paper's adversarial constructions in the tail) at a live "
+        "`repro serve` endpoint or shard fleet; validate every "
+        "response against a local oracle plus the registry verifier; "
+        "optionally fuzz instances and request framing, shrinking any "
+        "divergence into a reproducer file that --replay re-runs.",
+    )
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument(
+        "--port", type=int, default=8753, help="TCP port (default 8753)"
+    )
+    lg.add_argument(
+        "--shard",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive a fleet endpoint instead of --host/--port "
+        "(repeatable; workers spread over the endpoints and rotate "
+        "away from dead ones)",
+    )
+    lg.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="run for S seconds (combines with --requests; first "
+        "bound reached stops the run)",
+    )
+    lg.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        metavar="N",
+        help="stop after N requests (default 200; 0 = unbounded, "
+        "then --duration must be set)",
+    )
+    lg.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="concurrent connections (default 8)",
+    )
+    lg.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds (default 30)",
+    )
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument(
+        "--corpus-size",
+        type=int,
+        default=48,
+        metavar="N",
+        help="instance documents in the corpus (default 48, incl. the "
+        "adversarial tail)",
+    )
+    lg.add_argument(
+        "--zipf",
+        type=float,
+        default=1.2,
+        help="popularity skew exponent (default 1.2)",
+    )
+    lg.add_argument(
+        "--solve-many-fraction",
+        type=float,
+        default=0.15,
+        metavar="F",
+        help="fraction of requests sent as solve_many batches "
+        "(default 0.15)",
+    )
+    lg.add_argument(
+        "--fuzz",
+        action="store_true",
+        help="mutate instances and request framing hunting for "
+        "divergence between the service and the local oracle",
+    )
+    lg.add_argument(
+        "--fuzz-fraction",
+        type=float,
+        default=0.35,
+        metavar="F",
+        help="with --fuzz: fraction of requests mutated (default 0.35)",
+    )
+    lg.add_argument(
+        "--reproducer-dir",
+        default="reproducers",
+        metavar="DIR",
+        help="where minimized failure reproducers are written "
+        "(default ./reproducers; empty string disables)",
+    )
+    lg.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="record failures without shrinking them to reproducers",
+    )
+    lg.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="append the run's metrics to this bench-history file "
+        "(default: $BENCH_HISTORY_PATH when set; neither = no record)",
+    )
+    lg.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-run one reproducer file against the target; exits 1 "
+        "while the recorded failure still reproduces, 0 once fixed",
+    )
+    lg.add_argument("--json", action="store_true")
+    lg.set_defaults(func=_cmd_loadgen)
 
     tp = sub.add_parser("throughput", help="MaxThroughput under a budget")
     tp.add_argument("instance")

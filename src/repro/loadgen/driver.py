@@ -1,0 +1,665 @@
+"""The loadgen driver: asyncio fan-out, post-run validation, replay.
+
+A run has four phases:
+
+1. **traffic** — ``concurrency`` asyncio workers each own one NDJSON
+   connection and pull requests from the shared
+   :class:`~repro.loadgen.traffic.TrafficModel` stream, round-robin
+   across the target endpoints.  A transport failure (a SIGKILLed
+   shard, a reset) rotates the worker to the next target and retries
+   the request, so a dying fleet member costs retries, not answers.
+   Latency and byte counters are recorded here, with nothing else on
+   the timed path;
+2. **validation** — every recorded response line is judged by the
+   :class:`~repro.loadgen.validate.OracleValidator` (registry verifier
+   + byte equality against a local session).  Validation is deliberately
+   after the traffic phase: oracle solves must not pollute the latency
+   measurements;
+3. **minimization** — divergences shrink via
+   :func:`~repro.loadgen.minimize.minimize_instance` against the live
+   fleet and are written as reproducer files;
+4. **report** — percentiles, bytes/sec, per-tier hit-rate deltas
+   (cache_stats snapshots bracket the traffic phase), orphaned-batch
+   counters, and the optional ``e20_loadgen`` history entry.
+
+:func:`replay_reproducer` is the other direction: load a reproducer
+file, re-send its exact request, re-judge the response — the command
+fails while the bug lives and passes once it is fixed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..service.protocol import MAX_LINE_BYTES, decode, encode
+from .minimize import (
+    minimize_instance,
+    reproducer_record,
+    write_reproducer,
+)
+from .report import latency_summary, maybe_record
+from .traffic import PlannedRequest, TrafficModel
+from .validate import OracleValidator, Outcome
+
+__all__ = [
+    "LoadgenOptions",
+    "run_loadgen",
+    "replay_reproducer",
+]
+
+
+@dataclass
+class LoadgenOptions:
+    """Knobs of one loadgen run."""
+
+    targets: List[Tuple[str, int]]
+    duration: Optional[float] = None
+    max_requests: Optional[int] = 200
+    concurrency: int = 8
+    timeout: float = 30.0
+    max_attempts: int = 4
+    minimize: bool = True
+    max_minimize: int = 3
+    reproducer_dir: Optional[Path] = None
+    history_path: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError("loadgen needs at least one target endpoint")
+        if self.duration is None and self.max_requests is None:
+            raise ValueError("set duration and/or max_requests")
+
+
+@dataclass
+class _Sample:
+    """One answered request: what was sent, what came back, how fast."""
+
+    request: PlannedRequest
+    responses: List[Dict[str, Any]]
+    latency: Optional[float]
+    complete: bool  # False for planned abandons/drops (never validated
+    # as a full exchange — only the lines actually read)
+
+
+@dataclass
+class _RunState:
+    options: LoadgenOptions
+    stream: Any
+    started: float = 0.0
+    issued: int = 0
+    samples: List[_Sample] = field(default_factory=list)
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    transport_failures: List[str] = field(default_factory=list)
+    abandoned: int = 0
+    dropped: int = 0
+
+    def next_request(self) -> Optional[PlannedRequest]:
+        opts = self.options
+        if (
+            opts.max_requests is not None
+            and self.issued >= opts.max_requests
+        ):
+            return None
+        if (
+            opts.duration is not None
+            and time.monotonic() - self.started >= opts.duration
+        ):
+            return None
+        self.issued += 1
+        return next(self.stream)
+
+
+class _Connection:
+    """One worker's NDJSON connection, rotating over the targets."""
+
+    def __init__(
+        self,
+        targets: Sequence[Tuple[str, int]],
+        first: int,
+        state: _RunState,
+    ) -> None:
+        self._targets = list(targets)
+        self._index = first % len(self._targets)
+        self._state = state
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def ensure(self) -> None:
+        if self._writer is not None:
+            return
+        last_error: Optional[BaseException] = None
+        for _ in range(len(self._targets)):
+            host, port = self._targets[self._index]
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    host, port, limit=MAX_LINE_BYTES
+                )
+                return
+            except OSError as exc:
+                last_error = exc
+                self.rotate()
+        raise ConnectionError(
+            f"no loadgen target reachable (last: {last_error})"
+        )
+
+    def rotate(self) -> None:
+        self._index = (self._index + 1) % len(self._targets)
+
+    async def drop(self, *, rotate: bool = False) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+        self._reader = self._writer = None
+        if rotate:
+            self.rotate()
+            self._state.reconnects += 1
+
+    async def roundtrip(
+        self, request: PlannedRequest
+    ) -> Tuple[List[Dict[str, Any]], bool]:
+        """Send one request, read its response line(s).
+
+        Returns ``(responses, complete)``; planned abandons and drops
+        come back incomplete by design.  Transport errors propagate to
+        the worker, which rotates and retries.
+        """
+        await self.ensure()
+        assert self._reader is not None and self._writer is not None
+        payload = encode(request.wire_doc())
+        self._writer.write(payload)
+        await self._writer.drain()
+        self._state.bytes_sent += len(payload)
+        if request.drop_connection:
+            await self.drop()
+            self._state.dropped += 1
+            return [], False
+        responses: List[Dict[str, Any]] = []
+        expected = (
+            1 if request.kind == "solve" else len(request.docs) + 1
+        )
+        while len(responses) < expected:
+            line = await self._reader.readuntil(b"\n")
+            self._state.bytes_received += len(line)
+            doc = decode(line)
+            responses.append(doc)
+            if request.kind == "solve_many":
+                if not doc.get("ok") or doc.get("done"):
+                    break  # terminal: batch error or end-of-stream
+                if (
+                    request.abandon_after is not None
+                    and len(responses) >= request.abandon_after
+                ):
+                    await self.drop()
+                    self._state.abandoned += 1
+                    return responses, False
+        return responses, True
+
+
+async def _worker(
+    wid: int, state: _RunState, targets: Sequence[Tuple[str, int]]
+) -> None:
+    conn = _Connection(targets, wid, state)
+    try:
+        while True:
+            request = state.next_request()
+            if request is None:
+                return
+            for attempt in range(state.options.max_attempts):
+                if attempt:
+                    state.retries += 1
+                try:
+                    t0 = time.perf_counter()
+                    responses, complete = await asyncio.wait_for(
+                        conn.roundtrip(request),
+                        timeout=state.options.timeout,
+                    )
+                    latency = time.perf_counter() - t0
+                    state.samples.append(
+                        _Sample(
+                            request=request,
+                            responses=responses,
+                            latency=latency if complete else None,
+                            complete=complete,
+                        )
+                    )
+                    break
+                except (
+                    OSError,
+                    ConnectionError,
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    asyncio.TimeoutError,
+                ) as exc:
+                    await conn.drop(rotate=True)
+                    error = f"{type(exc).__name__}: {exc}"
+            else:
+                state.transport_failures.append(
+                    f"request #{request.seq} ({request.kind} "
+                    f"{request.family}): {error}"
+                )
+    finally:
+        await conn.drop()
+
+
+async def _drive(state: _RunState) -> None:
+    state.started = time.monotonic()
+    workers = [
+        asyncio.ensure_future(
+            _worker(i, state, state.options.targets)
+        )
+        for i in range(state.options.concurrency)
+    ]
+    await asyncio.gather(*workers)
+
+
+# ----------------------------------------------------------------------
+# stats snapshots (blocking; runs outside the timed traffic phase)
+# ----------------------------------------------------------------------
+
+def _blocking_request(
+    host: str, port: int, doc: Dict[str, Any], timeout: float
+) -> Optional[Dict[str, Any]]:
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(encode(doc))
+            buf = b""
+            while b"\n" not in buf:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return None
+                buf += chunk
+            return decode(buf.split(b"\n", 1)[0] + b"\n")
+    except (OSError, Exception):
+        return None
+
+
+def _fleet_stats(
+    targets: Sequence[Tuple[str, int]], timeout: float
+) -> Dict[str, Dict[str, Any]]:
+    out: Dict[str, Dict[str, Any]] = {}
+    for host, port in targets:
+        resp = _blocking_request(
+            host, port, {"op": "cache_stats"}, timeout
+        )
+        if resp and resp.get("ok"):
+            out[f"{host}:{port}"] = resp.get("stats", {})
+    return out
+
+
+def _tier_deltas(
+    before: Dict[str, Dict[str, Any]],
+    after: Dict[str, Dict[str, Any]],
+) -> Dict[str, Dict[str, float]]:
+    """Per-tier hit/miss deltas summed across targets, as hit rates."""
+    tiers: Dict[str, Dict[str, float]] = {}
+    for key, stats_after in after.items():
+        stats_before = before.get(key, {})
+        for tier, counters in stats_after.items():
+            if not isinstance(counters, dict):
+                continue
+            if "hits" not in counters and "misses" not in counters:
+                continue
+            prior = stats_before.get(tier, {})
+            if not isinstance(prior, dict):
+                prior = {}
+            slot = tiers.setdefault(tier, {"hits": 0.0, "misses": 0.0})
+            slot["hits"] += counters.get("hits", 0) - prior.get("hits", 0)
+            slot["misses"] += (
+                counters.get("misses", 0) - prior.get("misses", 0)
+            )
+    for slot in tiers.values():
+        total = slot["hits"] + slot["misses"]
+        slot["hit_rate"] = (slot["hits"] / total) if total > 0 else 0.0
+    return tiers
+
+
+def _orphan_totals(
+    after: Dict[str, Dict[str, Any]]
+) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    for stats in after.values():
+        counters = stats.get("orphaned_batches")
+        if isinstance(counters, dict):
+            for key, value in counters.items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+# ----------------------------------------------------------------------
+# validation + minimization
+# ----------------------------------------------------------------------
+
+def _validate_samples(
+    state: _RunState, validator: OracleValidator
+) -> Tuple[Dict[str, int], List[Dict[str, Any]]]:
+    counts = {
+        "checked": 0,
+        "validated": 0,
+        "divergences": 0,
+        "expected_errors": 0,
+        "unexpected_errors": 0,
+    }
+    failures: List[Dict[str, Any]] = []
+
+    def judge(
+        request: PlannedRequest,
+        entry_pos: int,
+        response: Dict[str, Any],
+    ) -> None:
+        doc = request.docs[min(entry_pos, len(request.docs) - 1)]
+        outcome = validator.check(
+            request.family,
+            doc,
+            request.params,
+            response,
+            allowed_errors=request.allowed_errors,
+        )
+        counts["checked"] += 1
+        if outcome.status == "validated":
+            counts["validated"] += 1
+        elif outcome.status == "expected-error":
+            counts["expected_errors"] += 1
+        else:
+            key = (
+                "divergences"
+                if outcome.status == "divergence"
+                else "unexpected_errors"
+            )
+            counts[key] += 1
+            failures.append(
+                {
+                    "status": outcome.status,
+                    "detail": outcome.detail,
+                    "family": request.family,
+                    "op": request.kind,
+                    "mutation": request.mutation,
+                    "seq": request.seq,
+                    "doc": doc,
+                    "params": request.params,
+                    "use_cache": request.use_cache,
+                }
+            )
+
+    def judge_batch_error(
+        request: PlannedRequest, response: Dict[str, Any]
+    ) -> None:
+        # One error line fails the whole batch, and the wire does not
+        # say which document caused it.  The error is *expected* iff
+        # it is an allowed type or the oracle rejects at least one of
+        # the batch's documents; otherwise every member is content the
+        # oracle solves, and the rejection is the server's fault.
+        counts["checked"] += 1
+        err_type = str((response.get("error") or {}).get("type", "?"))
+        if err_type in request.allowed_errors:
+            counts["expected_errors"] += 1
+            return
+        for doc in request.docs:
+            outcome = validator.check(
+                request.family, doc, request.params, response
+            )
+            if outcome.status == "expected-error":
+                counts["expected_errors"] += 1
+                return
+        counts["unexpected_errors"] += 1
+        failures.append(
+            {
+                "status": "unexpected-error",
+                "detail": (
+                    f"server failed a batch of {len(request.docs)} "
+                    f"documents the oracle all solves: "
+                    f"{(response.get('error') or {}).get('message', '')}"
+                )[:400],
+                "family": request.family,
+                "op": request.kind,
+                "mutation": request.mutation,
+                "seq": request.seq,
+                "doc": request.docs[0],
+                "params": request.params,
+                "use_cache": request.use_cache,
+            }
+        )
+
+    for sample in state.samples:
+        request = sample.request
+        if request.kind == "solve":
+            for response in sample.responses:
+                judge(request, 0, response)
+            continue
+        for response in sample.responses:
+            if response.get("done"):
+                continue
+            if not response.get("ok"):
+                judge_batch_error(request, response)
+                continue
+            seq = response.get("seq")
+            pos = seq if isinstance(seq, int) else 0
+            judge(request, pos, response)
+    return counts, failures
+
+
+def _minimize_failures(
+    failures: List[Dict[str, Any]],
+    options: LoadgenOptions,
+    validator: OracleValidator,
+    seed: int,
+) -> List[str]:
+    """Shrink the first divergences into reproducer files."""
+    if not options.reproducer_dir:
+        return []
+    written: List[str] = []
+    seen: set = set()
+    for failure in failures:
+        if len(written) >= options.max_minimize:
+            break
+        if failure["op"] != "solve":
+            continue
+        content = json.dumps(
+            [failure["family"], failure["doc"]], sort_keys=True
+        )
+        if content in seen:
+            continue
+        seen.add(content)
+
+        def still_fails(doc: Dict[str, Any]) -> bool:
+            response = _live_check(
+                options, failure["family"], doc, failure["params"],
+                failure["use_cache"],
+            )
+            if response is None:
+                return False  # fleet gone: nothing sound to shrink
+            outcome = validator.check(
+                failure["family"], doc, failure["params"], response
+            )
+            return outcome.failed
+
+        minimized = minimize_instance(
+            failure["family"], failure["doc"], still_fails
+        )
+        record = reproducer_record(
+            family=failure["family"],
+            doc=failure["doc"],
+            minimized=minimized,
+            params=failure["params"],
+            failure_status=failure["status"],
+            failure_detail=failure["detail"],
+            mutation=failure["mutation"],
+            use_cache=failure["use_cache"],
+            seed=seed,
+        )
+        written.append(
+            str(write_reproducer(record, Path(options.reproducer_dir)))
+        )
+    return written
+
+
+def _live_check(
+    options: LoadgenOptions,
+    family: str,
+    doc: Dict[str, Any],
+    params: Dict[str, Any],
+    use_cache: bool,
+) -> Optional[Dict[str, Any]]:
+    request: Dict[str, Any] = {
+        "op": "solve",
+        "objective": family,
+        "instance": doc,
+    }
+    if params:
+        request["params"] = params
+    if not use_cache:
+        request["cache"] = False
+    for host, port in options.targets:
+        response = _blocking_request(host, port, request, options.timeout)
+        if response is not None:
+            return response
+    return None
+
+
+# ----------------------------------------------------------------------
+# the run
+# ----------------------------------------------------------------------
+
+def run_loadgen(
+    options: LoadgenOptions,
+    traffic: TrafficModel,
+    *,
+    validator: Optional[OracleValidator] = None,
+) -> Dict[str, Any]:
+    """One full loadgen run; returns the report document."""
+    own_validator = validator is None
+    if validator is None:
+        validator = OracleValidator()
+    try:
+        # Oracle pre-warm keeps first-contact solves out of phase 2's
+        # accounting surprises (and exercises every corpus doc once).
+        validator.prewarm(traffic.corpus)
+        before = _fleet_stats(options.targets, options.timeout)
+        if not before:
+            raise ConnectionError(
+                "no loadgen target reachable: "
+                + ", ".join(f"{h}:{p}" for h, p in options.targets)
+            )
+        state = _RunState(options=options, stream=traffic.requests())
+        wall0 = time.perf_counter()
+        asyncio.run(_drive(state))
+        wall = time.perf_counter() - wall0
+        after = _fleet_stats(options.targets, options.timeout)
+
+        counts, failures = _validate_samples(state, validator)
+        reproducers = (
+            _minimize_failures(failures, options, validator, traffic.seed)
+            if options.minimize and failures
+            else []
+        )
+
+        latencies = [
+            s.latency for s in state.samples if s.latency is not None
+        ]
+        answered = len(state.samples)
+        checked = counts["checked"]
+        report: Dict[str, Any] = {
+            "targets": [f"{h}:{p}" for h, p in options.targets],
+            "seed": traffic.seed,
+            "fuzz": traffic.fuzz,
+            "requests": state.issued,
+            "answered": answered,
+            "wall_seconds": wall,
+            "rps": answered / wall if wall > 0 else 0.0,
+            "bytes_sent": state.bytes_sent,
+            "bytes_received": state.bytes_received,
+            "bytes_per_sec": (
+                (state.bytes_sent + state.bytes_received) / wall
+                if wall > 0
+                else 0.0
+            ),
+            "latency_ms": latency_summary(latencies),
+            "validation": {
+                **counts,
+                "validated_fraction": (
+                    (counts["validated"] + counts["expected_errors"])
+                    / checked
+                    if checked
+                    else 0.0
+                ),
+            },
+            "transport": {
+                "retries": state.retries,
+                "reconnects": state.reconnects,
+                "failed": len(state.transport_failures),
+                "failures": state.transport_failures[:10],
+                "abandoned": state.abandoned,
+                "dropped": state.dropped,
+            },
+            "tiers": _tier_deltas(before, after),
+            "orphaned_batches": _orphan_totals(after),
+            "failures": failures[:20],
+            "reproducers": reproducers,
+        }
+        recorded = maybe_record(report, options.history_path)
+        if recorded is not None:
+            report["history"] = str(recorded)
+        return report
+    finally:
+        if own_validator:
+            validator.close()
+
+
+def replay_reproducer(
+    path: Path,
+    targets: List[Tuple[str, int]],
+    *,
+    timeout: float = 30.0,
+    validator: Optional[OracleValidator] = None,
+) -> Tuple[Outcome, Dict[str, Any]]:
+    """Re-run one reproducer file against a live endpoint.
+
+    Returns the validation outcome plus a small report.  The outcome
+    *failing* means the recorded bug still reproduces.
+    """
+    from .minimize import load_reproducer
+
+    record = load_reproducer(path)
+    family = record["objective"]
+    params = record.get("params") or {}
+    use_cache = bool(record.get("framing", {}).get("cache", True))
+    options = LoadgenOptions(
+        targets=targets, max_requests=1, timeout=timeout
+    )
+    response = _live_check(
+        options, family, record["instance"], params, use_cache
+    )
+    if response is None:
+        raise ConnectionError(
+            "no replay target reachable; start `repro serve` or fix "
+            "--host/--port/--shard"
+        )
+    own_validator = validator is None
+    if validator is None:
+        validator = OracleValidator()
+    try:
+        outcome = validator.check(
+            family, record["instance"], params, response
+        )
+    finally:
+        if own_validator:
+            validator.close()
+    return outcome, {
+        "reproducer": str(path),
+        "objective": family,
+        "recorded_failure": record.get("failure", {}),
+        "outcome": {"status": outcome.status, "detail": outcome.detail},
+        "reproduced": outcome.failed,
+    }

@@ -1,0 +1,173 @@
+"""Failure minimization: shrink a diverging instance to a reproducer.
+
+When the fuzz loop catches a divergence, the raw instance is whatever
+the traffic model happened to send — dozens of items, most of them
+irrelevant.  :func:`ddmin` (Zeller's delta debugging) shrinks the
+family's item list (jobs / rects / paths) to a locally-minimal subset
+that still fails the live check, and the result is written as a
+self-contained JSON **reproducer** that ``repro loadgen --replay FILE``
+re-runs: the full request framing plus the recorded failure, so a
+fixed bug can be pinned by replaying its file.
+
+Reproducer format (``"repro_loadgen": 1``)::
+
+    {
+      "repro_loadgen": 1,
+      "objective": "rect2d",
+      "op": "solve",
+      "instance": {...},              # the minimized document
+      "params": {...},
+      "framing": {"cache": true},
+      "failure": {"status": "divergence", "detail": "..."},
+      "mutation": "grow-item" | null,
+      "items": {"key": "rects", "before": 36, "after": 1},
+      "seed": 7
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .traffic import items_key
+
+__all__ = [
+    "ddmin",
+    "minimize_instance",
+    "write_reproducer",
+    "load_reproducer",
+    "reproducer_record",
+]
+
+REPRODUCER_VERSION = 1
+
+
+def ddmin(
+    items: List[Any], fails: Callable[[List[Any]], bool]
+) -> List[Any]:
+    """Zeller's ddmin: a locally-minimal failing subset of ``items``.
+
+    ``fails(subset)`` must be True for the full list; the result is a
+    1-minimal subset — removing any single chunk of it passes.
+    """
+    assert fails(items), "ddmin needs a failing starting point"
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            complement = items[:start] + items[start + chunk:]
+            if complement and fails(complement):
+                items = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    return items
+
+
+def minimize_instance(
+    family: str,
+    doc: Dict[str, Any],
+    fails_doc: Callable[[Dict[str, Any]], bool],
+) -> Dict[str, Any]:
+    """Shrink ``doc`` along its item list while ``fails_doc`` holds.
+
+    Returns the original document unchanged when the failure does not
+    reproduce at full size (flaky — nothing sound to shrink) or when
+    the document has no item list to shrink along.
+    """
+    key = items_key(family)
+    items = doc.get(key)
+    if not isinstance(items, list) or len(items) < 2:
+        return doc
+
+    def rebuild(subset: Sequence[Any]) -> Dict[str, Any]:
+        out = dict(doc)
+        out[key] = list(subset)
+        return out
+
+    if not fails_doc(doc):
+        return doc
+    reduced = ddmin(list(items), lambda subset: fails_doc(rebuild(subset)))
+    return rebuild(reduced)
+
+
+def _digest(record: Dict[str, Any]) -> str:
+    content = json.dumps(
+        {k: v for k, v in record.items() if k != "failure"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(content.encode()).hexdigest()[:12]
+
+
+def write_reproducer(
+    record: Dict[str, Any], directory: Path
+) -> Path:
+    """Write one reproducer file; the name is content-addressed."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    record = {"repro_loadgen": REPRODUCER_VERSION, **record}
+    path = directory / (
+        f"repro-{record.get('objective', 'unknown')}-{_digest(record)}.json"
+    )
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def load_reproducer(path: Path) -> Dict[str, Any]:
+    """Read and sanity-check a reproducer file."""
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"{path}: not a readable JSON file ({exc})") from exc
+    if not isinstance(record, dict) or "repro_loadgen" not in record:
+        raise ValueError(
+            f"{path}: not a loadgen reproducer (missing the "
+            f'"repro_loadgen" version key)'
+        )
+    for field in ("objective", "instance"):
+        if field not in record:
+            raise ValueError(f"{path}: reproducer is missing {field!r}")
+    return record
+
+
+def reproducer_record(
+    *,
+    family: str,
+    doc: Dict[str, Any],
+    minimized: Dict[str, Any],
+    params: Dict[str, Any],
+    failure_status: str,
+    failure_detail: str,
+    mutation: Optional[str],
+    use_cache: bool,
+    seed: int,
+) -> Dict[str, Any]:
+    """Assemble the reproducer document for one minimized failure."""
+    key = items_key(family)
+    before = doc.get(key)
+    after = minimized.get(key)
+    return {
+        "objective": family,
+        "op": "solve",
+        "instance": minimized,
+        "params": params,
+        "framing": {"cache": bool(use_cache)},
+        "failure": {"status": failure_status, "detail": failure_detail},
+        "mutation": mutation,
+        "items": {
+            "key": key,
+            "before": len(before) if isinstance(before, list) else None,
+            "after": len(after) if isinstance(after, list) else None,
+        },
+        "seed": seed,
+    }

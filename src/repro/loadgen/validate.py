@@ -1,0 +1,235 @@
+"""Response validation against a local oracle session.
+
+Every loadgen response is judged twice:
+
+1. **byte equality** — the served result document must canonicalize to
+   exactly what a local :class:`repro.api.Session` solve of the same
+   content produces (``from_cache``/``solve_seconds`` are per-serving
+   provenance and excluded; everything else, including the positional
+   assignment encoding, must match byte for byte);
+2. **registry verifier** — the served document is rebuilt into an
+   :class:`~repro.engine.EngineResult` (fingerprint checked on the
+   way) and re-checked by the family's independent ``verify``.
+
+Error responses are arbitrated the same way: the oracle attempts the
+request locally, and the server is wrong whenever they disagree — an
+error for content the oracle solves fine is an *unexpected error*, and
+an ``ok`` for content the oracle rejects is a *divergence* (the server
+accepted garbage).  This symmetry is what lets the fuzz loop send
+invalid mutations without hand-labelling each one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Outcome", "OracleValidator", "canonical_result"]
+
+#: Per-serving provenance, not content: excluded from byte equality.
+_PROVENANCE = ("from_cache", "solve_seconds")
+
+
+def canonical_result(doc: Dict[str, Any]) -> str:
+    """The byte-comparison form of one result document."""
+    trimmed = {k: v for k, v in doc.items() if k not in _PROVENANCE}
+    return json.dumps(trimmed, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The verdict on one response line."""
+
+    status: str  # validated | divergence | expected-error | unexpected-error
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("validated", "expected-error")
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+
+class _Expected:
+    """Memoized oracle knowledge about one content key."""
+
+    __slots__ = ("error", "canonical", "plan", "verified")
+
+    def __init__(self, error=None, canonical=None, plan=None):
+        self.error: Optional[str] = error
+        self.canonical: Optional[str] = canonical
+        self.plan = plan
+        self.verified = False
+
+
+class OracleValidator:
+    """A local :class:`~repro.api.Session` as the source of truth.
+
+    The oracle session runs serial, store-less and with its own LRU, so
+    its answers are a pure function of request content — independent of
+    whatever the service under test is doing to its caches.  Expected
+    results are memoized by content, which is what makes validating
+    Zipf-skewed traffic cheap: the popular head solves once.
+    """
+
+    def __init__(self, *, cache_size: int = 4096) -> None:
+        from ..api import EngineConfig, Session
+
+        self.session = Session(
+            EngineConfig(
+                store_path=None, cache_size=cache_size, backend="serial"
+            )
+        )
+        self._memo: Dict[str, _Expected] = {}
+
+    def close(self) -> None:
+        self.session.close()
+
+    def __enter__(self) -> "OracleValidator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _content_key(
+        family: str, doc: Dict[str, Any], params: Dict[str, Any]
+    ) -> str:
+        return json.dumps(
+            [family, doc, params], sort_keys=True, separators=(",", ":")
+        )
+
+    def expected(
+        self,
+        family: str,
+        doc: Dict[str, Any],
+        params_doc: Dict[str, Any],
+    ) -> _Expected:
+        """Solve locally (memoized); records rejection instead of raising."""
+        from ..engine.engine import plan_solve
+        from ..io import objective_instance_from_dict
+        from ..service.protocol import params_from_doc, result_to_doc
+
+        key = self._content_key(family, doc, params_doc)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        try:
+            params = params_from_doc(family, params_doc or None)
+            inst = objective_instance_from_dict(doc, family)
+            plan = plan_solve(inst, family, params)
+            result = self.session.solve(inst, family, **params)
+            canonical = canonical_result(
+                json.loads(json.dumps(result_to_doc(result)))
+            )
+            exp = _Expected(canonical=canonical, plan=plan)
+        except Exception as exc:  # the oracle rejects this content
+            exp = _Expected(error=f"{type(exc).__name__}: {exc}")
+        self._memo[key] = exp
+        return exp
+
+    def prewarm(self, corpus) -> None:
+        """Solve every corpus entry up front, off the timed path."""
+        for entry in corpus:
+            self.expected(entry.family, entry.doc, entry.params)
+
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        family: str,
+        doc: Dict[str, Any],
+        params_doc: Dict[str, Any],
+        response: Dict[str, Any],
+        *,
+        allowed_errors: Tuple[str, ...] = (),
+    ) -> Outcome:
+        """Judge one response line against the oracle."""
+        if response.get("ok"):
+            return self._check_result(
+                family, doc, params_doc, response.get("result")
+            )
+        err = response.get("error") or {}
+        err_type = str(err.get("type", "?"))
+        message = str(err.get("message", ""))[:200]
+        if err_type in allowed_errors:
+            return Outcome(
+                "expected-error", f"allowed {err_type}: {message}"
+            )
+        exp = self.expected(family, doc, params_doc)
+        if exp.error is not None:
+            return Outcome(
+                "expected-error",
+                f"both reject: server {err_type}, oracle {exp.error}",
+            )
+        return Outcome(
+            "unexpected-error",
+            f"server rejected content the oracle solves: "
+            f"{err_type}: {message}",
+        )
+
+    def _check_result(
+        self,
+        family: str,
+        doc: Dict[str, Any],
+        params_doc: Dict[str, Any],
+        served: Any,
+    ) -> Outcome:
+        from ..api.remote import result_from_doc
+        from ..engine.engine import _verified
+
+        if not isinstance(served, dict):
+            return Outcome(
+                "divergence", f"malformed result document: {served!r}"
+            )
+        exp = self.expected(family, doc, params_doc)
+        if exp.error is not None:
+            return Outcome(
+                "divergence",
+                f"server accepted content the oracle rejects "
+                f"({exp.error})",
+            )
+        got = canonical_result(served)
+        if got != exp.canonical:
+            return Outcome("divergence", _diff_summary(exp.canonical, got))
+        # Registry verifier: independent validity re-check of the
+        # served document.  Byte-equal repeats of an already-verified
+        # result are skipped — one verification per content key.
+        if not exp.verified:
+            try:
+                result = result_from_doc(served, exp.plan)
+                _verified(exp.plan, result)
+            except Exception as exc:
+                return Outcome(
+                    "divergence",
+                    f"registry verifier rejected the served result: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            exp.verified = True
+        return Outcome("validated")
+
+
+def _diff_summary(expected: str, got: str) -> str:
+    """A short human-readable account of a byte divergence."""
+    try:
+        e, g = json.loads(expected), json.loads(got)
+        keys = sorted(
+            k
+            for k in set(e) | set(g)
+            if e.get(k) != g.get(k)
+        )
+        parts = [
+            f"{k}: oracle={_short(e.get(k))} served={_short(g.get(k))}"
+            for k in keys[:4]
+        ]
+        return "byte divergence — " + "; ".join(parts)
+    except ValueError:  # pragma: no cover - both sides are our JSON
+        return "byte divergence (undecodable result document)"
+
+
+def _short(value: Any) -> str:
+    text = json.dumps(value)
+    return text if len(text) <= 60 else text[:57] + "..."

@@ -82,6 +82,8 @@ class SolveServer:
         deadline: Optional[float] = None,
         response_cache_size: int = 4096,
         session=None,
+        max_orphaned_batches: int = 8,
+        inject_fault: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -145,12 +147,54 @@ class SolveServer:
         # deadline: the loop only keeps weak ones, and the abandoned
         # batch must finish (it warms the cache for later requests).
         self._background: set = set()
+        # Batches whose waiter already timed out but whose to_thread
+        # work is still computing.  They cannot be interrupted, so the
+        # only bound on runaway abandonment is backpressure: once
+        # max_orphaned_batches are live, new deadline-bearing
+        # serial/process batches are rejected until one finishes.
+        self.max_orphaned_batches = max_orphaned_batches
+        self._orphaned: set = set()
+        self._orphan_total = 0
+        self._orphan_completed = 0
+        self._orphan_rejected = 0
+        # Optional fault injection ("objective[:delta]"): served cost
+        # documents for that objective are perturbed by delta.  Loadgen
+        # CI points its oracle-divergence detector at exactly this.
+        self._fault_objective: Optional[str] = None
+        self._fault_delta = 0.0
+        self._fault_injected = 0
+        if inject_fault:
+            from ..core.registry import REGISTRY
+            from ..engine.objectives import ensure_registered
+
+            ensure_registered()
+            spec, _, delta = inject_fault.partition(":")
+            self._fault_objective = REGISTRY.canonical(spec.strip())
+            self._fault_delta = float(delta) if delta else 1.0
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
 
     # ------------------------------------------------------------------
     # request handlers
     # ------------------------------------------------------------------
+    def _result_doc(self, result) -> Dict[str, Any]:
+        """Serialize one result — the only place faults are injected.
+
+        Every served result document flows through here (including the
+        wire-tier put), so a configured ``inject_fault`` perturbs what
+        clients *see* while the engine, caches and store stay correct —
+        exactly the class of serving-layer bug loadgen's oracle
+        comparison exists to catch.
+        """
+        doc = result_to_doc(result)
+        if (
+            self._fault_objective is not None
+            and doc.get("objective") == self._fault_objective
+        ):
+            doc["cost"] = float(doc.get("cost") or 0.0) + self._fault_delta
+            self._fault_injected += 1
+        return doc
+
     def _canonical_objective(self, doc: Dict[str, Any]) -> str:
         from ..core.registry import REGISTRY
         from ..engine.objectives import ensure_registered
@@ -221,7 +265,7 @@ class SolveServer:
             use_cache=use_cache,
             deadline=doc.get("deadline", self.deadline),
         )
-        result_doc = result_to_doc(result)
+        result_doc = self._result_doc(result)
         if raw is not None and self._wire_cacheable(doc):
             # Install the fully-encoded replay: a repeat of these exact
             # request bytes is answered straight from the read loop.
@@ -284,7 +328,7 @@ class SolveServer:
                         {
                             "ok": True,
                             "seq": seq,
-                            "result": result_to_doc(result),
+                            "result": self._result_doc(result),
                             "id": request_id,
                         }
                     )
@@ -298,7 +342,22 @@ class SolveServer:
             # bounds how long this *request* waits (same contract as
             # the async executor): the batch itself is not interrupted,
             # so its results still land in the cache for later
-            # requests.
+            # requests.  Because an abandoned batch cannot be stopped,
+            # the number of live orphans is capped: at the cap, new
+            # deadline-bearing batches are rejected up front instead of
+            # piling unbounded work onto the thread pool.
+            if (
+                deadline is not None
+                and len(self._orphaned) >= self.max_orphaned_batches
+            ):
+                self._orphan_rejected += 1
+                raise RuntimeError(
+                    f"solve_many rejected: {len(self._orphaned)} "
+                    f"abandoned batches are still computing (cap "
+                    f"{self.max_orphaned_batches}); retry once one "
+                    "finishes, raise --max-orphaned-batches, or drop "
+                    "the deadline"
+                )
             runner = asyncio.ensure_future(
                 asyncio.to_thread(
                     lambda: self.session.solve_many(
@@ -315,6 +374,9 @@ class SolveServer:
 
             def _batch_done(task: "asyncio.Task") -> None:
                 self._background.discard(task)
+                if task in self._orphaned:
+                    self._orphaned.discard(task)
+                    self._orphan_completed += 1
                 if not task.cancelled():
                     # Mark any failure retrieved even if the waiter
                     # timed out before it landed; awaiting re-raises.
@@ -329,6 +391,13 @@ class SolveServer:
                         asyncio.shield(runner), timeout=deadline
                     )
                 except asyncio.TimeoutError:
+                    # No await between the wait_for raise and this add
+                    # (single-threaded loop), so the done callback
+                    # cannot slip in between: a finished runner is
+                    # never counted as a live orphan.
+                    if not runner.done():
+                        self._orphaned.add(runner)
+                        self._orphan_total += 1
                     raise TimeoutError(
                         f"solve_many of {len(instances)} instances "
                         f"exceeded its {deadline:.3g}s deadline "
@@ -340,7 +409,7 @@ class SolveServer:
                     {
                         "ok": True,
                         "seq": seq,
-                        "result": result_to_doc(result),
+                        "result": self._result_doc(result),
                         "id": request_id,
                     }
                 )
@@ -364,6 +433,19 @@ class SolveServer:
             "size": info.size,
             "maxsize": info.maxsize,
         }
+        stats["orphaned_batches"] = {
+            "live": len(self._orphaned),
+            "total": self._orphan_total,
+            "completed": self._orphan_completed,
+            "rejected": self._orphan_rejected,
+            "cap": self.max_orphaned_batches,
+        }
+        if self._fault_objective is not None:
+            stats["fault_injection"] = {
+                "objective": self._fault_objective,
+                "delta": self._fault_delta,
+                "injected": self._fault_injected,
+            }
         await send({"ok": True, "stats": stats, "id": doc.get("id")})
 
     async def _handle_meta(

@@ -17,11 +17,14 @@ from .applications import (
 from .generators import (
     random_clique_instance,
     random_demand_instance,
+    random_flexible_instance,
     random_general_instance,
     random_one_sided_instance,
     random_proper_clique_instance,
     random_proper_instance,
     random_rects,
+    random_ring_instance,
+    random_tree_instance,
 )
 
 __all__ = [
@@ -37,9 +40,12 @@ __all__ = [
     "optical_ring_demands",
     "random_clique_instance",
     "random_demand_instance",
+    "random_flexible_instance",
     "random_general_instance",
     "random_one_sided_instance",
     "random_proper_clique_instance",
     "random_proper_instance",
     "random_rects",
+    "random_ring_instance",
+    "random_tree_instance",
 ]

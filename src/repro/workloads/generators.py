@@ -24,6 +24,9 @@ __all__ = [
     "random_one_sided_instance",
     "random_rects",
     "random_demand_instance",
+    "random_ring_instance",
+    "random_tree_instance",
+    "random_flexible_instance",
 ]
 
 
@@ -199,6 +202,116 @@ def random_rects(
         Rect(float(x), float(y), float(x + a), float(y + b), rect_id=i)
         for i, (x, y, a, b) in enumerate(zip(x0, y0, len1, len2))
     ]
+
+
+def random_ring_instance(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    circumference: float = 1.0,
+    horizon: float = 40.0,
+    min_arc: float = 0.05,
+    max_arc: float = 0.4,
+    min_duration: float = 1.0,
+    max_duration: float = 10.0,
+):
+    """Random ring instance: arcs on a circle, live over a time window.
+
+    Arc starts are uniform on the circle, arc lengths in
+    ``[min_arc, max_arc]`` (as fractions of the circumference), time
+    windows uniform over the horizon.  Job ids are assigned explicitly
+    so the generated content is identical across processes (the
+    dataclass default id is a process-global counter).
+    """
+    from ..topology.instance import RingInstance
+    from ..topology.ring import RingJob
+
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        t0 = float(rng.uniform(0.0, horizon))
+        jobs.append(
+            RingJob(
+                a0=float(rng.uniform(0.0, circumference)),
+                alen=float(
+                    rng.uniform(min_arc, max_arc) * circumference
+                ),
+                t0=t0,
+                t1=t0 + float(rng.uniform(min_duration, max_duration)),
+                circumference=circumference,
+                job_id=i,
+            )
+        )
+    return RingInstance(jobs=tuple(jobs), g=g)
+
+
+def random_tree_instance(
+    n_paths: int,
+    g: int,
+    *,
+    seed: int = 0,
+    n_nodes: int = 10,
+    max_weight: float = 3.0,
+):
+    """Random tree instance: a random tree plus path demands.
+
+    The tree attaches each node ``v`` to a uniformly random earlier
+    node (a recursive random tree); path endpoints are distinct random
+    node pairs.  Path ids are explicit for cross-process determinism.
+    """
+    from ..topology.instance import TreeInstance
+    from ..topology.tree import PathJob, Tree
+
+    if n_nodes < 2:
+        raise ValueError(f"need at least 2 tree nodes, got {n_nodes}")
+    rng = np.random.default_rng(seed)
+    edges = [
+        (int(rng.integers(0, v)), v, float(rng.uniform(0.5, max_weight)))
+        for v in range(1, n_nodes)
+    ]
+    tree = Tree.from_edges(n_nodes, edges)
+    paths = []
+    while len(paths) < n_paths:
+        u, v = (int(x) for x in rng.integers(0, n_nodes, size=2))
+        if u != v:
+            paths.append(PathJob(u=u, v=v, job_id=len(paths)))
+    return TreeInstance(tree=tree, paths=tuple(paths), g=g)
+
+
+def random_flexible_instance(
+    n: int,
+    g: int,
+    *,
+    seed: int = 0,
+    horizon: float = 30.0,
+    min_window: float = 2.0,
+    max_window: float = 10.0,
+    min_fill: float = 0.3,
+):
+    """Random flexible-jobs instance: windows with partial processing.
+
+    Each job's processing time is a ``[min_fill, 1.0]`` fraction of its
+    window, so the mix covers both slack-heavy jobs and near-tight ones
+    (the two dispatch arms).  Job ids are explicit for determinism.
+    """
+    from ..flexible.instance import FlexInstance
+    from ..flexible.jobs import FlexJob
+
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        start = float(rng.uniform(0.0, horizon))
+        wlen = float(rng.uniform(min_window, max_window))
+        jobs.append(
+            FlexJob(
+                window_start=start,
+                window_end=start + wlen,
+                proc=wlen * float(rng.uniform(min_fill, 1.0)),
+                job_id=i,
+            )
+        )
+    return FlexInstance(jobs=tuple(jobs), g=g)
 
 
 def random_demand_instance(

@@ -408,11 +408,90 @@ class TestShardedCacheStatsSchema:
         assert doc["n_shards"] == 1 and doc["reachable"] == 1
         entry = doc["shards"][f"127.0.0.1:{port}"]
         assert entry["reachable"] is True
+        assert entry["state"] == "ok"
         assert {"lru", "wire"} <= set(entry["stats"])
         assert entry["health"]["status"] == "healthy"
         assert isinstance(entry["health"]["pid"], int)
+        assert doc["aggregate"]["fleet"] == {
+            "reachable": 1,
+            "unreachable": 0,
+        }
         for tier, counters in doc["aggregate"].items():
             assert isinstance(counters, dict)
             assert all(
                 isinstance(v, (int, float)) for v in counters.values()
             )
+
+    def test_dead_shard_renders_in_aggregate_not_traceback(self, capsys):
+        """A SIGKILLed / garbage-spewing shard degrades the report.
+
+        Historically a shard that died mid-response made the stats
+        command explode with a raw protocol traceback (the partial
+        line raises ``InstanceError``, which the command did not
+        catch); now it renders as unreachable alongside the healthy
+        shards, with the fleet circuit summary in the aggregate.
+        """
+        import socket
+        import threading
+
+        from tests.helpers import spawn_serve_subprocess
+
+        # An endpoint that accepts, answers half a JSON line, and dies
+        # — exactly what a client sees from a shard killed mid-write.
+        sick = socket.socket()
+        sick.bind(("127.0.0.1", 0))
+        sick.listen(4)
+        sick_port = sick.getsockname()[1]
+
+        def serve_garbage():
+            while True:
+                try:
+                    conn, _ = sick.accept()
+                except OSError:
+                    return
+                conn.recv(65536)
+                conn.sendall(b'{"ok": tru')
+                conn.close()
+
+        thread = threading.Thread(target=serve_garbage, daemon=True)
+        thread.start()
+        proc, port = spawn_serve_subprocess()
+        try:
+            assert (
+                main(
+                    [
+                        "cache", "stats", "--json",
+                        "--shard", f"127.0.0.1:{port}",
+                        "--shard", f"127.0.0.1:{sick_port}",
+                    ]
+                )
+                == 0
+            )
+            doc = json.loads(capsys.readouterr().out)
+            # The human-readable rendering survives the same fleet.
+            assert (
+                main(
+                    [
+                        "cache", "stats",
+                        "--shard", f"127.0.0.1:{port}",
+                        "--shard", f"127.0.0.1:{sick_port}",
+                    ]
+                )
+                == 0
+            )
+            human = capsys.readouterr().out
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+            sick.close()
+        assert set(doc) == {"n_shards", "reachable", "shards", "aggregate"}
+        assert doc["reachable"] == 1
+        dead = doc["shards"][f"127.0.0.1:{sick_port}"]
+        assert dead["reachable"] is False
+        assert dead["state"] == "unreachable"
+        assert "error" in dead
+        assert doc["aggregate"]["fleet"] == {
+            "reachable": 1,
+            "unreachable": 1,
+        }
+        assert "unreachable" in human

@@ -1,0 +1,167 @@
+"""Seed-pinned golden documents for the workload generators.
+
+``repro loadgen`` replays failures by seed: the reproducer workflow is
+sound only if every generator family is byte-deterministic across
+processes, hosts and sessions.  These digests pin the exact generated
+content — a changed digest means previously-recorded reproducers and
+golden traffic plans silently describe different instances, which is a
+breaking change to the loadgen contract (bump seeds/versions
+deliberately, never accidentally).
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.io import instance_to_dict, objective_instance_to_dict
+from repro.loadgen import TrafficModel, family_document
+from repro.loadgen.traffic import ALL_FAMILIES
+from repro.rect.instance import RectInstance
+from repro.workloads import (
+    random_clique_instance,
+    random_demand_instance,
+    random_flexible_instance,
+    random_general_instance,
+    random_one_sided_instance,
+    random_proper_clique_instance,
+    random_proper_instance,
+    random_ring_instance,
+    random_tree_instance,
+)
+from repro.workloads.generators import random_rects
+
+
+def digest(obj) -> str:
+    return hashlib.sha256(
+        json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()[:16]
+
+
+JOBS_GENERATORS = {
+    "general": random_general_instance,
+    "clique": random_clique_instance,
+    "proper": random_proper_instance,
+    "proper_clique": random_proper_clique_instance,
+    "one_sided": random_one_sided_instance,
+}
+
+#: sha256 prefixes of each generator's output at n=12, g=3, seed=7.
+GOLDEN_GENERATORS = {
+    "general": "cfdc23984a58f367",
+    "clique": "fc2d37e759dbdab7",
+    "proper": "67f5457c660de9fd",
+    "proper_clique": "34c0f3f18fce05e5",
+    "one_sided": "b3b84615076c6d18",
+    "demand": "aaba6b06cb6bd81d",
+    "rects": "ee421f4c828f4fc2",
+    "ring": "100705aef1819b65",
+    "tree": "d48cbc78db625d9b",
+    "flexible": "c97f6c0bc5b3525f",
+}
+
+#: sha256 prefixes of ``family_document(family, seed)`` for every
+#: family loadgen samples from, at two seeds (one per dispatch arm).
+GOLDEN_FAMILY_DOCUMENTS = {
+    ("capacity", 0): "1c800080243c1077",
+    ("capacity", 3): "bb96b3201a4ebadf",
+    ("energy", 0): "34a9086c351347c9",
+    ("energy", 3): "34346e8592044aed",
+    ("flexible", 0): "55214a87679542ce",
+    ("flexible", 3): "25e8512cb58ffa5a",
+    ("maxthroughput", 0): "5f90a5d123367995",
+    ("maxthroughput", 3): "cf1f11e08701ef20",
+    ("minbusy", 0): "94319f9a022ee859",
+    ("minbusy", 3): "9b2366523095e4d1",
+    ("rect2d", 0): "8f7589e814cb826c",
+    ("rect2d", 3): "f9d411a8589eeba7",
+    ("ring", 0): "05ff2c3883827836",
+    ("ring", 3): "8171737db632ea84",
+    ("tree", 0): "3523e1137294aca3",
+    ("tree", 3): "eb39170ea1ea1f03",
+}
+
+#: The first 40 wire documents of two pinned traffic plans.
+GOLDEN_FUZZ_PLAN = "069e145db1ec82ae"
+GOLDEN_PLAIN_PLAN = "1f8cfad26fa3779d"
+
+
+@pytest.mark.parametrize("name", sorted(JOBS_GENERATORS))
+def test_jobs_generator_golden(name):
+    inst = JOBS_GENERATORS[name](12, 3, seed=7)
+    assert digest(instance_to_dict(inst)) == GOLDEN_GENERATORS[name]
+
+
+def test_demand_generator_golden():
+    inst = random_demand_instance(12, 3, seed=7, max_demand=3)
+    assert digest(instance_to_dict(inst)) == GOLDEN_GENERATORS["demand"]
+
+
+def test_rects_generator_golden():
+    inst = RectInstance(
+        rects=tuple(random_rects(12, seed=7, gamma1=2.0, gamma2=2.0)), g=3
+    )
+    doc = objective_instance_to_dict(inst, "rect2d")[0]
+    assert digest(doc) == GOLDEN_GENERATORS["rects"]
+
+
+def test_ring_generator_golden():
+    doc = objective_instance_to_dict(
+        random_ring_instance(12, 3, seed=7), "ring"
+    )[0]
+    assert digest(doc) == GOLDEN_GENERATORS["ring"]
+
+
+def test_tree_generator_golden():
+    doc = objective_instance_to_dict(
+        random_tree_instance(10, 3, seed=7), "tree"
+    )[0]
+    assert digest(doc) == GOLDEN_GENERATORS["tree"]
+
+
+def test_flexible_generator_golden():
+    doc = objective_instance_to_dict(
+        random_flexible_instance(8, 3, seed=7), "flexible"
+    )[0]
+    assert digest(doc) == GOLDEN_GENERATORS["flexible"]
+
+
+@pytest.mark.parametrize(
+    "family,seed", sorted(GOLDEN_FAMILY_DOCUMENTS), ids=str
+)
+def test_family_document_golden(family, seed):
+    doc, params = family_document(family, seed)
+    assert digest([doc, params]) == GOLDEN_FAMILY_DOCUMENTS[(family, seed)]
+
+
+def test_family_document_covers_every_family():
+    assert {f for f, _ in GOLDEN_FAMILY_DOCUMENTS} == set(ALL_FAMILIES)
+
+
+def test_traffic_plan_golden():
+    tm = TrafficModel(seed=5, fuzz=True, deadline_fraction=0.1, deadline=20.0)
+    plan = [r.wire_doc() for r in tm.plan(40)]
+    assert digest(plan) == GOLDEN_FUZZ_PLAN
+    plain = TrafficModel(seed=5)
+    assert (
+        digest([r.wire_doc() for r in plain.plan(40)]) == GOLDEN_PLAIN_PLAN
+    )
+
+
+def test_generators_are_process_independent():
+    # Same call twice in one process: the explicit job_id plumbing
+    # (not the module-global counter) must make outputs identical.
+    a = objective_instance_to_dict(
+        random_flexible_instance(8, 3, seed=7), "flexible"
+    )[0]
+    b = objective_instance_to_dict(
+        random_flexible_instance(8, 3, seed=7), "flexible"
+    )[0]
+    assert a == b
+    r1 = objective_instance_to_dict(
+        random_ring_instance(12, 3, seed=7), "ring"
+    )[0]
+    r2 = objective_instance_to_dict(
+        random_ring_instance(12, 3, seed=7), "ring"
+    )[0]
+    assert r1 == r2
