@@ -1,0 +1,204 @@
+"""E21 — wire formats: binary frames vs NDJSON on payload-heavy traffic.
+
+Not a paper experiment: this is the serving-layer benchmark for the
+binary wire format (:mod:`repro.service.binary`).  The scenario is the
+one the format exists for — **large instance documents** (10k-job
+MinBusy instances, ~650 KB as an NDJSON line) served warm out of the
+wire tier, where the whole round trip is codec + transport and the
+solver contributes nothing.
+
+Both formats replay identical logical traffic: the same rotating
+pre-built documents, encoded by the client on every exchange (encode
+cost is part of what the binary format buys down, so it belongs on the
+timed path), answered out of the server's per-format wire tier.
+Throughput is reported as *NDJSON-equivalent* bytes per second — the
+logical payload each exchange moves (its NDJSON request + response
+rendering, identical for both formats) divided by that format's wall
+time — so the binary number credits both the smaller frames and the
+cheaper codec, and the ratio of the two is exactly the wall-time
+speedup on identical traffic.
+
+Asserted: every timed response is a wire-tier replay, the result
+documents are identical across formats (the two tiers store the same
+canonical response, differently encoded), and binary moves NDJSON-
+equivalent bytes at >= 3x the NDJSON rate locally
+(``E21_MIN_WIRE_SPEEDUP`` softens the floor on noisy shared CI
+runners).  Measured numbers append to ``BENCH_HISTORY.json`` and feed
+``benchmarks/drift.py`` (``e21.bytes_per_sec``, ``e21.p99_inv``,
+``e21.wire_speedup``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import Table
+from repro.api import Session
+from repro.service import ServiceClient, SolveServer
+from repro.service.protocol import encode
+
+from .conftest import report_table
+from .history import record_bench
+
+N_JOBS = 10_000  # per instance document (~650 KB as an NDJSON line)
+N_DOCS = 3  # rotating documents, so the wire tier holds several entries
+N_EXCHANGES = 36  # timed round trips per format
+N_WARMUP = 3  # untimed exchanges per format before the clock starts
+# Local acceptance floor; CI softens via the environment like E16-E19.
+MIN_WIRE_SPEEDUP = float(os.environ.get("E21_MIN_WIRE_SPEEDUP", "3.0"))
+
+
+def _documents():
+    """``N_DOCS`` payload-heavy MinBusy instance documents."""
+    docs = []
+    for seed in range(N_DOCS):
+        rng = np.random.default_rng(2100 + seed)
+        starts = rng.uniform(0.0, 1000.0, N_JOBS)
+        lengths = rng.uniform(0.5, 20.0, N_JOBS)
+        docs.append(
+            {
+                "g": 4,
+                "jobs": [
+                    {
+                        "start": float(s),
+                        "end": float(s + l),
+                        "job_id": int(i),
+                    }
+                    for i, (s, l) in enumerate(zip(starts, lengths))
+                ],
+            }
+        )
+    return docs
+
+
+@pytest.mark.benchmark(group="e21")
+def test_e21_binary_wire_vs_ndjson(benchmark):
+    def run():
+        docs = _documents()
+        server = SolveServer(
+            port=0, max_concurrency=8, session=Session(store_path=None)
+        )
+        handle = server.run_in_thread()
+        results = {}
+        latencies = {}
+        try:
+            port = handle.port
+            # One cold solve per document fills the engine tiers; the
+            # timed exchanges below must all be wire-tier replays.
+            with ServiceClient(port=port, timeout=120.0) as warm:
+                for doc in docs:
+                    warm.solve(doc, "minbusy")
+            for wire in ("ndjson", "binary"):
+                with ServiceClient(
+                    port=port, timeout=120.0, wire=wire
+                ) as client:
+                    for i in range(N_WARMUP):
+                        client.solve(docs[i % N_DOCS], "minbusy")
+                    out, lat = [], []
+                    t0 = time.perf_counter()
+                    for i in range(N_EXCHANGES):
+                        t1 = time.perf_counter()
+                        out.append(
+                            client.solve(docs[i % N_DOCS], "minbusy")
+                        )
+                        lat.append(time.perf_counter() - t1)
+                    wall = time.perf_counter() - t0
+                results[wire] = (out, wall)
+                latencies[wire] = lat
+        finally:
+            handle.stop()
+        return docs, results, latencies
+
+    docs, results, latencies = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # The NDJSON-equivalent logical bytes of one full exchange cycle:
+    # identical for both formats by construction.
+    request_bytes = [
+        len(
+            encode(
+                {
+                    "op": "solve",
+                    "objective": "minbusy",
+                    "instance": doc,
+                    "cache": True,
+                }
+            )
+        )
+        for doc in docs
+    ]
+    response_bytes = [
+        len(encode({"ok": True, "result": result}))
+        for result in results["ndjson"][0][:N_DOCS]
+    ]
+    logical_bytes = sum(
+        request_bytes[i % N_DOCS] + response_bytes[i % N_DOCS]
+        for i in range(N_EXCHANGES)
+    )
+
+    rows = {}
+    for wire in ("ndjson", "binary"):
+        out, wall = results[wire]
+        lat_ms = sorted(1000.0 * x for x in latencies[wire])
+        rows[wire] = {
+            "wire": wire,
+            "exchanges": N_EXCHANGES,
+            "seconds": wall,
+            "bytes_per_sec": logical_bytes / max(wall, 1e-12),
+            "p50_ms": float(np.percentile(lat_ms, 50)),
+            "p99_ms": float(np.percentile(lat_ms, 99)),
+        }
+    speedup = (
+        rows["binary"]["bytes_per_sec"] / rows["ndjson"]["bytes_per_sec"]
+    )
+    p99_inv = 1000.0 / max(rows["binary"]["p99_ms"], 1e-9)
+
+    t = Table(
+        f"E21 wire: {N_EXCHANGES} warm exchanges of "
+        f"{N_JOBS}-job documents per format",
+        ["wire", "seconds", "MB_per_s", "p50_ms", "p99_ms"],
+    )
+    for wire in ("ndjson", "binary"):
+        row = rows[wire]
+        t.add(
+            wire,
+            f"{row['seconds']:.3f}",
+            f"{row['bytes_per_sec'] / 1e6:.1f}",
+            f"{row['p50_ms']:.2f}",
+            f"{row['p99_ms']:.2f}",
+        )
+    t.add("wire_speedup", f"{speedup:.1f}x", "", "", "")
+    report_table(t)
+    record_bench(
+        "e21_wire",
+        {
+            "n_jobs": N_JOBS,
+            "n_docs": N_DOCS,
+            "n_exchanges": N_EXCHANGES,
+            "logical_bytes": logical_bytes,
+            "rows": list(rows.values()),
+            "bytes_per_sec": rows["binary"]["bytes_per_sec"],
+            "ndjson_bytes_per_sec": rows["ndjson"]["bytes_per_sec"],
+            "p99_inv": p99_inv,
+            "wire_speedup": speedup,
+            "min_wire_speedup": MIN_WIRE_SPEEDUP,
+        },
+    )
+
+    # Warm means warm, and the formats must agree: both tiers replay
+    # the same canonical response document.
+    ndjson_docs, _ = results["ndjson"]
+    binary_docs, _ = results["binary"]
+    for i in range(N_EXCHANGES):
+        assert ndjson_docs[i]["from_cache"]
+        assert binary_docs[i]["from_cache"]
+        assert json.dumps(ndjson_docs[i], sort_keys=True) == json.dumps(
+            binary_docs[i], sort_keys=True
+        )
+    assert speedup >= MIN_WIRE_SPEEDUP

@@ -28,7 +28,9 @@ re-run would measure):
 * ``e19_service``: the concurrent-vs-sequential service speedup,
 * ``e20_loadgen``: the loadgen run — requests/sec, bytes/sec,
   validated fraction, inverted p99 latency (``1/p99_seconds``, so a
-  latency *increase* reads as a drop) and per-tier cache hit rates.
+  latency *increase* reads as a drop) and per-tier cache hit rates,
+* ``e21_wire``: binary wire serving — NDJSON-equivalent bytes/sec,
+  inverted binary p99 and the binary-vs-NDJSON wall speedup.
 
 Only ratios and rates are compared — absolute wall times shift with
 runner hardware, but scalar-vs-vectorized (and cold-vs-warm) ratios,
@@ -98,6 +100,11 @@ def extract_metrics(entries: List[dict]) -> Dict[str, float]:
             for tier, rate in hit_rates.items():
                 if isinstance(rate, (int, float)):
                     metrics[f"e20.hit.{tier}"] = float(rate)
+    e21 = latest.get("e21_wire")
+    if e21:
+        for key in ("bytes_per_sec", "p99_inv", "wire_speedup"):
+            if isinstance(e21.get(key), (int, float)):
+                metrics[f"e21.{key}"] = float(e21[key])
     return metrics
 
 

@@ -110,11 +110,16 @@ class RemoteSession:
         client: Optional[ServiceClient] = None,
         timeout: Optional[float] = 30.0,
         config: Optional[EngineConfig] = None,
+        wire: Optional[str] = None,
     ) -> None:
+        # ``wire`` is the transport preference forwarded to the
+        # ServiceClient ("ndjson"/"binary"/"auto"; None reads
+        # REPRO_WIRE) — results are canonically identical either way,
+        # only the framing changes.
         self.client = (
             client
             if client is not None
-            else ServiceClient(host, port, timeout=timeout)
+            else ServiceClient(host, port, timeout=timeout, wire=wire)
         )
         self.config = config if config is not None else EngineConfig()
 

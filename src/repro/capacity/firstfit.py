@@ -68,8 +68,9 @@ def demand_first_fit(
     (occupancy engine from ``DEMAND_FIRSTFIT_MIN_SIZE`` jobs, scalar
     below — the demand fit test is a windowed event sweep, so its
     vectorized crossover sits later than the other variants'),
-    ``"scalar"`` or ``"vectorized"``; both paths produce bit-identical
-    groupings.
+    ``"scalar"``, ``"vectorized"`` or ``"compiled"`` (accepted for
+    uniformity — the event sweep has no fused kernel, so it behaves as
+    the NumPy engine); all paths produce bit-identical groupings.
     """
     ordered = sorted(
         instance.jobs, key=lambda j: (-j.length, -j.demand, j.job_id)
@@ -82,8 +83,8 @@ def demand_first_fit(
     resolved = resolve_backend(
         backend, len(ordered), DEMAND_FIRSTFIT_MIN_SIZE
     )
-    if resolved == "vectorized":
-        occ = DemandOccupancy(instance.g)
+    if resolved != "scalar":
+        occ = DemandOccupancy(instance.g, backend=resolved)
         groups = []
         for job in ordered:
             m = occ.first_fit(job.start, job.end, job.demand)

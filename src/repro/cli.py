@@ -299,6 +299,14 @@ def _n_machines(res) -> object:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    """Solve instance files through an explicit engine session.
+
+    When the session routes to remote shards (``--shard host:port``),
+    each shard connection honors ``REPRO_WIRE`` — ``binary`` requires
+    the frame upgrade, ``ndjson`` pins plain lines, ``auto`` (default)
+    negotiates and transparently falls back; results are canonically
+    identical either way.
+    """
     objective = _resolve_objective(args.objective)
     session = session_from_args(args)
     if args.batch or len(args.instance) > 1:
@@ -479,6 +487,16 @@ def _sum_stats(docs: List[dict]) -> dict:
     return out
 
 
+def _flat_items(stats: dict, prefix: str = ""):
+    """``(dotted_key, value)`` leaves of a nested counters dict —
+    ``wire.by_format.binary.hits`` instead of a dict repr inline."""
+    for key, value in stats.items():
+        if isinstance(value, dict):
+            yield from _flat_items(value, f"{prefix}{key}.")
+        else:
+            yield f"{prefix}{key}", value
+
+
 def _cmd_cache_sharded_stats(args: argparse.Namespace) -> int:
     """``repro cache stats`` against live serve endpoints.
 
@@ -570,10 +588,19 @@ def _cmd_cache_sharded_stats(args: argparse.Namespace) -> int:
             f"(pid {health.get('pid', '?')}, "
             f"inflight {health.get('inflight', '?')}) — {tiers}"
         )
+        transport = info["stats"].get("wire_transport")
+        if isinstance(transport, dict):
+            print(
+                f"{'':21s}  wire {transport.get('mode', '?')}: "
+                f"{transport.get('ndjson_connections', 0)} ndjson / "
+                f"{transport.get('binary_connections', 0)} binary conns, "
+                f"binary {transport.get('binary_bytes_in', 0)}B in / "
+                f"{transport.get('binary_bytes_out', 0)}B out"
+            )
     for tier, stats in doc["aggregate"].items():
         if isinstance(stats, dict):
             rendered = ", ".join(
-                f"{k}={v}" for k, v in sorted(stats.items())
+                f"{k}={v}" for k, v in sorted(_flat_items(stats))
             )
             print(f"aggregate {tier:11s}: {rendered}")
     return 0
@@ -644,7 +671,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the asyncio solve service (blocking until interrupted)."""
+    """Run the asyncio solve service (blocking until interrupted).
+
+    ``--wire`` (or ``REPRO_WIRE``) picks the formats offered to
+    clients: ``auto``/``binary`` accept the negotiated binary frame
+    upgrade (NDJSON connections always stay accepted — there is no
+    flag day), ``ndjson`` declines every upgrade, which is how a
+    mixed fleet keeps byte-identical canonical results while rolling
+    the binary wire out shard by shard.
+    """
     from .service.server import SolveServer
 
     # The server owns an explicit Session built from the same shared
@@ -680,6 +715,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             session=session,
             max_orphaned_batches=args.max_orphaned_batches,
             inject_fault=args.inject_fault,
+            wire=args.wire,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -745,6 +781,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         replay_reproducer,
         run_loadgen,
     )
+    from .service.protocol import resolve_wire
 
     targets = _loadgen_targets(args)
 
@@ -783,6 +820,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             solve_many_fraction=args.solve_many_fraction,
             fuzz=args.fuzz,
             fuzz_fraction=args.fuzz_fraction,
+            # Frame corruptions only make sense when frames can be
+            # negotiated at all.
+            binary_fuzz=(
+                args.fuzz and resolve_wire(args.wire) != "ndjson"
+            ),
         )
         options = LoadgenOptions(
             targets=targets,
@@ -790,6 +832,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             max_requests=args.requests or None,
             concurrency=args.concurrency,
             timeout=args.timeout,
+            wire=args.wire,
             minimize=not args.no_minimize,
             reproducer_dir=(
                 Path(args.reproducer_dir) if args.reproducer_dir else None
@@ -842,6 +885,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"{transport['dropped']} dropped, "
         f"{transport['failed']} failed"
     )
+    wire = report.get("wire") or {}
+    if wire:
+        conns = wire.get("connections", {})
+        print(
+            f"wire       : {wire.get('mode', '?')} "
+            f"({conns.get('binary', 0)} binary / "
+            f"{conns.get('ndjson', 0)} ndjson conns, "
+            f"{wire.get('frame_mutations', 0)} frame mutations)"
+        )
     for tier, stats in sorted(report["tiers"].items()):
         print(
             f"tier {tier:10s}: {stats['hits']:.0f}h/{stats['misses']:.0f}m "
@@ -1239,6 +1291,14 @@ def build_parser() -> argparse.ArgumentParser:
         "objective by DELTA (default 1.0) — a deliberate serving-layer "
         "bug for `repro loadgen` to catch",
     )
+    sv.add_argument(
+        "--wire",
+        choices=("auto", "ndjson", "binary"),
+        default=None,
+        help="wire formats offered to clients: auto/binary accept the "
+        "negotiated binary frame upgrade (NDJSON always stays "
+        "accepted), ndjson declines it (default: REPRO_WIRE or auto)",
+    )
     sv.set_defaults(func=_cmd_serve)
 
     lg = sub.add_parser(
@@ -1327,6 +1387,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.35,
         metavar="F",
         help="with --fuzz: fraction of requests mutated (default 0.35)",
+    )
+    lg.add_argument(
+        "--wire",
+        choices=("auto", "ndjson", "binary"),
+        default=None,
+        help="transport the workers negotiate: binary requires the "
+        "upgrade, ndjson never negotiates, auto upgrades when the "
+        "server accepts; with --fuzz the binary framing itself is "
+        "mutated too (default: REPRO_WIRE or auto)",
     )
     lg.add_argument(
         "--reproducer-dir",

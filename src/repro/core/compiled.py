@@ -1,0 +1,153 @@
+"""Optional numba-compiled first-fit kernels (the ``compiled`` tier).
+
+The occupancy engine's placement query is two passes over the placed
+jobs: build the boolean overlap mask (geometry comparisons), then fold
+it into per-thread blocked counts and take the first free thread.  The
+NumPy path materializes the mask and the bincount as temporaries; the
+kernels here fuse both passes into one loop over the coordinate
+columns with *exactly the same float comparisons*, so the chosen
+``(machine, thread)`` is bit-identical decision-for-decision — the
+NumPy path stays the differential oracle (``backend="vectorized"``),
+and the 1000-seed sweeps in ``tests/test_firstfit_vectorized.py`` run
+against the compiled tier in CI's numba leg.
+
+numba is an *optional* dependency: this module imports without it
+(:data:`HAVE_NUMBA` is ``False`` and :func:`kernel` returns ``None``,
+so engines silently keep the NumPy scan), and
+``resolve_backend("compiled", ...)`` raises an actionable error
+instead.  Compilation is lazy — the first ``compiled`` placement pays
+the JIT cost, later calls hit numba's in-process dispatch cache — and
+``backend="auto"`` only routes here when ``REPRO_COMPILED`` is set,
+so small interactive runs never stall on an unexpected JIT pause.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["HAVE_NUMBA", "compiled_auto_enabled", "kernel"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # type: ignore
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common local case
+    numba = None  # type: ignore
+    HAVE_NUMBA = False
+
+
+def compiled_auto_enabled() -> bool:
+    """Whether ``backend="auto"`` may pick the compiled tier.
+
+    Opt-in via ``REPRO_COMPILED`` (1/true/yes/on): auto-routing through
+    a JIT compile would add an unpredictable multi-second pause to the
+    first solve of a cold process, so the default auto path stays on
+    the NumPy engine even when numba is importable.
+    """
+    return os.environ.get("REPRO_COMPILED", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+# ----------------------------------------------------------------------
+# kernel bodies (plain Python here; @njit applied lazily in kernel())
+# ----------------------------------------------------------------------
+def _interval_first_free(starts, ends, tids, n, s, e, n_threads):
+    """Fused overlap-mask + first-free scan for 1-D intervals.
+
+    Comparisons mirror ``IntervalOccupancy._overlap_mask`` exactly:
+    ``start < e and end > s``.
+    """
+    import numpy as np
+
+    blocked = np.zeros(n_threads, dtype=np.bool_)
+    for i in range(n):
+        if starts[i] < e and ends[i] > s:
+            blocked[tids[i]] = True
+    for t in range(n_threads):
+        if not blocked[t]:
+            return t
+    return -1
+
+
+def _rect_first_free(
+    xs0, ys0, xs1, ys1, tids, n, x0, y0, x1, y1, n_threads
+):
+    """Fused scan for planar rectangles (``RectOccupancy``)."""
+    import numpy as np
+
+    blocked = np.zeros(n_threads, dtype=np.bool_)
+    for i in range(n):
+        if (
+            xs0[i] < x1
+            and xs1[i] > x0
+            and ys0[i] < y1
+            and ys1[i] > y0
+        ):
+            blocked[tids[i]] = True
+    for t in range(n_threads):
+        if not blocked[t]:
+            return t
+    return -1
+
+
+def _ring_first_free(
+    a0s, alens, t0s, t1s, tids, n, a0, alen, t0, t1, circ, n_threads
+):
+    """Fused scan for cylinder jobs (``RingOccupancy``).
+
+    The arc test is ``arc_overlaps`` with the query's circumference —
+    full-circle shortcut and the ``1e-15`` guard bands included; the
+    float ``%`` follows Python modulo semantics, same as the oracle's
+    ``np.mod``.
+    """
+    import numpy as np
+
+    blocked = np.zeros(n_threads, dtype=np.bool_)
+    for i in range(n):
+        if t0s[i] < t1 and t1s[i] > t0:
+            if alen >= circ:
+                blocked[tids[i]] = True
+            else:
+                d = (a0s[i] - a0) % circ
+                if (
+                    alens[i] >= circ
+                    or d < alen - 1e-15
+                    or d + alens[i] > circ + 1e-15
+                ):
+                    blocked[tids[i]] = True
+    for t in range(n_threads):
+        if not blocked[t]:
+            return t
+    return -1
+
+
+_BODIES: Dict[str, Callable[..., Any]] = {
+    "interval": _interval_first_free,
+    "rect": _rect_first_free,
+    "ring": _ring_first_free,
+}
+_COMPILED: Dict[str, Any] = {}
+
+
+def kernel(name: str) -> Optional[Callable[..., Any]]:
+    """The compiled first-free kernel for a geometry, or ``None``.
+
+    ``None`` (numba missing or no kernel for this geometry) tells the
+    engine to fall back to the NumPy scan; callers never need to
+    re-check :data:`HAVE_NUMBA`.
+    """
+    if not HAVE_NUMBA:
+        return None
+    fn = _COMPILED.get(name)
+    if fn is None:
+        body = _BODIES.get(name)
+        if body is None:
+            return None
+        fn = numba.njit(cache=False, fastmath=False)(body)
+        _COMPILED[name] = fn
+    return fn

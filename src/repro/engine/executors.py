@@ -149,17 +149,49 @@ class ProcessPoolExecutor:
     serial path regardless of worker scheduling; ``chunksize`` defaults
     to ~4 chunks per worker.  Single-task batches short-circuit to the
     serial path (a pool would only add fork/teardown cost).
+
+    Batches whose total job count clears the measured crossover
+    (``shm_min_jobs``, default :data:`repro.engine.shm.SHM_MIN_JOBS`,
+    env ``REPRO_SHM_MIN_JOBS``) ship their instances as one
+    shared-memory block of binary-codec frames instead of pickled
+    objects — workers attach and decode through zero-copy NumPy views
+    (:mod:`repro.engine.shm`).  Instances without a document form fall
+    back to pickling transparently.
     """
 
     name = "process"
 
     def __init__(
-        self, workers: int = 2, chunksize: Optional[int] = None
+        self,
+        workers: int = 2,
+        chunksize: Optional[int] = None,
+        shm_min_jobs: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.chunksize = chunksize
+        self.shm_min_jobs = shm_min_jobs
+
+    def _shm_refs(self, tasks: Sequence[SolveTask]):
+        """The shm segment + refs for an eligible batch, else ``None``."""
+        from . import shm as shm_mod
+
+        threshold = (
+            self.shm_min_jobs
+            if self.shm_min_jobs is not None
+            else shm_mod.shm_min_jobs()
+        )
+        if threshold < 0:  # explicit opt-out
+            return None
+        if sum(map(shm_mod.task_payload_size, tasks)) < threshold:
+            return None
+        try:
+            return shm_mod.pack_tasks(tasks)
+        except Exception:
+            # No document form (custom family instance) or no shm on
+            # this platform: the pickled path is always available.
+            return None
 
     def run(self, tasks: Sequence[SolveTask]) -> List[Any]:
         if self.workers <= 1 or len(tasks) <= 1:
@@ -171,6 +203,19 @@ class ProcessPoolExecutor:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = multiprocessing.get_context("spawn")
+        packed = self._shm_refs(tasks)
+        if packed is not None:
+            from .shm import solve_shm_task
+
+            segment, refs = packed
+            try:
+                with ctx.Pool(processes=self.workers) as pool:
+                    return pool.map(
+                        solve_shm_task, refs, chunksize=chunksize
+                    )
+            finally:
+                segment.close()
+                segment.unlink()
         with ctx.Pool(processes=self.workers) as pool:
             return pool.map(_solve_task, tasks, chunksize=chunksize)
 

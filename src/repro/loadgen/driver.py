@@ -2,10 +2,11 @@
 
 A run has four phases:
 
-1. **traffic** — ``concurrency`` asyncio workers each own one NDJSON
-   connection and pull requests from the shared
-   :class:`~repro.loadgen.traffic.TrafficModel` stream, round-robin
-   across the target endpoints.  A transport failure (a SIGKILLed
+1. **traffic** — ``concurrency`` asyncio workers each own one
+   connection (NDJSON, or binary frames after a per-connection hello
+   upgrade — see ``LoadgenOptions.wire``) and pull requests from the
+   shared :class:`~repro.loadgen.traffic.TrafficModel` stream,
+   round-robin across the target endpoints.  A transport failure (a SIGKILLed
    shard, a reset) rotates the worker to the next target and retries
    the request, so a dying fleet member costs retries, not answers.
    Latency and byte counters are recorded here, with nothing else on
@@ -32,12 +33,21 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
+import struct
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..service.protocol import MAX_LINE_BYTES, decode, encode
+from ..service.binary import HEADER_BYTES, decode_payload, parse_header
+from ..service.protocol import (
+    MAX_LINE_BYTES,
+    decode,
+    encode,
+    encode_binary,
+    hello_doc,
+    resolve_wire,
+)
 from .minimize import (
     minimize_instance,
     reproducer_record,
@@ -68,12 +78,19 @@ class LoadgenOptions:
     max_minimize: int = 3
     reproducer_dir: Optional[Path] = None
     history_path: Optional[Path] = None
+    #: Transport the workers negotiate per connection: ``"binary"``
+    #: requires the upgrade (a declining target counts as unreachable
+    #: and the worker rotates on), ``"ndjson"`` never negotiates,
+    #: ``"auto"`` upgrades when the server accepts and falls back
+    #: silently.  ``None`` reads ``REPRO_WIRE``.
+    wire: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.targets:
             raise ValueError("loadgen needs at least one target endpoint")
         if self.duration is None and self.max_requests is None:
             raise ValueError("set duration and/or max_requests")
+        self.wire = resolve_wire(self.wire)
 
 
 @dataclass
@@ -101,6 +118,10 @@ class _RunState:
     transport_failures: List[str] = field(default_factory=list)
     abandoned: int = 0
     dropped: int = 0
+    wire_connections: Dict[str, int] = field(
+        default_factory=lambda: {"ndjson": 0, "binary": 0}
+    )
+    frame_mutations: int = 0
 
     def next_request(self) -> Optional[PlannedRequest]:
         opts = self.options
@@ -118,8 +139,39 @@ class _RunState:
         return next(self.stream)
 
 
+def _mutate_frame(frame: bytes, mutation: str) -> bytes:
+    """Corrupt one encoded binary frame (the binary fuzz mutations)."""
+    if mutation == "truncate-frame":
+        # Fewer bytes than the header declares; the sender hangs up
+        # mid-frame and the server's readexactly comes up short.
+        return frame[: max(HEADER_BYTES + 1, len(frame) // 2)]
+    buf = bytearray(frame)
+    if mutation == "bad-magic":
+        buf[0:2] = b"XX"
+    elif mutation == "version-skew":
+        buf[2] = (buf[2] + 41) % 256
+    elif mutation == "bad-length":
+        # Declare four extra bytes and append garbage: the frame stays
+        # well-delimited (the stream keeps its sync) but the payload
+        # tail must fail decoding.
+        buf += b"\xde\xad\xbe\xef"
+        struct.pack_into("<I", buf, 4, len(frame) - HEADER_BYTES + 4)
+    else:
+        raise ValueError(f"unknown frame mutation {mutation!r}")
+    return bytes(buf)
+
+
 class _Connection:
-    """One worker's NDJSON connection, rotating over the targets."""
+    """One worker's connection, rotating over the targets.
+
+    Fresh connections negotiate the wire format per
+    ``options.wire`` — a hello line before the first request, exactly
+    like :class:`repro.service.client.ServiceClient`.  Under
+    ``wire="binary"`` a target that declines the upgrade is treated as
+    unreachable and the worker rotates on (in a mixed fleet the worker
+    finds the binary-capable members); under ``"auto"`` it silently
+    stays on NDJSON.
+    """
 
     def __init__(
         self,
@@ -132,6 +184,7 @@ class _Connection:
         self._state = state
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        self._binary = False
 
     async def ensure(self) -> None:
         if self._writer is not None:
@@ -143,13 +196,42 @@ class _Connection:
                 self._reader, self._writer = await asyncio.open_connection(
                     host, port, limit=MAX_LINE_BYTES
                 )
+                await self._negotiate()
                 return
             except OSError as exc:
                 last_error = exc
+                if self._writer is not None:
+                    self._writer.close()
+                    self._reader = self._writer = None
                 self.rotate()
         raise ConnectionError(
             f"no loadgen target reachable (last: {last_error})"
         )
+
+    async def _negotiate(self) -> None:
+        assert self._reader is not None and self._writer is not None
+        self._binary = False
+        wire = self._state.options.wire
+        if wire == "ndjson":
+            self._state.wire_connections["ndjson"] += 1
+            return
+        payload = encode(hello_doc())
+        self._writer.write(payload)
+        await self._writer.drain()
+        self._state.bytes_sent += len(payload)
+        line = await self._reader.readuntil(b"\n")
+        self._state.bytes_received += len(line)
+        response = decode(line)
+        if response.get("ok") and response.get("wire") == "binary":
+            self._binary = True
+            self._state.wire_connections["binary"] += 1
+            return
+        if wire == "binary":
+            # ConnectionError is an OSError: ensure() rotates on.
+            raise ConnectionError(
+                f"target declined the binary upgrade: {response}"
+            )
+        self._state.wire_connections["ndjson"] += 1
 
     def rotate(self) -> None:
         self._index = (self._index + 1) % len(self._targets)
@@ -166,10 +248,22 @@ class _Connection:
             self.rotate()
             self._state.reconnects += 1
 
+    async def _read_response(self) -> Dict[str, Any]:
+        assert self._reader is not None
+        if self._binary:
+            header = await self._reader.readexactly(HEADER_BYTES)
+            _version, _opcode, length = parse_header(header)
+            body = await self._reader.readexactly(length)
+            self._state.bytes_received += HEADER_BYTES + length
+            return decode_payload(body)
+        line = await self._reader.readuntil(b"\n")
+        self._state.bytes_received += len(line)
+        return decode(line)
+
     async def roundtrip(
         self, request: PlannedRequest
     ) -> Tuple[List[Dict[str, Any]], bool]:
-        """Send one request, read its response line(s).
+        """Send one request, read its response line(s) or frame(s).
 
         Returns ``(responses, complete)``; planned abandons and drops
         come back incomplete by design.  Transport errors propagate to
@@ -177,10 +271,23 @@ class _Connection:
         """
         await self.ensure()
         assert self._reader is not None and self._writer is not None
-        payload = encode(request.wire_doc())
+        mutation = request.frame_mutation if self._binary else None
+        if self._binary:
+            payload = encode_binary(request.wire_doc())
+            if mutation is not None:
+                payload = _mutate_frame(payload, mutation)
+                self._state.frame_mutations += 1
+        else:
+            payload = encode(request.wire_doc())
         self._writer.write(payload)
         await self._writer.drain()
         self._state.bytes_sent += len(payload)
+        if mutation == "truncate-frame":
+            # Half a frame, then a hangup: the server's readexactly
+            # comes up short and it closes; nothing comes back.
+            await self.drop()
+            self._state.dropped += 1
+            return [], False
         if request.drop_connection:
             await self.drop()
             self._state.dropped += 1
@@ -189,12 +296,14 @@ class _Connection:
         expected = (
             1 if request.kind == "solve" else len(request.docs) + 1
         )
+        if mutation is not None:
+            # The corrupted frame never decodes into a batch; the
+            # server answers with exactly one error response.
+            expected = 1
         while len(responses) < expected:
-            line = await self._reader.readuntil(b"\n")
-            self._state.bytes_received += len(line)
-            doc = decode(line)
+            doc = await self._read_response()
             responses.append(doc)
-            if request.kind == "solve_many":
+            if request.kind == "solve_many" and mutation is None:
                 if not doc.get("ok") or doc.get("done"):
                     break  # terminal: batch error or end-of-stream
                 if (
@@ -204,6 +313,10 @@ class _Connection:
                     await self.drop()
                     self._state.abandoned += 1
                     return responses, False
+        if mutation == "bad-magic":
+            # The server answered, then closed the unsyncable stream;
+            # follow suit so the next request reconnects cleanly.
+            await self.drop()
         return responses, True
 
 
@@ -602,6 +715,11 @@ def run_loadgen(
                 "failures": state.transport_failures[:10],
                 "abandoned": state.abandoned,
                 "dropped": state.dropped,
+            },
+            "wire": {
+                "mode": options.wire,
+                "connections": dict(state.wire_connections),
+                "frame_mutations": state.frame_mutations,
             },
             "tiers": _tier_deltas(before, after),
             "orphaned_batches": _orphan_totals(after),

@@ -20,7 +20,12 @@ request framing checkdp-style — grow/duplicate/shuffle items (content
 changes that must *not* change canonical results), invalid shapes the
 server must reject, oversized request ids, near-zero deadlines, stream
 abandonment and dropped connections — hunting for divergence between
-the live service and the local oracle.  All randomness flows through
+the live service and the local oracle.  With ``binary_fuzz=True`` the
+pool further extends to binary *framing* mutations (truncated frames,
+corrupted magic, wire-version skew, wrong declared lengths) that the
+driver applies to the encoded frame bytes on negotiated-binary
+connections; the server must answer each with a typed error (or, for
+an unsyncable stream, close cleanly) so the run still validates 100%.  All randomness flows through
 one seeded ``numpy`` generator: the same seed always plans the same
 traffic, which is what makes a loadgen failure replayable at all.
 """
@@ -59,6 +64,7 @@ __all__ = [
     "items_key",
     "mutate_document",
     "MUTATIONS",
+    "BINARY_FRAMING_MUTATIONS",
 ]
 
 #: Every registry family the traffic model samples from.
@@ -238,7 +244,11 @@ class PlannedRequest:
     count against validation (a near-zero ``deadline`` may legally
     time out); ``abandon_after`` reads that many stream lines then
     drops the connection; ``drop_connection`` sends and hangs up
-    without reading at all.
+    without reading at all.  ``frame_mutation`` names a binary framing
+    corruption the driver applies to the encoded frame — only on a
+    connection that actually negotiated binary; on NDJSON connections
+    the request is sent unmutated (its ``allowed_errors`` stay a
+    superset of what can occur, so validation is unaffected).
     """
 
     kind: str  # "solve" | "solve_many"
@@ -254,6 +264,7 @@ class PlannedRequest:
     allowed_errors: Tuple[str, ...] = ()
     abandon_after: Optional[int] = None
     drop_connection: bool = False
+    frame_mutation: Optional[str] = None
     seq: int = 0
 
     def wire_doc(self) -> Dict[str, Any]:
@@ -358,6 +369,20 @@ _FRAMING_MUTATIONS = (
     "drop-connection",
 )
 
+#: Binary framing mutations (``binary_fuzz=True``): corruptions of the
+#: encoded frame bytes themselves.  ``truncate-frame`` sends a partial
+#: frame and hangs up (the server sees an incomplete read and closes —
+#: nothing to validate); the other three must each draw a typed
+#: ``InstanceError`` response: ``bad-magic`` additionally ends the
+#: connection (an unsynced stream cannot be trusted past its length
+#: field), ``version-skew`` and ``bad-length`` leave it usable.
+BINARY_FRAMING_MUTATIONS = (
+    "truncate-frame",
+    "bad-magic",
+    "version-skew",
+    "bad-length",
+)
+
 
 class TrafficModel:
     """A seeded corpus plus a deterministic request planner."""
@@ -375,6 +400,7 @@ class TrafficModel:
         deadline_fraction: float = 0.0,
         fuzz: bool = False,
         fuzz_fraction: float = 0.35,
+        binary_fuzz: bool = False,
         families: Tuple[str, ...] = ALL_FAMILIES,
     ) -> None:
         if corpus_size < len(families) + adversarial_tail:
@@ -391,6 +417,7 @@ class TrafficModel:
         self.deadline_fraction = deadline_fraction
         self.fuzz = fuzz
         self.fuzz_fraction = fuzz_fraction
+        self.binary_fuzz = binary_fuzz
         self.families = tuple(families)
 
         entries: List[CorpusEntry] = []
@@ -466,9 +493,10 @@ class TrafficModel:
         content: Optional[str] = None
         if fuzzing:
             if float(rng.uniform()) < 0.4:
-                framing = _FRAMING_MUTATIONS[
-                    int(rng.integers(0, len(_FRAMING_MUTATIONS)))
-                ]
+                pool = _FRAMING_MUTATIONS + (
+                    BINARY_FRAMING_MUTATIONS if self.binary_fuzz else ()
+                )
+                framing = pool[int(rng.integers(0, len(pool)))]
             else:
                 content = MUTATIONS[int(rng.integers(0, len(MUTATIONS)))]
 
@@ -536,4 +564,13 @@ class TrafficModel:
         elif framing == "drop-connection":
             req.drop_connection = True
             req.mutation = framing
+        elif framing in BINARY_FRAMING_MUTATIONS:
+            req.frame_mutation = framing
+            req.mutation = framing
+            if framing != "truncate-frame":
+                # The server must reject the corrupted frame with a
+                # typed error, never a solve answer or a silent close.
+                req.allowed_errors = req.allowed_errors + (
+                    "InstanceError",
+                )
         return req

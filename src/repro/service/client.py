@@ -22,6 +22,17 @@ from __future__ import annotations
 import socket
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
+from ..core.errors import InstanceError
+from .binary import (
+    HEADER_BYTES,
+    OP_DOC,
+    WIRE_VERSION,
+    decode_payload,
+    encode_binary,
+    hello_doc,
+    parse_header,
+    resolve_wire,
+)
 from .protocol import MAX_LINE_BYTES, decode, encode
 
 __all__ = ["ServiceError", "ServiceClient"]
@@ -37,7 +48,16 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """One blocking NDJSON connection to a solve server."""
+    """One blocking connection to a solve server.
+
+    ``wire`` is the transport preference: ``"auto"`` (default; reads
+    ``REPRO_WIRE``) sends a ``hello`` and upgrades to the binary frame
+    protocol when the server accepts, transparently staying on NDJSON
+    against an older or ``--wire ndjson`` server; ``"ndjson"`` never
+    negotiates; ``"binary"`` raises :class:`ConnectionError` if the
+    server cannot speak frames.  :attr:`wire_format` reports what this
+    connection actually negotiated.
+    """
 
     def __init__(
         self,
@@ -45,10 +65,15 @@ class ServiceClient:
         port: int = 8753,
         *,
         timeout: Optional[float] = 30.0,
+        wire: Optional[str] = None,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.wire = resolve_wire(wire)
+        self.wire_format = "ndjson"  # per-connection negotiated format
+        self.max_line_bytes = int(max_line_bytes)
         self._closed = False
         self._sock: Optional[socket.socket] = None
         self._fh = None
@@ -65,6 +90,40 @@ class ServiceClient:
         )
         self._fh = self._sock.makefile("rb")
         self._broken = False
+        self.wire_format = "ndjson"
+        if self.wire != "ndjson":
+            self._negotiate()
+
+    def _negotiate(self) -> None:
+        """Send the hello line; upgrade this connection on acceptance.
+
+        The hello and its response ride NDJSON, so a binary-unaware
+        server simply answers with an unknown-op error — treated as a
+        decline.  ``wire="binary"`` turns a decline into an error;
+        ``wire="auto"`` falls back silently.
+        """
+        try:
+            self._sock.sendall(encode(hello_doc()))
+            response = self._recv()
+        except OSError:
+            self._broken = True
+            raise
+        accepted = (
+            response.get("ok", False)
+            and response.get("wire") == "binary"
+            and response.get("version") == WIRE_VERSION
+        )
+        if accepted:
+            self.wire_format = "binary"
+        elif self.wire == "binary":
+            detail = response.get("error", {}).get(
+                "message", "server declined the binary upgrade"
+            )
+            raise ConnectionError(
+                f"wire='binary' requested but "
+                f"{self.host}:{self.port} cannot speak it ({detail}); "
+                "use wire='auto' to fall back to NDJSON"
+            )
 
     def _teardown(self) -> None:
         fh, sock = self._fh, self._sock
@@ -92,23 +151,69 @@ class ServiceClient:
                 raise ConnectionError("this ServiceClient is closed")
             self._connect()
         try:
-            self._sock.sendall(encode(doc))
+            self._sock.sendall(
+                encode_binary(doc)
+                if self.wire_format == "binary"
+                else encode(doc)
+            )
         except OSError:
             self._broken = True
             raise
+
+    def _read_exact(self, n: int) -> bytes:
+        data = self._fh.read(n)  # BufferedReader: n bytes or EOF
+        if data is None or len(data) < n:
+            self._broken = True
+            raise ConnectionError("server closed the connection")
+        return data
+
+    def _recv_frame(self) -> Dict[str, Any]:
+        version, opcode, length = parse_header(
+            self._read_exact(HEADER_BYTES)
+        )
+        if length > self.max_line_bytes:
+            # The declared payload would blow the read budget; there
+            # is no resync point mid-frame, so the connection is
+            # replaced at the next request boundary.
+            self._broken = True
+            raise InstanceError(
+                f"response frame of {length} bytes exceeds "
+                f"{self.max_line_bytes}; raise max_line_bytes"
+            )
+        payload = self._read_exact(length)
+        if version != WIRE_VERSION:
+            raise InstanceError(
+                f"unsupported wire version {version} "
+                f"(this client speaks {WIRE_VERSION})"
+            )
+        if opcode != OP_DOC:
+            raise InstanceError(f"unknown frame opcode {opcode}")
+        return decode_payload(payload)
 
     def _recv(self) -> Dict[str, Any]:
         fh = self._fh
         if fh is None:
             raise ConnectionError("this ServiceClient is closed")
         try:
-            line = fh.readline(MAX_LINE_BYTES)
+            if self.wire_format == "binary":
+                return self._recv_frame()
+            line = fh.readline(self.max_line_bytes + 1)
         except OSError:
             self._broken = True
             raise
         if not line:
             self._broken = True
             raise ConnectionError("server closed the connection")
+        if len(line) > self.max_line_bytes and not line.endswith(b"\n"):
+            # An over-limit response line: surface an actionable error
+            # instead of silently truncating mid-JSON.  The connection
+            # cannot be resynced mid-line, so it is replaced at the
+            # next request boundary.
+            self._broken = True
+            raise InstanceError(
+                f"response line exceeds {self.max_line_bytes} bytes; "
+                "raise max_line_bytes or negotiate wire='binary'"
+            )
         return decode(line)
 
     def request(self, doc: Dict[str, Any]) -> Dict[str, Any]:

@@ -4,6 +4,13 @@ One request per line, one (or, for streams, several) response lines
 per request — a protocol trivially speakable from any language, shell
 (``nc``), or test harness, with no dependencies beyond the stdlib.
 
+A negotiated binary twin (:func:`encode_binary`/:func:`decode_binary`,
+re-exported from :mod:`repro.service.binary`) carries the same
+documents as length-prefixed frames with raw NumPy column buffers for
+the payload-heavy lists; connections start on NDJSON and upgrade via
+the ``hello`` op (:func:`hello_doc`), so a peer that has never heard
+of frames keeps speaking plain lines.
+
 Requests are JSON objects::
 
     {"op": "solve", "objective": "minbusy", "instance": {...},
@@ -46,11 +53,27 @@ import json
 from typing import Any, Dict, Mapping, Optional
 
 from ..core.errors import InstanceError
+from .binary import (  # noqa: F401  (protocol's public binary surface)
+    MAX_FRAME_BYTES,
+    WIRE_MODES,
+    WIRE_VERSION,
+    decode_binary,
+    encode_binary,
+    hello_doc,
+    resolve_wire,
+)
 
 __all__ = [
     "MAX_LINE_BYTES",
+    "MAX_FRAME_BYTES",
+    "WIRE_MODES",
+    "WIRE_VERSION",
     "encode",
     "decode",
+    "encode_binary",
+    "decode_binary",
+    "hello_doc",
+    "resolve_wire",
     "result_to_doc",
     "params_from_doc",
     "error_doc",

@@ -41,6 +41,15 @@ from ..core.errors import InstanceError
 from ..engine.cache import LRUCache
 from ..engine.executors import BACKENDS, AsyncQueueExecutor
 from ..io import objective_instance_from_dict
+from .binary import (
+    HEADER_BYTES,
+    OP_DOC,
+    WIRE_VERSION,
+    decode_payload,
+    encode_binary,
+    parse_header,
+    resolve_wire,
+)
 from .protocol import (
     MAX_LINE_BYTES,
     decode,
@@ -84,9 +93,32 @@ class SolveServer:
         session=None,
         max_orphaned_batches: int = 8,
         inject_fault: Optional[str] = None,
+        wire: Optional[str] = None,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ) -> None:
         self.host = host
         self.port = port
+        # Wire preference: "ndjson" declines every hello (clients stay
+        # on lines), "auto"/"binary" upgrade binary-capable clients.
+        # NDJSON requests are always accepted — negotiation, not a flag
+        # day — so "binary" only states the preference the CLI banner
+        # and hello response advertise.  None reads REPRO_WIRE.
+        self.wire = resolve_wire(wire)
+        # One cap for both framings: the NDJSON line limit and the
+        # binary frame limit.  Over-limit input gets an actionable
+        # error response and the connection stays usable (the oversized
+        # line/frame is drained, not fatal).
+        self.max_line_bytes = int(max_line_bytes)
+        self._wire_transport = {
+            "ndjson_connections": 0,
+            "binary_connections": 0,
+            "binary_bytes_in": 0,
+            "binary_bytes_out": 0,
+        }
+        self._wire_tier = {
+            "ndjson": {"hits": 0, "misses": 0},
+            "binary": {"hits": 0, "misses": 0},
+        }
         # The cache stack this server probes and installs into.  An
         # explicit Session isolates the server from everything else in
         # the process (the CLI's `repro serve` builds one from its
@@ -252,6 +284,7 @@ class SolveServer:
         doc: Dict[str, Any],
         send: Send,
         raw: Optional[bytes] = None,
+        wire: str = "ndjson",
     ) -> None:
         from ..engine.engine import plan_solve
 
@@ -270,14 +303,17 @@ class SolveServer:
             # Install the fully-encoded replay: a repeat of these exact
             # request bytes is answered straight from the read loop.
             # Replays *are* cache hits, whichever tier first served us.
+            # The stored bytes match the requesting connection's wire
+            # format — a binary request keys a pre-encoded binary
+            # frame, an NDJSON line keys a line — so replay is a pure
+            # write with no re-encoding on either format.
+            body = {
+                "ok": True,
+                "result": {**result_doc, "from_cache": True},
+            }
             self.response_cache.put(
                 raw,
-                encode(
-                    {
-                        "ok": True,
-                        "result": {**result_doc, "from_cache": True},
-                    }
-                ),
+                encode_binary(body) if wire == "binary" else encode(body),
             )
         await send(
             {"ok": True, "result": result_doc, "id": doc.get("id")}
@@ -427,11 +463,24 @@ class SolveServer:
     ) -> None:
         stats = await asyncio.to_thread(self.session.cache_stats)
         info = self.response_cache.info()
+        by_format: Dict[str, Any] = {}
+        for fmt, tier in self._wire_tier.items():
+            total = tier["hits"] + tier["misses"]
+            by_format[fmt] = {
+                "hits": tier["hits"],
+                "misses": tier["misses"],
+                "hit_rate": (tier["hits"] / total) if total else 0.0,
+            }
         stats["wire"] = {
             "hits": info.hits,
             "misses": info.misses,
             "size": info.size,
             "maxsize": info.maxsize,
+            "by_format": by_format,
+        }
+        stats["wire_transport"] = {
+            "mode": self.wire,
+            **self._wire_transport,
         }
         stats["orphaned_batches"] = {
             "live": len(self._orphaned),
@@ -472,11 +521,12 @@ class SolveServer:
         doc: Dict[str, Any],
         send: Send,
         raw: Optional[bytes] = None,
+        wire: str = "ndjson",
     ) -> None:
         op = doc.get("op")
         try:
             if op == "solve":
-                await self._handle_solve(doc, send, raw)
+                await self._handle_solve(doc, send, raw, wire)
             elif op == "solve_many":
                 await self._handle_solve_many(doc, send)
             elif op == "cache_stats":
@@ -500,17 +550,157 @@ class SolveServer:
     # ------------------------------------------------------------------
     # connection plumbing
     # ------------------------------------------------------------------
+    async def _drain_oversize_line(
+        self, reader: asyncio.StreamReader
+    ) -> bool:
+        """Consume the rest of an over-limit NDJSON line.
+
+        ``readuntil`` leaves the scanned bytes buffered on
+        ``LimitOverrunError``; they are read off in bounded chunks until
+        the newline lands, so the connection stays in sync for the next
+        request.  Returns ``False`` on EOF or when the line exceeds the
+        drain budget (4x the cap — past that the peer is hostile and
+        the connection is dropped).
+        """
+        budget = self.max_line_bytes * 4
+        drained = 0
+        while True:
+            try:
+                await reader.readuntil(b"\n")
+                return True
+            except asyncio.LimitOverrunError as exc:
+                n = max(int(exc.consumed), 1)
+                try:
+                    await reader.readexactly(n)
+                except asyncio.IncompleteReadError:
+                    return False
+                drained += n
+                if drained > budget:
+                    return False
+            except asyncio.IncompleteReadError:
+                return False
+
+    async def _drain_bytes(
+        self, reader: asyncio.StreamReader, length: int
+    ) -> bool:
+        """Discard ``length`` payload bytes of an over-limit frame."""
+        remaining = length
+        while remaining > 0:
+            chunk = await reader.read(min(remaining, 1 << 20))
+            if not chunk:
+                return False
+            remaining -= len(chunk)
+        return True
+
+    async def _read_binary_frame(
+        self,
+        reader: asyncio.StreamReader,
+        send: Send,
+        send_bytes: Callable[[bytes], Awaitable[None]],
+        tasks: List["asyncio.Task"],
+    ) -> bool:
+        """One iteration of the binary read loop; True = close.
+
+        Recoverable per-frame problems — over-limit length (drained),
+        version skew, unknown opcode, malformed payload — answer with
+        an error response and keep the connection; only EOF and a bad
+        magic (the stream cannot be resynced without trusting the
+        length field of a frame that failed its first sanity check)
+        are fatal.
+        """
+        try:
+            header = await reader.readexactly(HEADER_BYTES)
+        except asyncio.IncompleteReadError:
+            return True
+        try:
+            version, opcode, length = parse_header(header)
+        except InstanceError as exc:  # bad magic: stream unsyncable
+            await send(error_doc(exc))
+            return True
+        if length > self.max_line_bytes:
+            await send(
+                error_doc(
+                    InstanceError(
+                        f"frame of {length} bytes exceeds "
+                        f"{self.max_line_bytes}; split the batch"
+                    )
+                )
+            )
+            return not await self._drain_bytes(reader, length)
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return True
+        self._wire_transport["binary_bytes_in"] += HEADER_BYTES + length
+        if version != WIRE_VERSION:
+            await send(
+                error_doc(
+                    InstanceError(
+                        f"unsupported wire version {version} "
+                        f"(this server speaks {WIRE_VERSION})"
+                    )
+                )
+            )
+            return False
+        frame = header + payload
+        replay = self.response_cache.get(frame)
+        if replay is not None:
+            self._wire_tier["binary"]["hits"] += 1
+            await send_bytes(replay)
+            return False
+        self._wire_tier["binary"]["misses"] += 1
+        if opcode != OP_DOC:
+            await send(
+                error_doc(
+                    InstanceError(f"unknown frame opcode {opcode}")
+                )
+            )
+            return False
+        try:
+            doc = decode_payload(payload)
+        except InstanceError as exc:
+            await send(error_doc(exc))
+            return False
+        if doc.get("op") == "hello":  # re-hello after upgrade: confirm
+            await send(
+                {
+                    "ok": True,
+                    "wire": "binary",
+                    "version": WIRE_VERSION,
+                    "id": doc.get("id"),
+                }
+            )
+            return False
+        task = asyncio.ensure_future(
+            self._dispatch(doc, send, frame, "binary")
+        )
+        tasks.append(task)
+        done = [t for t in tasks if t.done()]
+        for t in done:
+            tasks.remove(t)
+        return False
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         write_lock = asyncio.Lock()
+        # Per-connection negotiated wire format; flipped by a hello
+        # upgrade (after in-flight responses drain, so every response
+        # before the flip is a line and every one after is a frame).
+        state = {"wire": "ndjson"}
+        counted = False
 
         async def send(doc: Dict[str, Any]) -> None:
-            async with write_lock:
-                writer.write(encode(doc))
-                await writer.drain()
+            data = (
+                encode_binary(doc)
+                if state["wire"] == "binary"
+                else encode(doc)
+            )
+            await send_bytes(data)
 
         async def send_bytes(data: bytes) -> None:
+            if state["wire"] == "binary":
+                self._wire_transport["binary_bytes_out"] += len(data)
             async with write_lock:
                 writer.write(data)
                 await writer.drain()
@@ -519,6 +709,13 @@ class SolveServer:
         cancelled = False
         try:
             while True:
+                if state["wire"] == "binary":
+                    stop = await self._read_binary_frame(
+                        reader, send, send_bytes, tasks
+                    )
+                    if stop:
+                        break
+                    continue
                 try:
                     line = await reader.readuntil(b"\n")
                 except asyncio.IncompleteReadError:
@@ -527,11 +724,15 @@ class SolveServer:
                     await send(
                         error_doc(
                             InstanceError(
-                                f"request line exceeds {MAX_LINE_BYTES} bytes"
+                                f"request line exceeds "
+                                f"{self.max_line_bytes} bytes; split "
+                                "the batch or negotiate --wire binary"
                             )
                         )
                     )
-                    break
+                    if not await self._drain_oversize_line(reader):
+                        break
+                    continue
                 if not line.strip():
                     continue
                 # Wire-tier fast path: these exact bytes were answered
@@ -539,6 +740,10 @@ class SolveServer:
                 # read loop, no parsing, no task, no engine.
                 replay = self.response_cache.get(line)
                 if replay is not None:
+                    self._wire_tier["ndjson"]["hits"] += 1
+                    if not counted:
+                        counted = True
+                        self._wire_transport["ndjson_connections"] += 1
                     await send_bytes(replay)
                     continue
                 try:
@@ -546,6 +751,45 @@ class SolveServer:
                 except InstanceError as exc:
                     await send(error_doc(exc))
                     continue
+                if doc.get("op") == "hello":
+                    # Capability negotiation rides NDJSON both ways.
+                    # Outstanding pipelined responses drain first so
+                    # no line-format response crosses the flip.
+                    pending = [t for t in tasks if not t.done()]
+                    if pending:
+                        await asyncio.gather(
+                            *pending, return_exceptions=True
+                        )
+                    accept = (
+                        self.wire != "ndjson"
+                        and doc.get("wire") in ("binary", "auto")
+                        and doc.get("version") == WIRE_VERSION
+                    )
+                    if accept:
+                        await send(
+                            {
+                                "ok": True,
+                                "wire": "binary",
+                                "version": WIRE_VERSION,
+                                "id": doc.get("id"),
+                            }
+                        )
+                        state["wire"] = "binary"
+                        counted = True
+                        self._wire_transport["binary_connections"] += 1
+                    else:
+                        await send(
+                            {
+                                "ok": True,
+                                "wire": "ndjson",
+                                "id": doc.get("id"),
+                            }
+                        )
+                    continue
+                self._wire_tier["ndjson"]["misses"] += 1
+                if not counted:
+                    counted = True
+                    self._wire_transport["ndjson_connections"] += 1
                 # Pipelined requests on one connection run concurrently;
                 # response lines carry the request id.
                 task = asyncio.ensure_future(
@@ -588,7 +832,7 @@ class SolveServer:
             self._handle_connection,
             self.host,
             self.port,
-            limit=MAX_LINE_BYTES,
+            limit=self.max_line_bytes,
         )
         sockets = self._server.sockets or []
         if sockets:

@@ -227,6 +227,9 @@ def spawn_serve_subprocess(*extra_args: str, timeout: float = 30.0):
     # Hermetic twice over: an ambient fleet spec would turn every
     # spawned shard into a recursive sharding router.
     env.pop("REPRO_SHARDS", None)
+    # And an ambient wire preference would skew negotiation tests;
+    # callers pick the wire explicitly via ``--wire``.
+    env.pop("REPRO_WIRE", None)
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
          "--no-store", *extra_args],

@@ -73,12 +73,24 @@ def make_client(request, live_server, tmp_path):
             client = Session(store_path=None)
         elif kind == "remote":
             client = RemoteSession(port=live_server)
-        else:  # sharded: two local shards + one remote = 3 shards
+        elif kind == "remote-binary":
+            # Same live server, binary frames on the wire: the whole
+            # conformance suite re-runs over the negotiated upgrade.
+            client = RemoteSession(port=live_server, wire="binary")
+        elif kind == "sharded":
+            # two local shards + one remote = 3 shards
             client = ShardedClient(
                 [
                     Session(store_path=None),
                     Session(store_path=None),
                     RemoteSession(port=live_server),
+                ]
+            )
+        else:  # sharded-mixed-wire: one binary remote, one NDJSON
+            client = ShardedClient(
+                [
+                    RemoteSession(port=live_server, wire="binary"),
+                    RemoteSession(port=live_server, wire="ndjson"),
                 ]
             )
         made.append(client)
@@ -89,7 +101,13 @@ def make_client(request, live_server, tmp_path):
         client.close()
 
 
-CLIENT_KINDS = ["session", "remote", "sharded"]
+CLIENT_KINDS = [
+    "session",
+    "remote",
+    "remote-binary",
+    "sharded",
+    "sharded-mixed-wire",
+]
 
 
 def reference_docs(family: str):
@@ -141,15 +159,20 @@ class TestSolverClientConformance:
         assert client.objectives() == sorted(ALL_FAMILIES)
         stats = client.cache_stats()
         assert isinstance(stats, dict) and stats
-        # Every leaf is a mapping of counters, whatever the nesting
-        # (tiers for sessions, shards of tiers for the sharded client).
-        def leaves(node):
-            if all(not isinstance(v, dict) for v in node.values()):
-                yield node
-            else:
-                for v in node.values():
-                    yield from leaves(v)
-        assert all(isinstance(leaf, dict) for leaf in leaves(stats))
+        # Every terminal value is a scalar counter, whatever the
+        # nesting (tiers for sessions, shards of tiers for the sharded
+        # client, wire counters beside nested per-format dicts for
+        # remote ones) — no lists or exotic objects anywhere.
+        def scalar_leaves(node):
+            for v in node.values():
+                if isinstance(v, dict):
+                    yield from scalar_leaves(v)
+                else:
+                    yield v
+        assert all(
+            isinstance(v, (int, float, str, bool, type(None)))
+            for v in scalar_leaves(stats)
+        )
 
     def test_context_manager_closes(self, make_client):
         with make_client() as client:

@@ -409,18 +409,47 @@ class TestShardedCacheStatsSchema:
         entry = doc["shards"][f"127.0.0.1:{port}"]
         assert entry["reachable"] is True
         assert entry["state"] == "ok"
-        assert {"lru", "wire"} <= set(entry["stats"])
+        assert {"lru", "wire", "wire_transport"} <= set(entry["stats"])
+        wire = entry["stats"]["wire"]
+        assert set(wire["by_format"]) == {"ndjson", "binary"}
+        for counters in wire["by_format"].values():
+            assert {"hits", "misses", "hit_rate"} <= set(counters)
+        transport = entry["stats"]["wire_transport"]
+        assert transport["mode"] in ("auto", "ndjson", "binary")
+        assert {
+            "ndjson_connections",
+            "binary_connections",
+            "binary_bytes_in",
+            "binary_bytes_out",
+        } <= set(transport)
         assert entry["health"]["status"] == "healthy"
         assert isinstance(entry["health"]["pid"], int)
         assert doc["aggregate"]["fleet"] == {
             "reachable": 1,
             "unreachable": 0,
         }
+        def leaves(node):
+            for value in node.values():
+                if isinstance(value, dict):
+                    yield from leaves(value)
+                else:
+                    yield value
+
         for tier, counters in doc["aggregate"].items():
             assert isinstance(counters, dict)
+            # Counters only, at any nesting depth (wire.by_format.*);
+            # strings like wire_transport's "mode" must drop out.
             assert all(
-                isinstance(v, (int, float)) for v in counters.values()
+                isinstance(v, (int, float)) for v in leaves(counters)
             )
+        agg_transport = doc["aggregate"]["wire_transport"]
+        assert "mode" not in agg_transport
+        assert {
+            "ndjson_connections",
+            "binary_connections",
+            "binary_bytes_in",
+            "binary_bytes_out",
+        } <= set(agg_transport)
 
     def test_dead_shard_renders_in_aggregate_not_traceback(self, capsys):
         """A SIGKILLed / garbage-spewing shard degrades the report.

@@ -38,8 +38,8 @@ def _fresh_cache():
     clear_cache()
 
 
-def client_for(server, timeout=30.0) -> ServiceClient:
-    return ServiceClient(port=server.port, timeout=timeout)
+def client_for(server, timeout=30.0, wire=None) -> ServiceClient:
+    return ServiceClient(port=server.port, timeout=timeout, wire=wire)
 
 
 def direct_doc(family: str, seed: int) -> dict:
@@ -187,7 +187,10 @@ class TestServiceErrors:
                 c.request({"op": "explode"})
 
     def test_invalid_json_line(self, server):
-        with client_for(server) as c:
+        # Raw NDJSON garbage is only meaningful on an NDJSON connection;
+        # on a negotiated binary one it is a framing violation (covered
+        # in tests/test_wire_binary.py).
+        with client_for(server, wire="ndjson") as c:
             c._sock.sendall(b"{this is not json\n")
             response = c._recv()
             assert response["ok"] is False
@@ -217,7 +220,7 @@ class TestServiceErrors:
     def test_pathologically_nested_json_is_an_error_line(self, server):
         """Deep nesting (RecursionError inside json.loads) must come
         back as an error response, not tear down the connection."""
-        with client_for(server) as c:
+        with client_for(server, wire="ndjson") as c:
             c._sock.sendall(b"[" * 5000 + b"]" * 5000 + b"\n")
             response = c._recv()
             assert response["ok"] is False

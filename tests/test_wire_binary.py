@@ -1,0 +1,678 @@
+"""Binary wire format: codec, negotiation, caps, shm path, compiled tier.
+
+The binary protocol's contract is *transparency*: every document the
+NDJSON wire carries must round-trip the binary framing bit-exactly
+(``decode ∘ encode = id``), a binary-unaware peer must keep working
+against an upgraded server byte-identically, and every acceleration
+tier riding the same machinery — the shared-memory executor path, the
+numba-compiled occupancy kernels — must be bit-exact against its NumPy
+oracle.  These tests pin all of it:
+
+* codec round-trips over every registry family's instance *and*
+  result documents (schedules included: empty ones, and the tree
+  family's ``[u, v, id]`` path triples);
+* hello negotiation — upgrade, decline, forced-binary failure, and
+  the wire counters the server reports;
+* frame/line caps and deterministic frame corruptions (the unit-level
+  twins of the loadgen fuzzer's mutations);
+* a mixed one-binary-one-NDJSON fleet under ``ShardedClient``
+  byte-identical to a local session;
+* the shared-memory executor byte-identical to serial solves;
+* the compiled backend's dispatch gating without numba, and the
+  1000-seed differential sweep against the NumPy engine with it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.api import RemoteSession, Session, ShardedClient
+from repro.core.instance import Instance
+from repro.service import ServiceClient, SolveServer
+from repro.service.binary import (
+    HEADER_BYTES,
+    MAGIC,
+    OP_DOC,
+    WIRE_VERSION,
+    decode_binary,
+    encode_binary,
+    hello_doc,
+    parse_header,
+)
+from repro.service.protocol import decode, encode, result_to_doc
+from tests.helpers import (
+    ALL_FAMILIES,
+    family_instance,
+    family_request,
+    spawn_serve_subprocess,
+)
+
+SEEDS = range(6)
+
+
+def canonical(result) -> str:
+    doc = result_to_doc(result)
+    doc.pop("solve_seconds")
+    doc.pop("from_cache")
+    return json.dumps(doc, sort_keys=True)
+
+
+def fresh_server(**kwargs):
+    defaults = dict(port=0, session=Session(store_path=None))
+    defaults.update(kwargs)
+    return SolveServer(**defaults)
+
+
+def drop_provenance(doc):
+    return {
+        k: v
+        for k, v in doc.items()
+        if k not in ("solve_seconds", "from_cache")
+    }
+
+
+# ----------------------------------------------------------------------
+# codec round-trips: decode ∘ encode = id
+# ----------------------------------------------------------------------
+
+
+class TestCodecRoundTrip:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_instance_documents(self, family, seed):
+        doc, params = family_request(family, seed)
+        request = {"op": "solve", "objective": family, "instance": doc}
+        if params:
+            request["params"] = params
+        assert decode_binary(encode_binary(request)) == request
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_result_documents(self, family):
+        """Result docs round-trip too — schedules, tree paths and all."""
+        with Session(store_path=None) as session:
+            inst, params = family_instance(family, 1)
+            result = session.solve(inst, family, use_cache=False, **params)
+        doc = result_to_doc(result)
+        assert decode_binary(encode_binary(doc)) == doc
+
+    def test_empty_schedule(self):
+        with Session(store_path=None) as session:
+            result = session.solve(
+                Instance(jobs=(), g=2), "minbusy", use_cache=False
+            )
+        doc = result_to_doc(result)
+        assert decode_binary(encode_binary(doc)) == doc
+
+    def test_awkward_scalars_and_shapes(self):
+        """Documents the column extractor must *decline* still hold."""
+        docs = [
+            {},
+            {"empty": [], "nested": [[], [1, 2, 3] * 10]},
+            {"big": [2**80] * 10, "mixed": [1, "a", None] * 5},
+            {"floats": [float(i) / 7 for i in range(64)]},
+            {"holes": [None, 1, None, 2] * 8},
+            {"unicode": ["jöb", "✓"] * 9, "b": True},
+        ]
+        for doc in docs:
+            assert decode_binary(encode_binary(doc)) == doc
+
+
+# ----------------------------------------------------------------------
+# negotiation: upgrade, decline, transparency, counters
+# ----------------------------------------------------------------------
+
+
+class TestNegotiation:
+    def test_binary_unaware_peer_is_untouched(self):
+        """A peer that never says hello gets plain NDJSON lines —
+        the same response a forced-ndjson client receives."""
+        doc, _params = family_request("minbusy", 0)
+        request_doc = {"op": "solve", "objective": "minbusy", "instance": doc}
+        handle = fresh_server(wire="auto").run_in_thread()
+        try:
+            with ServiceClient(
+                port=handle.port, timeout=30.0, wire="ndjson"
+            ) as client:
+                expected = client.request(dict(request_doc))
+            with socket.create_connection(
+                ("127.0.0.1", handle.port), timeout=30.0
+            ) as sock:
+                sock.sendall(encode(request_doc))
+                buf = b""
+                while b"\n" not in buf:
+                    buf += sock.recv(65536)
+            raw = decode(buf.split(b"\n", 1)[0] + b"\n")
+        finally:
+            handle.stop()
+        assert drop_provenance(raw["result"]) == drop_provenance(
+            expected["result"]
+        )
+
+    def test_upgrade_and_counters(self):
+        doc, _params = family_request("capacity", 3)
+        handle = fresh_server(wire="auto").run_in_thread()
+        try:
+            with ServiceClient(
+                port=handle.port, timeout=30.0, wire="binary"
+            ) as client:
+                assert client.wire_format == "binary"
+                first = client.solve(doc, "capacity")
+                second = client.solve(doc, "capacity")
+                stats = client.cache_stats()
+        finally:
+            handle.stop()
+        # The repeat is a wire-tier replay of the first response.
+        assert drop_provenance(second) == drop_provenance(first)
+        transport = stats["wire_transport"]
+        assert transport["binary_connections"] == 1
+        assert transport["binary_bytes_in"] > 0
+        assert transport["binary_bytes_out"] > 0
+        by_format = stats["wire"]["by_format"]
+        assert by_format["binary"]["hits"] >= 1
+
+    def test_ndjson_server_declines_and_auto_falls_back(self):
+        doc, _params = family_request("minbusy", 2)
+        handle = fresh_server(wire="ndjson").run_in_thread()
+        try:
+            with ServiceClient(
+                port=handle.port, timeout=30.0, wire="auto"
+            ) as client:
+                assert client.wire_format == "ndjson"
+                result = client.solve(doc, "minbusy")
+                stats = client.cache_stats()
+            with pytest.raises(ConnectionError, match="wire='binary'"):
+                ServiceClient(
+                    port=handle.port, timeout=30.0, wire="binary"
+                )
+        finally:
+            handle.stop()
+        assert result["cost"] >= 0
+        assert stats["wire_transport"]["binary_connections"] == 0
+        assert stats["wire_transport"]["ndjson_connections"] >= 1
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_formats_canonically_identical(self, family):
+        """One server, both wires, every family: same canonical docs."""
+        pairs = [family_instance(family, seed) for seed in range(4)]
+        instances = [inst for inst, _ in pairs]
+        params = pairs[0][1]
+        with Session(store_path=None) as ref:
+            expected = [
+                canonical(r)
+                for r in ref.solve_many(
+                    instances, family, use_cache=False, **params
+                )
+            ]
+        handle = fresh_server(wire="auto").run_in_thread()
+        try:
+            for wire in ("ndjson", "binary"):
+                with RemoteSession(port=handle.port, wire=wire) as remote:
+                    got = [
+                        canonical(r)
+                        for r in remote.solve_many(
+                            instances, family, **params
+                        )
+                    ]
+                assert got == expected, f"{family}/{wire} diverged"
+        finally:
+            handle.stop()
+
+
+class TestMixedFleet:
+    def test_one_binary_one_ndjson_shard_matches_local(self):
+        """A fleet whose shards negotiated different wires is still
+        byte-identical to a local session."""
+        binary_proc, binary_port = spawn_serve_subprocess("--wire", "auto")
+        ndjson_proc, ndjson_port = spawn_serve_subprocess(
+            "--wire", "ndjson"
+        )
+        try:
+            pairs = [family_instance("minbusy", s) for s in range(8)]
+            instances = [inst for inst, _ in pairs]
+            with Session(store_path=None) as ref:
+                expected = [
+                    canonical(r)
+                    for r in ref.solve_many(
+                        instances, "minbusy", use_cache=False
+                    )
+                ]
+            fleet = ShardedClient(
+                [
+                    RemoteSession(port=binary_port, wire="binary"),
+                    RemoteSession(port=ndjson_port, wire="auto"),
+                ]
+            )
+            try:
+                got = [
+                    canonical(r)
+                    for r in fleet.solve_many(instances, "minbusy")
+                ]
+            finally:
+                fleet.close()
+            assert got == expected
+        finally:
+            for proc in (binary_proc, ndjson_proc):
+                proc.terminate()
+                proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# caps and deterministic frame corruptions
+# ----------------------------------------------------------------------
+
+
+class _RawBinaryConn:
+    """A raw socket that has completed the hello upgrade."""
+
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(
+            ("127.0.0.1", port), timeout=30.0
+        )
+        self.sock.sendall(encode(hello_doc()))
+        buf = b""
+        while b"\n" not in buf:
+            buf += self.sock.recv(65536)
+        response = decode(buf.split(b"\n", 1)[0] + b"\n")
+        assert response.get("wire") == "binary", response
+
+    def send(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def read_frame(self) -> dict:
+        buf = b""
+        while len(buf) < HEADER_BYTES:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("EOF before header")
+            buf += chunk
+        _version, _opcode, length = parse_header(buf[:HEADER_BYTES])
+        while len(buf) < HEADER_BYTES + length:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("EOF mid-frame")
+            buf += chunk
+        return decode_binary(buf[: HEADER_BYTES + length])
+
+    def at_eof(self) -> bool:
+        self.sock.settimeout(5.0)
+        try:
+            return self.sock.recv(1) == b""
+        except socket.timeout:
+            return False
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+class TestCapsAndCorruption:
+    @pytest.fixture()
+    def small_server(self):
+        handle = fresh_server(
+            wire="auto", max_line_bytes=4096
+        ).run_in_thread()
+        yield handle
+        handle.stop()
+
+    def test_oversize_ndjson_line_gets_error_not_hangup(
+        self, small_server
+    ):
+        doc, _ = family_request("minbusy", 0)
+        with socket.create_connection(
+            ("127.0.0.1", small_server.port), timeout=30.0
+        ) as sock:
+            jumbo = encode(
+                {
+                    "op": "solve",
+                    "objective": "minbusy",
+                    "instance": doc,
+                    "id": "x" * 8192,
+                }
+            )
+            assert len(jumbo) > 4096
+            sock.sendall(jumbo)
+            buf = b""
+            while b"\n" not in buf:
+                buf += sock.recv(65536)
+            line, buf = buf.split(b"\n", 1)
+            response = decode(line + b"\n")
+            assert response["ok"] is False
+            assert "4096" in response["error"]["message"]
+            # The connection survived: a small request still answers.
+            sock.sendall(encode({"op": "ping"}))
+            while b"\n" not in buf:
+                buf += sock.recv(65536)
+            assert decode(buf.split(b"\n", 1)[0] + b"\n")["ok"]
+
+    def test_oversize_binary_frame_gets_error_not_hangup(
+        self, small_server
+    ):
+        conn = _RawBinaryConn(small_server.port)
+        try:
+            payload = b"\x00" * 8192
+            header = struct.pack(
+                "<2sBBI", MAGIC, WIRE_VERSION, OP_DOC, len(payload)
+            )
+            conn.send(header + payload)
+            response = conn.read_frame()
+            assert response["ok"] is False
+            assert "split the batch" in response["error"]["message"]
+            conn.send(encode_binary({"op": "ping"}))
+            assert conn.read_frame()["ok"]
+        finally:
+            conn.close()
+
+    def test_version_skew_answers_and_continues(self, small_server):
+        conn = _RawBinaryConn(small_server.port)
+        try:
+            frame = bytearray(encode_binary({"op": "ping"}))
+            frame[2] = (WIRE_VERSION + 41) % 256
+            conn.send(bytes(frame))
+            response = conn.read_frame()
+            assert response["ok"] is False
+            assert "version" in response["error"]["message"]
+            conn.send(encode_binary({"op": "ping"}))
+            assert conn.read_frame()["ok"]
+        finally:
+            conn.close()
+
+    def test_trailing_garbage_answers_and_continues(self, small_server):
+        conn = _RawBinaryConn(small_server.port)
+        try:
+            frame = bytearray(encode_binary({"op": "ping"}))
+            frame += b"\xde\xad\xbe\xef"
+            struct.pack_into("<I", frame, 4, len(frame) - HEADER_BYTES)
+            conn.send(bytes(frame))
+            response = conn.read_frame()
+            assert response["ok"] is False
+            assert response["error"]["type"] == "InstanceError"
+            conn.send(encode_binary({"op": "ping"}))
+            assert conn.read_frame()["ok"]
+        finally:
+            conn.close()
+
+    def test_bad_magic_answers_then_closes(self, small_server):
+        conn = _RawBinaryConn(small_server.port)
+        try:
+            frame = bytearray(encode_binary({"op": "ping"}))
+            frame[0:2] = b"XX"
+            conn.send(bytes(frame))
+            response = conn.read_frame()
+            assert response["ok"] is False
+            # The stream cannot be resynced: the server hangs up.
+            assert conn.at_eof()
+        finally:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# loadgen: binary wire + framing fuzz stays 100% validated
+# ----------------------------------------------------------------------
+
+
+class TestLoadgenBinaryWire:
+    def test_binary_fuzz_run_validates_clean(self):
+        from repro.loadgen import LoadgenOptions, TrafficModel, run_loadgen
+
+        handle = fresh_server(wire="auto").run_in_thread()
+        try:
+            traffic = TrafficModel(
+                seed=7,
+                corpus_size=16,
+                adversarial_tail=4,
+                fuzz=True,
+                binary_fuzz=True,
+                fuzz_fraction=0.7,
+                families=("minbusy", "capacity", "rect2d", "ring"),
+            )
+            options = LoadgenOptions(
+                targets=[("127.0.0.1", handle.port)],
+                max_requests=40,
+                concurrency=3,
+                timeout=30.0,
+                wire="binary",
+                minimize=False,
+            )
+            report = run_loadgen(options, traffic)
+        finally:
+            handle.stop()
+        validation = report["validation"]
+        assert validation["divergences"] == 0
+        assert validation["unexpected_errors"] == 0
+        assert report["transport"]["failed"] == 0
+        wire = report["wire"]
+        assert wire["mode"] == "binary"
+        assert wire["connections"]["binary"] >= 1
+        assert wire["connections"]["ndjson"] == 0
+
+    def test_binary_mutations_reach_the_plan(self):
+        from repro.loadgen.traffic import (
+            BINARY_FRAMING_MUTATIONS,
+            TrafficModel,
+        )
+
+        model = TrafficModel(
+            seed=11, fuzz=True, binary_fuzz=True, fuzz_fraction=0.9
+        )
+        planned = model.plan(400)
+        seen = {
+            r.frame_mutation
+            for r in planned
+            if r.frame_mutation is not None
+        }
+        assert seen == set(BINARY_FRAMING_MUTATIONS)
+        for request in planned:
+            if request.frame_mutation in (
+                "bad-magic",
+                "version-skew",
+                "bad-length",
+            ):
+                assert "InstanceError" in request.allowed_errors
+
+    def test_plans_unchanged_without_binary_fuzz(self):
+        """Adding the pool must not reshuffle existing fuzz streams."""
+        from repro.loadgen.traffic import TrafficModel
+
+        baseline = TrafficModel(seed=5, fuzz=True).plan(120)
+        again = TrafficModel(seed=5, fuzz=True, binary_fuzz=False).plan(120)
+        assert [r.mutation for r in baseline] == [
+            r.mutation for r in again
+        ]
+        assert all(r.frame_mutation is None for r in baseline)
+
+
+# ----------------------------------------------------------------------
+# shared-memory executor path: bit-exact vs serial
+# ----------------------------------------------------------------------
+
+
+class TestSharedMemoryExecutor:
+    @pytest.mark.parametrize(
+        "family", ["minbusy", "maxthroughput", "energy", "capacity"]
+    )
+    def test_shm_byte_identical_to_serial(self, family, monkeypatch):
+        # Force every batch through the shm path regardless of size.
+        monkeypatch.setenv("REPRO_SHM_MIN_JOBS", "0")
+        pairs = [family_instance(family, seed) for seed in range(12)]
+        instances = [inst for inst, _ in pairs]
+        params = pairs[0][1]
+        with Session(store_path=None) as session:
+            serial = session.solve_many(
+                instances,
+                family,
+                backend="serial",
+                use_cache=False,
+                **params,
+            )
+        with Session(store_path=None) as session:
+            shm = session.solve_many(
+                instances,
+                family,
+                backend="process",
+                workers=2,
+                use_cache=False,
+                **params,
+            )
+        assert [canonical(r) for r in shm] == [
+            canonical(r) for r in serial
+        ]
+
+    def test_negative_threshold_opts_out(self, monkeypatch):
+        """``REPRO_SHM_MIN_JOBS=-1`` pins the pickled path — and the
+        results stay identical, because shm is an optimization only."""
+        from repro.engine.shm import shm_min_jobs
+
+        monkeypatch.setenv("REPRO_SHM_MIN_JOBS", "-1")
+        assert shm_min_jobs() == -1
+        pairs = [family_instance("minbusy", seed) for seed in range(6)]
+        instances = [inst for inst, _ in pairs]
+        with Session(store_path=None) as session:
+            serial = session.solve_many(
+                instances, "minbusy", backend="serial", use_cache=False
+            )
+        with Session(store_path=None) as session:
+            pickled = session.solve_many(
+                instances,
+                "minbusy",
+                backend="process",
+                workers=2,
+                use_cache=False,
+            )
+        assert [canonical(r) for r in pickled] == [
+            canonical(r) for r in serial
+        ]
+
+    def test_threshold_env_parsing(self, monkeypatch):
+        from repro.engine.shm import SHM_MIN_JOBS, shm_min_jobs
+
+        monkeypatch.delenv("REPRO_SHM_MIN_JOBS", raising=False)
+        assert shm_min_jobs() == SHM_MIN_JOBS
+        monkeypatch.setenv("REPRO_SHM_MIN_JOBS", "123")
+        assert shm_min_jobs() == 123
+        monkeypatch.setenv("REPRO_SHM_MIN_JOBS", "not-a-number")
+        assert shm_min_jobs() == SHM_MIN_JOBS
+
+    def test_gating_respects_threshold(self):
+        """`_shm_refs` declines small batches and opted-out runs."""
+        from repro.engine.executors import ProcessPoolExecutor, SolveTask
+
+        pairs = [family_instance("minbusy", seed) for seed in range(3)]
+        tasks = [
+            SolveTask(
+                instance=inst,
+                objective="minbusy",
+                fingerprint=f"fp{i}",
+                key=f"minbusy:fp{i}",
+            )
+            for i, (inst, _) in enumerate(pairs)
+        ]
+        assert (
+            ProcessPoolExecutor(workers=2, shm_min_jobs=-1)._shm_refs(tasks)
+            is None
+        )
+        assert (
+            ProcessPoolExecutor(workers=2, shm_min_jobs=10**9)._shm_refs(
+                tasks
+            )
+            is None
+        )
+        packed = ProcessPoolExecutor(workers=2, shm_min_jobs=0)._shm_refs(
+            tasks
+        )
+        assert packed is not None
+        segment, refs = packed
+        try:
+            assert len(refs) == len(tasks)
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+# ----------------------------------------------------------------------
+# compiled occupancy tier
+# ----------------------------------------------------------------------
+
+from repro.core.compiled import HAVE_NUMBA  # noqa: E402
+from repro.core.occupancy import resolve_backend  # noqa: E402
+
+
+class TestCompiledTier:
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba installed")
+    def test_explicit_compiled_without_numba_is_actionable(self):
+        from repro.minbusy.firstfit import first_fit_machines
+
+        inst, _ = family_instance("minbusy", 0)
+        with pytest.raises(ValueError, match="numba"):
+            first_fit_machines(list(inst.jobs), 2, backend="compiled")
+
+    def test_auto_never_picks_compiled_without_optin(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        assert resolve_backend("auto", 10**6) == "vectorized"
+
+    def test_optin_without_numba_stays_vectorized(self, monkeypatch):
+        if HAVE_NUMBA:
+            pytest.skip("numba installed")
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        assert resolve_backend("auto", 10**6) == "vectorized"
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_auto_picks_compiled_with_optin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        assert resolve_backend("auto", 10**6) == "compiled"
+        assert resolve_backend("auto", 1) == "scalar"
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestCompiledDifferential:
+    """The 1000-seed bit-exactness sweep (CI's numba matrix leg)."""
+
+    N = 1000
+
+    def test_interval_compiled_matches_vectorized(self):
+        from repro.minbusy.firstfit import first_fit_machines
+        from tests.test_firstfit_vectorized import (
+            _interval_instance,
+            canon_1d,
+        )
+
+        for seed in range(self.N):
+            inst = _interval_instance(seed)
+            jobs = list(inst.jobs)
+            assert canon_1d(
+                first_fit_machines(jobs, inst.g, backend="compiled")
+            ) == canon_1d(
+                first_fit_machines(jobs, inst.g, backend="vectorized")
+            ), f"interval compiled diverged at seed={seed}"
+
+    def test_rect_compiled_matches_vectorized(self):
+        from repro.rect.firstfit2d import first_fit_2d
+        from repro.workloads import random_rects
+        from tests.test_firstfit_vectorized import canon_sched
+
+        for seed in range(self.N):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(1, 40))
+            g = int(rng.integers(1, 5))
+            rects = random_rects(n, seed=seed)
+            assert canon_sched(
+                first_fit_2d(rects, g, backend="compiled")
+            ) == canon_sched(
+                first_fit_2d(rects, g, backend="vectorized")
+            ), f"rect compiled diverged at seed={seed}"
+
+    def test_ring_compiled_matches_vectorized(self):
+        from repro.topology.ring_firstfit import ring_first_fit
+        from tests.test_firstfit_vectorized import _ring_jobs, canon_sched
+
+        for seed in range(self.N):
+            g = 1 + seed % 5
+            jobs = _ring_jobs(seed)
+            assert canon_sched(
+                ring_first_fit(jobs, g, backend="compiled")
+            ) == canon_sched(
+                ring_first_fit(jobs, g, backend="vectorized")
+            ), f"ring compiled diverged at seed={seed}"
