@@ -30,7 +30,9 @@ re-run would measure):
   validated fraction, inverted p99 latency (``1/p99_seconds``, so a
   latency *increase* reads as a drop) and per-tier cache hit rates,
 * ``e21_wire``: binary wire serving — NDJSON-equivalent bytes/sec,
-  inverted binary p99 and the binary-vs-NDJSON wall speedup.
+  inverted binary p99 and the binary-vs-NDJSON wall speedup,
+* ``e22_repair``: the near-miss repair tier — repair-vs-cold-solve
+  speedup and the repair hit rate over attempted probes.
 
 Only ratios and rates are compared — absolute wall times shift with
 runner hardware, but scalar-vs-vectorized (and cold-vs-warm) ratios,
@@ -105,6 +107,12 @@ def extract_metrics(entries: List[dict]) -> Dict[str, float]:
         for key in ("bytes_per_sec", "p99_inv", "wire_speedup"):
             if isinstance(e21.get(key), (int, float)):
                 metrics[f"e21.{key}"] = float(e21[key])
+    e22 = latest.get("e22_repair")
+    if e22:
+        if isinstance(e22.get("repair_speedup"), (int, float)):
+            metrics["e22.repair_speedup"] = float(e22["repair_speedup"])
+        if isinstance(e22.get("repair_hit_rate"), (int, float)):
+            metrics["e22.hit.repair"] = float(e22["repair_hit_rate"])
     return metrics
 
 

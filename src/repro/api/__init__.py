@@ -49,10 +49,12 @@ Swap in a server fleet without touching the call sites::
 
 from .config import (
     FOLLOW_ENV,
+    REPAIR_ENV_VAR,
     SHARDS_ENV_VAR,
     STORE_ENV_VAR,
     EngineConfig,
     ShardSpec,
+    parse_bool_env,
     parse_shard_entry,
     parse_shards,
 )
@@ -64,6 +66,7 @@ from ..engine.engine import default_session
 
 __all__ = [
     "FOLLOW_ENV",
+    "REPAIR_ENV_VAR",
     "SHARDS_ENV_VAR",
     "STORE_ENV_VAR",
     "EngineConfig",
@@ -73,6 +76,7 @@ __all__ = [
     "RemoteSession",
     "ShardedClient",
     "default_session",
+    "parse_bool_env",
     "parse_shard_entry",
     "parse_shards",
     "result_from_doc",

@@ -33,8 +33,10 @@ __all__ = [
     "EngineConfig",
     "STORE_ENV_VAR",
     "SHARDS_ENV_VAR",
+    "REPAIR_ENV_VAR",
     "ShardSpec",
     "enforceable_backend",
+    "parse_bool_env",
     "parse_shard_entry",
     "parse_shards",
 ]
@@ -70,6 +72,30 @@ STORE_ENV_VAR = "REPRO_CACHE_DIR"
 #: Environment variable naming the shard fleet (comma-separated
 #: ``host:port`` / ``local`` entries, optional ``*weight`` suffix).
 SHARDS_ENV_VAR = "REPRO_SHARDS"
+
+#: Environment variable enabling the near-miss repair cache tier.
+REPAIR_ENV_VAR = "REPRO_REPAIR"
+
+_BOOL_TRUE = frozenset({"1", "true", "yes", "on"})
+_BOOL_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+def parse_bool_env(var: str, raw: str) -> bool:
+    """Parse a boolean ``REPRO_*`` variable with an actionable error.
+
+    Accepts the usual spellings case-insensitively; anything else
+    raises a :class:`ValueError` naming the variable instead of
+    surfacing a bare parse traceback.
+    """
+    value = raw.strip().lower()
+    if value in _BOOL_TRUE:
+        return True
+    if value in _BOOL_FALSE:
+        return False
+    raise ValueError(
+        f"environment variable {var}={raw!r} is not a valid boolean; "
+        "use 1/true/yes/on or 0/false/no/off, or unset it"
+    )
 
 
 @dataclass(frozen=True)
@@ -221,6 +247,10 @@ class EngineConfig:
     chunksize: Optional[int] = None
     deadline: Optional[float] = None
     objective: str = "minbusy"
+    #: Enable the near-miss repair tier between the LRU and the store
+    #: (:class:`repro.engine.repair.RepairTier`).  Only takes effect
+    #: when a persistent store is bound; default off.
+    repair: bool = False
     #: Shard fleet for sharded clients/servers; entries may be given
     #: as ``ShardSpec`` objects or ``"host:port"``/``"local"`` strings
     #: (normalized here).  Empty = unsharded.
@@ -295,6 +325,10 @@ class EngineConfig:
             kwargs["deadline"] = parse("REPRO_DEADLINE", float)
         if env.get("REPRO_CACHE_SIZE"):
             kwargs["cache_size"] = parse("REPRO_CACHE_SIZE", int)
+        if env.get(REPAIR_ENV_VAR):
+            kwargs["repair"] = parse_bool_env(
+                REPAIR_ENV_VAR, env[REPAIR_ENV_VAR]
+            )
         if env.get(SHARDS_ENV_VAR):
             kwargs["shards"] = parse_shards(env[SHARDS_ENV_VAR])
         return cls(**kwargs)

@@ -50,6 +50,7 @@ from ..engine.engine import (
     strip_for_store,
 )
 from ..engine.executors import Executor, resolve_executor
+from ..engine.repair import RepairTier, clear_repair_index
 from ..engine.store import ResultStore, StoreStats
 from ..engine.tiers import LRUTier, StoreTier, TieredCache
 from .config import (
@@ -105,6 +106,7 @@ class Session:
         self._store: Optional[ResultStore] = None
         self._store_env: Optional[str] = None
         self._store_resolved = False
+        self._repair_tier: Optional[RepairTier] = None
         self._closed = False
         self.store()  # fail fast on an unusable store directory
 
@@ -138,16 +140,38 @@ class Session:
                 self._store_resolved = True
             return self._store
 
-    def cache(self) -> TieredCache:
-        """This session's cache stack: LRU over the optional store.
+    def _repair(self, store: Optional[ResultStore]) -> Optional[RepairTier]:
+        """The session's repair tier, built lazily against the live store.
 
-        Rebuilt per call from the live bindings (cheap — two adapter
-        objects), so store rebinding takes effect immediately and every
-        entry point shares one composition rule.
+        The tier holds an in-memory similarity index, so unlike the
+        adapter tiers it is *cached* — keyed by store identity, and
+        rebuilt whenever the store binding changes (env re-resolution,
+        ``configure_store``, ``reset_store_binding``).
+        """
+        if not self.config.repair or store is None:
+            return None
+        with self._lock:
+            tier = self._repair_tier
+            if tier is None or tier.store is not store:
+                tier = RepairTier(store)
+                self._repair_tier = tier
+            return tier
+
+    def cache(self) -> TieredCache:
+        """This session's cache stack: LRU over the optional store,
+        with the near-miss repair tier between them when enabled.
+
+        Rebuilt per call from the live bindings (cheap — adapter
+        objects plus the cached repair tier), so store rebinding takes
+        effect immediately and every entry point shares one
+        composition rule.
         """
         tiers: List[Any] = [LRUTier(self._lru)]
         store = self.store()
         if store is not None:
+            repair = self._repair(store)
+            if repair is not None:
+                tiers.append(repair)
             tiers.append(StoreTier(store, prepare=strip_for_store))
         return TieredCache(tiers)
 
@@ -314,7 +338,10 @@ class Session:
         if use_cache and plans:
             # One batched top-down probe of the whole stack; hits found
             # in lower tiers are promoted on the way up.
-            hits = cache.get_many([plan.key for plan in plans])
+            hits = cache.get_many(
+                [plan.key for plan in plans],
+                contexts={plan.key: plan for plan in plans},
+            )
             still: List[int] = []
             for i, plan in enumerate(plans):
                 hit = hits.get(plan.key)
@@ -349,7 +376,9 @@ class Session:
             plans[i].key: res for i, res in zip(unique, solved_list)
         }
 
-        cache.put_many(solved)
+        cache.put_many(
+            solved, contexts={plans[i].key: plans[i] for i in unique}
+        )
         for i in misses:
             result = solved[plans[i].key]
             if i != representative[plans[i].key]:
@@ -420,6 +449,7 @@ class Session:
             self._closed = True
             self._store = None
             self._store_resolved = False
+            self._drop_repair_tier()
 
     def __enter__(self) -> "Session":
         return self
@@ -430,6 +460,18 @@ class Session:
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("this Session is closed")
+
+    def _drop_repair_tier(self) -> None:
+        """Detach the repair tier, flushing its buffered counters so
+        another process (or a fresh tier) sees them (caller holds the
+        lock or is tearing the session down)."""
+        tier = self._repair_tier
+        if tier is not None:
+            try:
+                tier.flush_counters()
+            except Exception:
+                pass
+        self._repair_tier = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         store = self.config.store_path
@@ -466,6 +508,7 @@ class Session:
             self._store = ResultStore(path) if path is not None else None
             self._store_env = None
             self._store_resolved = True
+            self._drop_repair_tier()
             return self._store
 
     def reset_store_binding(self) -> None:
@@ -475,6 +518,7 @@ class Session:
             self._store = None
             self._store_env = None
             self._store_resolved = False
+            self._drop_repair_tier()
 
     def store_stats(self) -> Optional[StoreStats]:
         """Counters of the persistent tier, or ``None`` when disabled."""
@@ -482,7 +526,17 @@ class Session:
         return store.stats() if store is not None else None
 
     def clear_store(self) -> None:
-        """Drop every persisted result (no-op when disabled)."""
+        """Drop every persisted result (no-op when disabled).
+
+        The repair tier's similarity index lives beside the store's
+        segments, so it is dropped (and the cached tier rebuilt) too —
+        a cleared store must repair nothing.
+        """
         store = self.store()
         if store is not None:
             store.clear()
+            clear_repair_index(store.root)
+            with self._lock:
+                # No flush here: buffered counters died with the index
+                # on purpose — flushing would resurrect them.
+                self._repair_tier = None

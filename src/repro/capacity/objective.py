@@ -32,6 +32,7 @@ from ..core.registry import (
     schedule_by_position,
 )
 from ..core.schedule import Schedule
+from ..engine.repair import capacity_repair_spec
 from .demands import (
     demand_lower_bound,
     demand_schedule_cost,
@@ -124,5 +125,6 @@ SPEC = REGISTRY.register(
         solve=_solve,
         verify=_verify,
         description="MinBusy with per-job capacity demands (Section 5)",
+        repair=capacity_repair_spec(),
     )
 )

@@ -192,7 +192,16 @@ def session_from_args(
     LRU flags then shape the *router*; the shards own their own
     caches.
     """
-    from .api import FOLLOW_ENV, EngineConfig, Session, ShardedClient
+    import os
+
+    from .api import (
+        FOLLOW_ENV,
+        REPAIR_ENV_VAR,
+        EngineConfig,
+        Session,
+        ShardedClient,
+        parse_bool_env,
+    )
 
     specs = _shard_specs(args)
 
@@ -207,6 +216,12 @@ def session_from_args(
         kwargs["cache_size"] = args.cache_size
     if include_deadline:
         kwargs["deadline"] = getattr(args, "deadline", None)
+    raw_repair = os.environ.get(REPAIR_ENV_VAR)
+    if raw_repair:
+        try:
+            kwargs["repair"] = parse_bool_env(REPAIR_ENV_VAR, raw_repair)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
     try:
         config = EngineConfig(
             store_path=store,
@@ -633,13 +648,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     if args.action == "clear":
         if root.exists():
+            from .engine.repair import clear_repair_index
+
             _open_store(root).clear()
+            # The store's own clear never descends into the repair
+            # index; drop it here so a cleared store repairs nothing.
+            clear_repair_index(root)
             print(f"cleared {root}")
         else:
             print(f"{root}: no store")
         return 0
     # stats
     if root.exists():
+        from .engine.repair import repair_index_stats
+
         s = _open_store(root).stats()
         doc = {
             "path": s.path,
@@ -651,6 +673,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             "segments": s.segments,
             "total_bytes": s.total_bytes,
         }
+        repair = repair_index_stats(root)
+        if repair is not None:
+            doc["repair"] = repair
     else:
         doc = {
             "path": str(root),
@@ -665,7 +690,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(doc, indent=2))
     else:
-        for k, v in doc.items():
+        for k, v in _flat_items(doc):
             print(f"{k:12s}: {v}")
     return 0
 

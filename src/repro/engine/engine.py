@@ -260,7 +260,7 @@ def cached_result(
     (tiers are probed top-down; lower-tier hits are promoted).  With no
     explicit ``cache`` the process-default session's stack is probed."""
     cache = cache if cache is not None else tiered_cache()
-    hit = cache.get(plan.key)
+    hit = cache.get(plan.key, context=plan)
     if hit is None:
         return None
     return serve_hit(hit, plan.instance)
@@ -273,7 +273,7 @@ def install_result(
 ) -> None:
     """Write a fresh result through every cache tier."""
     cache = cache if cache is not None else tiered_cache()
-    cache.put(plan.key, result)
+    cache.put(plan.key, result, context=plan)
 
 
 def _verified(plan: SolvePlan, result: EngineResult) -> EngineResult:

@@ -48,6 +48,7 @@ from ..core.registry import (
 )
 from .dispatch import pick_throughput_solver
 from .fingerprint import instance_fingerprint
+from .repair import minbusy_repair_spec
 
 __all__ = ["ensure_registered", "MINBUSY_SPEC", "MAXTHROUGHPUT_SPEC"]
 
@@ -124,6 +125,7 @@ MINBUSY_SPEC = REGISTRY.register(
         solve=_minbusy_solve,
         verify=_minbusy_verify,
         description="total busy time (the paper's primary objective)",
+        repair=minbusy_repair_spec(),
     )
 )
 

@@ -56,10 +56,16 @@ SHM_MIN_JOBS = 8192
 
 def shm_min_jobs() -> int:
     """The active crossover (``REPRO_SHM_MIN_JOBS`` overrides)."""
-    try:
-        return int(os.environ.get("REPRO_SHM_MIN_JOBS", SHM_MIN_JOBS))
-    except ValueError:
+    raw = os.environ.get("REPRO_SHM_MIN_JOBS")
+    if raw is None or not raw.strip():
         return SHM_MIN_JOBS
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable REPRO_SHM_MIN_JOBS={raw!r} is not a "
+            "valid integer job-count threshold; fix or unset it"
+        ) from None
 
 
 def task_payload_size(task: Any) -> int:

@@ -256,6 +256,38 @@ class ResultStore:
             self.refresh()
         return key in self._index
 
+    def keys(self) -> List[str]:
+        """Snapshot of every indexed key (refreshes first)."""
+        self.refresh()
+        with self._lock:
+            return list(self._index)
+
+    def peek(self, key: str) -> Optional[Any]:
+        """Like :meth:`get` but without touching the hit/miss counters.
+
+        Used by maintenance readers (e.g. the repair tier's index
+        builder) whose scans must not distort serving statistics.
+        """
+        out = self.peek_many([key])
+        return out.get(key)
+
+    def peek_many(self, keys: Iterable[str]) -> Dict[str, Any]:
+        """Batch :meth:`peek`: one tail re-scan, no counter update."""
+        keys = list(keys)
+        found: Dict[str, Any] = {}
+        missing = [k for k in keys if k not in self._index]
+        if missing:
+            self.refresh()
+        with self._lock:
+            locations = {
+                k: self._index[k] for k in keys if k in self._index
+            }
+        for key, (seg, offset) in locations.items():
+            value = self._read_at(seg, offset)
+            if value is not None:
+                found[key] = value
+        return found
+
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------

@@ -19,12 +19,19 @@ composes an ordered stack of them —
   objects down to positional encodings; the LRU keeps results whole),
 * ``stats`` reports per-tier counters under the tier's name.
 
-The two concrete tiers wrap the existing engines unchanged:
-:class:`LRUTier` over :class:`repro.engine.cache.LRUCache` and
-:class:`StoreTier` over :class:`repro.engine.store.ResultStore`.  A
-future incremental-resolve tier (repairing a stored near-miss instead
-of re-solving — see ROADMAP) slots in as just another ``CacheTier``
-between them.
+The concrete tiers wrap the existing engines unchanged:
+:class:`LRUTier` over :class:`repro.engine.cache.LRUCache`,
+:class:`StoreTier` over :class:`repro.engine.store.ResultStore`, and —
+slotted between them when ``EngineConfig(repair=True)`` — the
+incremental-resolve :class:`repro.engine.repair.RepairTier`, which
+repairs a stored near-miss instead of re-solving.
+
+Tiers that need the *instance* behind a key (the repair tier replays
+placements against the real jobs) set a truthy ``needs_context``
+attribute; :class:`TieredCache` then passes the caller-supplied
+``context`` (a :class:`~repro.engine.engine.SolvePlan`) through to
+their ``get``/``put`` calls.  Context-free tiers keep the original
+key/value signatures untouched.
 """
 
 from __future__ import annotations
@@ -176,19 +183,34 @@ class TieredCache:
     def __init__(self, tiers: Sequence[CacheTier]) -> None:
         self.tiers: List[CacheTier] = list(tiers)
 
-    def get(self, key: str) -> Optional[Any]:
+    @staticmethod
+    def _wants_context(tier: CacheTier) -> bool:
+        return bool(getattr(tier, "needs_context", False))
+
+    def get(self, key: str, context: Optional[Any] = None) -> Optional[Any]:
         for i, tier in enumerate(self.tiers):
-            value = tier.get(key)
+            if self._wants_context(tier):
+                value = tier.get(key, context=context)  # type: ignore[call-arg]
+            else:
+                value = tier.get(key)
             if value is not None:
                 for upper in self.tiers[:i]:
-                    upper.put(key, value)
+                    if self._wants_context(upper):
+                        upper.put(key, value, context=context)  # type: ignore[call-arg]
+                    else:
+                        upper.put(key, value)
                 return value
         return None
 
-    def get_many(self, keys: Iterable[str]) -> Dict[str, Any]:
+    def get_many(
+        self,
+        keys: Iterable[str],
+        contexts: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
         """Batched top-down probe: each tier sees one batched lookup of
         the keys every faster tier missed, and its hits are promoted
-        upward in one batched write per tier."""
+        upward in one batched write per tier.  ``contexts`` maps keys to
+        their :class:`SolvePlan` for tiers that ``needs_context``."""
         pending: List[str] = []
         seen = set()
         for key in keys:  # preserve order, drop duplicates
@@ -199,23 +221,41 @@ class TieredCache:
         for i, tier in enumerate(self.tiers):
             if not pending:
                 break
-            hits = tier.get_many(pending)
+            if self._wants_context(tier):
+                hits = tier.get_many(pending, contexts=contexts)  # type: ignore[call-arg]
+            else:
+                hits = tier.get_many(pending)
             if hits:
                 for upper in self.tiers[:i]:
-                    upper.put_many(hits)
+                    if self._wants_context(upper):
+                        upper.put_many(hits, contexts=contexts)  # type: ignore[call-arg]
+                    else:
+                        upper.put_many(hits)
                 found.update(hits)
                 pending = [k for k in pending if k not in hits]
         return found
 
-    def put(self, key: str, value: Any) -> None:
+    def put(
+        self, key: str, value: Any, context: Optional[Any] = None
+    ) -> None:
         for tier in self.tiers:
-            tier.put(key, value)
+            if self._wants_context(tier):
+                tier.put(key, value, context=context)  # type: ignore[call-arg]
+            else:
+                tier.put(key, value)
 
-    def put_many(self, items: Mapping[str, Any]) -> None:
+    def put_many(
+        self,
+        items: Mapping[str, Any],
+        contexts: Optional[Mapping[str, Any]] = None,
+    ) -> None:
         if not items:
             return
         for tier in self.tiers:
-            tier.put_many(items)
+            if self._wants_context(tier):
+                tier.put_many(items, contexts=contexts)  # type: ignore[call-arg]
+            else:
+                tier.put_many(items)
 
     def stats(self) -> Dict[str, Dict[str, Any]]:
         """Per-tier counters keyed by tier name, in probe order."""

@@ -215,7 +215,14 @@ class _Connection:
         if wire == "ndjson":
             self._state.wire_connections["ndjson"] += 1
             return
-        payload = encode(hello_doc())
+        # The loadgen deliberately opts out of column interning: its
+        # adversarial replay/mutation harness needs every frame to stay
+        # canonical (byte-for-byte reproducible), and this transport
+        # maintains no intern pools.  Dropping the key from the hello
+        # keeps the server from ever sending interned refs our way.
+        hello = hello_doc()
+        hello.pop("intern", None)
+        payload = encode(hello)
         self._writer.write(payload)
         await self._writer.drain()
         self._state.bytes_sent += len(payload)

@@ -36,7 +36,7 @@ from .consecutive_dp import solve_proper_clique_dp
 from .firstfit import solve_first_fit
 from .onesided import solve_one_sided
 
-__all__ = ["SolveResult", "solve_min_busy"]
+__all__ = ["SolveResult", "route_min_busy", "solve_min_busy"]
 
 # Beyond this g the Lemma 3.2 ratio exceeds FirstFit's clique guarantee
 # of 2 ([13]) and the enumeration cost explodes; fall back to FirstFit.
@@ -57,40 +57,65 @@ class SolveResult:
         return self.schedule.cost
 
 
+def route_min_busy(instance: Instance) -> str:
+    """Name the algorithm :func:`solve_min_busy` would pick.
+
+    Pure routing — no solving.  Shared with the near-miss repair tier,
+    which may only replay deltas for instances that dispatch to the
+    ``first_fit`` arm; keeping the case analysis in one place means the
+    repair predicate can never drift from the dispatcher.
+    """
+    if instance.n == 0:
+        return "empty"
+    if instance.one_sided is not None:
+        return "one_sided"
+    if instance.is_proper_clique:
+        return "proper_clique_dp"
+    if instance.is_clique and instance.g == 2:
+        return "clique_g2_matching"
+    if instance.is_clique and instance.g <= _SETCOVER_MAX_G:
+        # Guard the O(n^g) enumeration.
+        if enumeration_size(instance.n, instance.g) <= MAX_ENUMERATION:
+            return "clique_setcover"
+    if instance.is_proper:
+        return "bestcut"
+    return "first_fit"
+
+
 def solve_min_busy(instance: Instance) -> SolveResult:
     """Solve MinBusy with the best algorithm for the instance class."""
-    if instance.n == 0:
+    route = route_min_busy(instance)
+
+    if route == "empty":
         return SolveResult(Schedule(g=instance.g), "empty", None)
 
-    if instance.one_sided is not None:
+    if route == "one_sided":
         return SolveResult(solve_one_sided(instance), "one_sided", None)
 
-    if instance.is_proper_clique:
+    if route == "proper_clique_dp":
         return SolveResult(
             solve_proper_clique_dp(instance), "proper_clique_dp", None
         )
 
-    if instance.is_clique and instance.g == 2:
+    if route == "clique_g2_matching":
         return SolveResult(
             solve_clique_g2_matching(instance), "clique_g2_matching", None
         )
 
-    if instance.is_clique and instance.g <= _SETCOVER_MAX_G:
-        # Guard the O(n^g) enumeration.
-        if enumeration_size(instance.n, instance.g) <= MAX_ENUMERATION:
-            # Report the *sound* guarantee min(H_g+1, g), not the
-            # paper's claimed g·H_g/(H_g+g-1) — see finding F1 in
-            # EXPERIMENTS.md: the claimed ratio is violated by a 3-job
-            # counterexample.
-            from .clique_setcover import lemma32_sound_ratio
+    if route == "clique_setcover":
+        # Report the *sound* guarantee min(H_g+1, g), not the
+        # paper's claimed g·H_g/(H_g+g-1) — see finding F1 in
+        # EXPERIMENTS.md: the claimed ratio is violated by a 3-job
+        # counterexample.
+        from .clique_setcover import lemma32_sound_ratio
 
-            return SolveResult(
-                solve_clique_setcover(instance),
-                "clique_setcover",
-                lemma32_sound_ratio(instance.g),
-            )
+        return SolveResult(
+            solve_clique_setcover(instance),
+            "clique_setcover",
+            lemma32_sound_ratio(instance.g),
+        )
 
-    if instance.is_proper:
+    if route == "bestcut":
         from .bestcut import bestcut_ratio
 
         return SolveResult(

@@ -29,6 +29,7 @@ from ..core.registry import (
     rebuild_threaded_machines,
     threads_by_position,
 )
+from ..engine.repair import rect2d_repair_spec
 from .bucket import PAPER_BETA, bucket_first_fit
 from .firstfit2d import first_fit_2d
 from .instance import RectInstance
@@ -115,5 +116,6 @@ SPEC = REGISTRY.register(
         solve=_solve,
         verify=_verify,
         description="2-D rectangle busy-area minimization (Section 3.4)",
+        repair=rect2d_repair_spec(),
     )
 )

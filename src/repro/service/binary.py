@@ -44,6 +44,7 @@ on NDJSON — no flag day.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import operator
 import os
@@ -61,6 +62,10 @@ __all__ = [
     "HEADER_BYTES",
     "MAX_FRAME_BYTES",
     "WIRE_MODES",
+    "INTERN_VERSION",
+    "INTERN_MIN_BLOB_BYTES",
+    "InternPool",
+    "intern_frame",
     "resolve_wire",
     "hello_doc",
     "parse_header",
@@ -92,9 +97,26 @@ _MIN_PACK = 8
 # Per-blob dtype codes.
 _CODE_I64 = 0
 _CODE_F64 = 1
+#: A blob whose payload is the 16-byte digest of a column both peers
+#: have already seen on this connection direction (see
+#: :class:`InternPool`), replacing the raw bytes.
+_CODE_REF = 2
 _DTYPES = {_CODE_I64: "<i8", _CODE_F64: "<f8"}
 _I64_MIN = -(1 << 63)
 _I64_MAX = (1 << 63) - 1
+
+#: Version of the column-interning extension negotiated in the hello
+#: (``"intern"`` key); peers that do not echo it never see REF blobs.
+INTERN_VERSION = 1
+#: Columns below this many raw bytes are never interned — the digest
+#: bookkeeping would cost more than the resend.
+INTERN_MIN_BLOB_BYTES = 512
+#: Registration budget per connection direction; once either bound is
+#: reached, new columns simply ride raw (a deterministic rule, so both
+#: peers stop registering at the same frame).
+INTERN_MAX_ENTRIES = 4096
+INTERN_MAX_BYTES = 64 << 20
+_DIGEST_BYTES = 16
 
 
 def resolve_wire(wire: Optional[str] = None) -> str:
@@ -110,8 +132,195 @@ def resolve_wire(wire: Optional[str] = None) -> str:
 
 
 def hello_doc() -> Dict[str, Any]:
-    """The client's capability-negotiation request (sent as NDJSON)."""
-    return {"op": "hello", "wire": "binary", "version": WIRE_VERSION}
+    """The client's capability-negotiation request (sent as NDJSON).
+
+    ``"intern"`` advertises the column-interning extension; an older
+    server ignores the key (and never echoes it back), so REF blobs
+    only ever flow between peers that both negotiated it.
+    """
+    return {
+        "op": "hello",
+        "wire": "binary",
+        "version": WIRE_VERSION,
+        "intern": INTERN_VERSION,
+    }
+
+
+# ----------------------------------------------------------------------
+# column interning
+# ----------------------------------------------------------------------
+class InternPool:
+    """One connection direction's interned-column state.
+
+    Repeated solves ship the same columns over and over — a delta
+    stream re-sends every unchanged coordinate column of an instance,
+    and warm-cache responses re-send identical assignment columns.
+    Interning replaces a repeated column blob with a 16-byte BLAKE2b
+    digest of its raw bytes (:data:`_CODE_REF`), cutting the frame to
+    control JSON plus digests.
+
+    Synchronization is by *deterministic replay*, never by messages:
+    both peers apply the identical registration rule — every raw blob
+    of dtype code i64/f64 with at least :data:`INTERN_MIN_BLOB_BYTES`
+    bytes, in frame order, until the entry/byte budget fills — to the
+    same frame sequence (TCP gives each direction one total order), so
+    the sender's pool and the receiver's pool always agree on which
+    digests are known.  The receiver registers via :meth:`observe`,
+    which walks only the blob *headers* of a payload — cheap enough to
+    run on every received frame, including ones a replay cache answers
+    without ever JSON-decoding (skipping those would desync the pools).
+
+    Digests are content-addressed, so a REF means the same bytes on
+    any connection; pools are still per-direction because resolution
+    requires having *seen* the raw bytes on that direction before.
+    """
+
+    __slots__ = ("max_entries", "max_bytes", "_known", "_bytes", "stats")
+
+    def __init__(
+        self,
+        max_entries: int = INTERN_MAX_ENTRIES,
+        max_bytes: int = INTERN_MAX_BYTES,
+    ) -> None:
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._known: Dict[bytes, Tuple[int, bytes]] = {}
+        self._bytes = 0
+        self.stats = {"registered": 0, "refs": 0, "bytes_saved": 0}
+
+    @staticmethod
+    def digest(data: bytes) -> bytes:
+        return hashlib.blake2b(data, digest_size=_DIGEST_BYTES).digest()
+
+    @staticmethod
+    def internable(code: int, nbytes: int) -> bool:
+        return code in _DTYPES and nbytes >= INTERN_MIN_BLOB_BYTES
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    def register(self, code: int, data: bytes) -> Optional[bytes]:
+        """Fold one raw blob in; returns its digest when (now) known.
+
+        ``None`` means the blob is not internable or the budget is
+        full — either way it rides raw, on both ends, forever.
+        """
+        if not self.internable(code, len(data)):
+            return None
+        d = self.digest(data)
+        if d in self._known:
+            return d
+        if (
+            len(self._known) >= self.max_entries
+            or self._bytes + len(data) > self.max_bytes
+        ):
+            return None
+        self._known[d] = (code, bytes(data))
+        self._bytes += len(data)
+        self.stats["registered"] += 1
+        return d
+
+    def lookup(self, digest: bytes) -> Optional[Tuple[int, bytes]]:
+        return self._known.get(digest)
+
+    def resolve(self, digest: bytes) -> Tuple[int, bytes]:
+        """The ``(code, raw bytes)`` a REF names; unknown = hard error
+        (the frame cannot be decoded, same as a truncated blob)."""
+        entry = self._known.get(digest)
+        if entry is None:
+            raise InstanceError(
+                "interned column ref names an unknown digest; the "
+                "peers' intern pools are out of sync"
+            )
+        return entry
+
+    def observe(self, payload: Any) -> None:
+        """Receiver-side registration pass over one frame payload.
+
+        Walks the blob headers only (no control-JSON decode), so it is
+        safe and cheap to call on *every* received binary frame —
+        which is exactly what keeps this pool in lockstep with the
+        sender's.  Malformed payloads are ignored here; the decoder
+        raises the actionable error.
+        """
+        view = memoryview(payload)
+        total = len(view)
+        try:
+            (ctrl_len,) = _U32.unpack_from(view, 0)
+            offset = _U32.size + ctrl_len
+            (n_blobs,) = _U32.unpack_from(view, offset)
+            offset += _U32.size
+            for _ in range(n_blobs):
+                code, nbytes = _BLOB_HEADER.unpack_from(view, offset)
+                offset += _BLOB_HEADER.size
+                if offset + nbytes > total:
+                    return
+                if code in _DTYPES:
+                    self.register(code, bytes(view[offset:offset + nbytes]))
+                offset += nbytes
+        except struct.error:
+            return
+
+
+def intern_frame(
+    frame: bytes,
+    pool: InternPool,
+    stats: Optional[Dict[str, int]] = None,
+) -> bytes:
+    """Sender-side interning: one canonical frame -> its wire form.
+
+    Every known-digest column blob is replaced by a REF; every fresh
+    internable blob is sent raw and registered (so the *next* frame can
+    REF it — including a later blob of this same frame).  Frames that
+    are not ``OP_DOC`` v1, or where nothing substitutes, pass through
+    byte-identical.  ``stats`` (when given) accumulates
+    ``intern_blobs_out`` / ``intern_bytes_saved_out``.
+    """
+    version, opcode, length = parse_header(frame)
+    if version != WIRE_VERSION or opcode != OP_DOC:
+        return frame
+    view = memoryview(frame)[HEADER_BYTES:]
+    total = len(view)
+    (ctrl_len,) = _U32.unpack_from(view, 0)
+    offset = _U32.size + ctrl_len
+    (n_blobs,) = _U32.unpack_from(view, offset)
+    offset += _U32.size
+    head = bytes(view[:offset])
+    parts: List[bytes] = [head]
+    replaced = 0
+    saved = 0
+    for i in range(n_blobs):
+        code, nbytes = _BLOB_HEADER.unpack_from(view, offset)
+        offset += _BLOB_HEADER.size
+        data = bytes(view[offset:offset + nbytes])
+        offset += nbytes
+        digest = None
+        if code in _DTYPES and pool.internable(code, nbytes):
+            digest = pool.digest(data)
+            if pool.lookup(digest) is None:
+                pool.register(code, data)
+                digest = None  # first occurrence rides raw
+        if digest is not None:
+            parts.append(_BLOB_HEADER.pack(_CODE_REF, _DIGEST_BYTES))
+            parts.append(digest)
+            replaced += 1
+            saved += nbytes - _DIGEST_BYTES
+            pool.stats["refs"] += 1
+            pool.stats["bytes_saved"] += nbytes - _DIGEST_BYTES
+        else:
+            parts.append(_BLOB_HEADER.pack(code, nbytes))
+            parts.append(data)
+    if not replaced:
+        return frame
+    if stats is not None:
+        stats["intern_blobs_out"] = (
+            stats.get("intern_blobs_out", 0) + replaced
+        )
+        stats["intern_bytes_saved_out"] = (
+            stats.get("intern_bytes_saved_out", 0) + saved
+        )
+    payload = b"".join(parts)
+    return _HEADER.pack(MAGIC, WIRE_VERSION, OP_DOC, len(payload)) + payload
 
 
 # ----------------------------------------------------------------------
@@ -377,7 +586,9 @@ def encode_binary(doc: Dict[str, Any], opcode: int = OP_DOC) -> bytes:
     return _HEADER.pack(MAGIC, WIRE_VERSION, opcode, len(payload)) + payload
 
 
-def decode_payload(payload: Any) -> Dict[str, Any]:
+def decode_payload(
+    payload: Any, *, intern: Optional[InternPool] = None
+) -> Dict[str, Any]:
     """The document of one ``OP_DOC`` frame payload (header stripped).
 
     Accepts ``bytes`` or ``memoryview``; column buffers are read as
@@ -385,6 +596,11 @@ def decode_payload(payload: Any) -> Dict[str, Any]:
     shape — short segments, bad control JSON, blob count/length
     mismatches, trailing garbage — raises :class:`InstanceError` so the
     server can answer with an error *response* instead of dying.
+
+    ``intern`` resolves :data:`_CODE_REF` blobs against the
+    connection's receive-direction pool (registration itself happens
+    in :meth:`InternPool.observe`, which callers run on every frame);
+    without a pool a REF blob is a protocol error.
     """
     view = memoryview(payload)
     total = len(view)
@@ -415,9 +631,20 @@ def decode_payload(payload: Any) -> Dict[str, Any]:
             )
         code, nbytes = _BLOB_HEADER.unpack_from(view, offset)
         offset += _BLOB_HEADER.size
-        if code not in _DTYPES:
+        if code == _CODE_REF:
+            if intern is None:
+                raise InstanceError(
+                    f"blob #{i} is an interned column ref, but "
+                    "interning was not negotiated on this connection"
+                )
+            if nbytes != _DIGEST_BYTES:
+                raise InstanceError(
+                    f"blob #{i}: column ref digest of {nbytes} bytes, "
+                    f"expected {_DIGEST_BYTES}"
+                )
+        elif code not in _DTYPES:
             raise InstanceError(f"unknown column dtype code {code}")
-        if nbytes % 8:
+        elif nbytes % 8:
             raise InstanceError(
                 f"blob #{i} length {nbytes} is not a multiple of 8"
             )
@@ -426,7 +653,11 @@ def decode_payload(payload: Any) -> Dict[str, Any]:
                 f"truncated frame: blob #{i} declares {nbytes} bytes, "
                 f"{total - offset} remain"
             )
-        blobs.append((code, view[offset:offset + nbytes]))
+        if code == _CODE_REF:
+            rcode, rdata = intern.resolve(bytes(view[offset:offset + nbytes]))
+            blobs.append((rcode, memoryview(rdata)))
+        else:
+            blobs.append((code, view[offset:offset + nbytes]))
         offset += nbytes
     if offset != total:
         raise InstanceError(

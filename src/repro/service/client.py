@@ -25,11 +25,14 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 from ..core.errors import InstanceError
 from .binary import (
     HEADER_BYTES,
+    INTERN_VERSION,
     OP_DOC,
     WIRE_VERSION,
+    InternPool,
     decode_payload,
     encode_binary,
     hello_doc,
+    intern_frame,
     parse_header,
     resolve_wire,
 )
@@ -78,6 +81,10 @@ class ServiceClient:
         self._sock: Optional[socket.socket] = None
         self._fh = None
         self._broken = False
+        # Column-interning pools (negotiated per connection alongside
+        # the binary upgrade): tx = requests out, rx = responses in.
+        self._intern_tx: Optional[InternPool] = None
+        self._intern_rx: Optional[InternPool] = None
         self._connect()  # fail fast on an unreachable endpoint
 
     # ------------------------------------------------------------------
@@ -91,6 +98,10 @@ class ServiceClient:
         self._fh = self._sock.makefile("rb")
         self._broken = False
         self.wire_format = "ndjson"
+        # Pools never survive a reconnect: the server's per-connection
+        # pools died with the old socket.
+        self._intern_tx = None
+        self._intern_rx = None
         if self.wire != "ndjson":
             self._negotiate()
 
@@ -115,6 +126,9 @@ class ServiceClient:
         )
         if accepted:
             self.wire_format = "binary"
+            if response.get("intern") == INTERN_VERSION:
+                self._intern_tx = InternPool()
+                self._intern_rx = InternPool()
         elif self.wire == "binary":
             detail = response.get("error", {}).get(
                 "message", "server declined the binary upgrade"
@@ -151,11 +165,13 @@ class ServiceClient:
                 raise ConnectionError("this ServiceClient is closed")
             self._connect()
         try:
-            self._sock.sendall(
-                encode_binary(doc)
-                if self.wire_format == "binary"
-                else encode(doc)
-            )
+            if self.wire_format == "binary":
+                data = encode_binary(doc)
+                if self._intern_tx is not None:
+                    data = intern_frame(data, self._intern_tx)
+                self._sock.sendall(data)
+            else:
+                self._sock.sendall(encode(doc))
         except OSError:
             self._broken = True
             raise
@@ -188,7 +204,9 @@ class ServiceClient:
             )
         if opcode != OP_DOC:
             raise InstanceError(f"unknown frame opcode {opcode}")
-        return decode_payload(payload)
+        if self._intern_rx is not None:
+            self._intern_rx.observe(payload)
+        return decode_payload(payload, intern=self._intern_rx)
 
     def _recv(self) -> Dict[str, Any]:
         fh = self._fh

@@ -43,10 +43,13 @@ from ..engine.executors import BACKENDS, AsyncQueueExecutor
 from ..io import objective_instance_from_dict
 from .binary import (
     HEADER_BYTES,
+    INTERN_VERSION,
     OP_DOC,
     WIRE_VERSION,
+    InternPool,
     decode_payload,
     encode_binary,
+    intern_frame,
     parse_header,
     resolve_wire,
 )
@@ -114,6 +117,9 @@ class SolveServer:
             "binary_connections": 0,
             "binary_bytes_in": 0,
             "binary_bytes_out": 0,
+            "intern_connections": 0,
+            "intern_blobs_out": 0,
+            "intern_bytes_saved_out": 0,
         }
         self._wire_tier = {
             "ndjson": {"hits": 0, "misses": 0},
@@ -598,6 +604,7 @@ class SolveServer:
         send: Send,
         send_bytes: Callable[[bytes], Awaitable[None]],
         tasks: List["asyncio.Task"],
+        intern: Optional[Dict[str, Optional[InternPool]]] = None,
     ) -> bool:
         """One iteration of the binary read loop; True = close.
 
@@ -632,6 +639,13 @@ class SolveServer:
         except asyncio.IncompleteReadError:
             return True
         self._wire_transport["binary_bytes_in"] += HEADER_BYTES + length
+        rx = intern.get("rx") if intern else None
+        if rx is not None and opcode == OP_DOC and version == WIRE_VERSION:
+            # Registration must see *every* frame, including the ones
+            # the replay cache answers below without decoding —
+            # skipping those would desync this pool from the client's
+            # send pool.
+            rx.observe(payload)
         if version != WIRE_VERSION:
             await send(
                 error_doc(
@@ -657,19 +671,20 @@ class SolveServer:
             )
             return False
         try:
-            doc = decode_payload(payload)
+            doc = decode_payload(payload, intern=rx)
         except InstanceError as exc:
             await send(error_doc(exc))
             return False
         if doc.get("op") == "hello":  # re-hello after upgrade: confirm
-            await send(
-                {
-                    "ok": True,
-                    "wire": "binary",
-                    "version": WIRE_VERSION,
-                    "id": doc.get("id"),
-                }
-            )
+            reply = {
+                "ok": True,
+                "wire": "binary",
+                "version": WIRE_VERSION,
+                "id": doc.get("id"),
+            }
+            if rx is not None:
+                reply["intern"] = INTERN_VERSION
+            await send(reply)
             return False
         task = asyncio.ensure_future(
             self._dispatch(doc, send, frame, "binary")
@@ -687,7 +702,11 @@ class SolveServer:
         # Per-connection negotiated wire format; flipped by a hello
         # upgrade (after in-flight responses drain, so every response
         # before the flip is a line and every one after is a frame).
+        # ``intern`` holds the connection's column pools when the hello
+        # negotiated the interning extension (tx = responses out,
+        # rx = requests in).
         state = {"wire": "ndjson"}
+        intern: Dict[str, Optional[InternPool]] = {"tx": None, "rx": None}
         counted = False
 
         async def send(doc: Dict[str, Any]) -> None:
@@ -699,9 +718,21 @@ class SolveServer:
             await send_bytes(data)
 
         async def send_bytes(data: bytes) -> None:
-            if state["wire"] == "binary":
-                self._wire_transport["binary_bytes_out"] += len(data)
             async with write_lock:
+                if state["wire"] == "binary":
+                    # Interning covers every outgoing frame — fresh
+                    # encodings and wire-tier replays alike (the replay
+                    # cache stores canonical frames) — so the client's
+                    # receive pool sees one deterministic blob
+                    # sequence.  It runs under the write lock: pool
+                    # registration order must match write order, or a
+                    # REF could reach the client before its raw bytes.
+                    tx = intern["tx"]
+                    if tx is not None:
+                        data = intern_frame(
+                            data, tx, self._wire_transport
+                        )
+                    self._wire_transport["binary_bytes_out"] += len(data)
                 writer.write(data)
                 await writer.drain()
 
@@ -711,7 +742,7 @@ class SolveServer:
             while True:
                 if state["wire"] == "binary":
                     stop = await self._read_binary_frame(
-                        reader, send, send_bytes, tasks
+                        reader, send, send_bytes, tasks, intern
                     )
                     if stop:
                         break
@@ -766,14 +797,24 @@ class SolveServer:
                         and doc.get("version") == WIRE_VERSION
                     )
                     if accept:
-                        await send(
-                            {
-                                "ok": True,
-                                "wire": "binary",
-                                "version": WIRE_VERSION,
-                                "id": doc.get("id"),
-                            }
-                        )
+                        reply = {
+                            "ok": True,
+                            "wire": "binary",
+                            "version": WIRE_VERSION,
+                            "id": doc.get("id"),
+                        }
+                        # Column interning is a sub-negotiation of the
+                        # binary upgrade: active only when the client
+                        # advertised the same extension version.
+                        if doc.get("intern") == INTERN_VERSION:
+                            reply["intern"] = INTERN_VERSION
+                        await send(reply)
+                        if reply.get("intern") is not None:
+                            intern["tx"] = InternPool()
+                            intern["rx"] = InternPool()
+                            self._wire_transport[
+                                "intern_connections"
+                            ] += 1
                         state["wire"] = "binary"
                         counted = True
                         self._wire_transport["binary_connections"] += 1

@@ -25,6 +25,7 @@ from ..core.registry import (
     rebuild_threaded_machines,
     threads_by_position,
 )
+from ..engine.repair import ring_repair_spec
 from ..rect.bucket import PAPER_BETA
 from .instance import RingInstance, TreeInstance
 from .ring_firstfit import (
@@ -140,6 +141,7 @@ RING_SPEC = REGISTRY.register(
         solve=_ring_solve,
         verify=_ring_verify,
         description="busy-area minimization on ring topologies (Section 5)",
+        repair=ring_repair_spec(),
     )
 )
 

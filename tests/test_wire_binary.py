@@ -553,8 +553,11 @@ class TestSharedMemoryExecutor:
         assert shm_min_jobs() == SHM_MIN_JOBS
         monkeypatch.setenv("REPRO_SHM_MIN_JOBS", "123")
         assert shm_min_jobs() == 123
-        monkeypatch.setenv("REPRO_SHM_MIN_JOBS", "not-a-number")
+        monkeypatch.setenv("REPRO_SHM_MIN_JOBS", "")
         assert shm_min_jobs() == SHM_MIN_JOBS
+        monkeypatch.setenv("REPRO_SHM_MIN_JOBS", "not-a-number")
+        with pytest.raises(ValueError, match="REPRO_SHM_MIN_JOBS"):
+            shm_min_jobs()
 
     def test_gating_respects_threshold(self):
         """`_shm_refs` declines small batches and opted-out runs."""
@@ -676,3 +679,194 @@ class TestCompiledDifferential:
             ) == canon_sched(
                 ring_first_fit(jobs, g, backend="vectorized")
             ), f"ring compiled diverged at seed={seed}"
+
+
+# ----------------------------------------------------------------------
+# column interning: pools, codec, negotiation, replay-cache lockstep
+# ----------------------------------------------------------------------
+
+
+def _big_solve_doc(n: int = 200, *, cache: bool = True) -> dict:
+    """A solve request whose coordinate columns clear the interning
+    floor (n float64s per column >= INTERN_MIN_BLOB_BYTES)."""
+    rng = np.random.default_rng(17)
+    starts = rng.uniform(0.0, 1000.0, n)
+    jobs = [
+        {"start": float(s), "end": float(s + ln)}
+        for s, ln in zip(starts, rng.uniform(0.5, 50.0, n))
+    ]
+    return {
+        "op": "solve",
+        "objective": "minbusy",
+        "instance": {"g": 3, "jobs": jobs},
+        "cache": cache,
+    }
+
+
+class TestInternPool:
+    def test_register_gates_and_budgets(self):
+        from repro.service.binary import (
+            INTERN_MIN_BLOB_BYTES,
+            InternPool,
+        )
+
+        pool = InternPool(max_entries=2)
+        big = b"\x01" * INTERN_MIN_BLOB_BYTES
+        small = b"\x01" * (INTERN_MIN_BLOB_BYTES - 1)
+        assert pool.register(0, small) is None  # under the floor
+        assert pool.register(7, big) is None  # not a column dtype
+        d = pool.register(0, big)
+        assert d is not None and pool.lookup(d) == (0, big)
+        assert pool.register(0, big) == d  # idempotent re-register
+        assert pool.register(1, b"\x02" * 600) is not None
+        # Entry budget full: the third distinct blob rides raw forever.
+        assert pool.register(0, b"\x03" * 600) is None
+        assert len(pool) == 2
+
+    def test_byte_budget(self):
+        from repro.service.binary import InternPool
+
+        pool = InternPool(max_bytes=1000)
+        assert pool.register(0, b"\x01" * 600) is not None
+        assert pool.register(0, b"\x02" * 600) is None  # would exceed
+
+    def test_resolve_unknown_digest_is_actionable(self):
+        from repro.core.errors import InstanceError
+        from repro.service.binary import InternPool
+
+        with pytest.raises(InstanceError, match="out of sync"):
+            InternPool().resolve(b"\x00" * 16)
+
+
+class TestInternCodec:
+    def test_second_frame_shrinks_and_round_trips(self):
+        from repro.service.binary import (
+            InternPool,
+            decode_payload,
+            intern_frame,
+        )
+
+        tx, rx = InternPool(), InternPool()
+        doc1 = _big_solve_doc()
+        doc2 = _big_solve_doc(cache=False)  # same columns, new ctrl
+
+        frame1 = intern_frame(encode_binary(doc1), tx)
+        # First occurrence rides raw: byte-identical passthrough.
+        assert frame1 == encode_binary(doc1)
+        payload1 = frame1[HEADER_BYTES:]
+        rx.observe(payload1)
+        assert decode_payload(payload1, intern=rx) == doc1
+
+        raw2 = encode_binary(doc2)
+        frame2 = intern_frame(raw2, tx)
+        assert len(frame2) < len(raw2)  # columns now ride as refs
+        payload2 = frame2[HEADER_BYTES:]
+        rx.observe(payload2)
+        assert decode_payload(payload2, intern=rx) == doc2
+
+    def test_ref_without_negotiation_is_actionable(self):
+        from repro.core.errors import InstanceError
+        from repro.service.binary import (
+            InternPool,
+            decode_payload,
+            intern_frame,
+        )
+
+        tx = InternPool()
+        intern_frame(encode_binary(_big_solve_doc()), tx)
+        frame = intern_frame(encode_binary(_big_solve_doc(cache=False)), tx)
+        payload = frame[HEADER_BYTES:]
+        with pytest.raises(InstanceError, match="intern"):
+            decode_payload(payload)  # no pool: never negotiated
+        with pytest.raises(InstanceError, match="out of sync"):
+            decode_payload(payload, intern=InternPool())  # empty pool
+
+    def test_unchanged_frames_pass_through(self):
+        from repro.service.binary import InternPool, intern_frame
+
+        doc = {"op": "ping"}  # no internable columns at all
+        frame = encode_binary(doc)
+        assert intern_frame(frame, InternPool()) == frame
+
+
+class TestInternNegotiation:
+    def test_hello_advertises_intern(self):
+        from repro.service.binary import INTERN_VERSION
+
+        assert hello_doc()["intern"] == INTERN_VERSION
+
+    def test_server_omits_intern_for_plain_hello(self):
+        """A binary peer that does not ask for interning never sees a
+        ref — the reply omits the key and frames stay canonical (the
+        loadgen's adversarial transport relies on exactly this)."""
+        handle = fresh_server(wire="auto").run_in_thread()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", handle.port), timeout=10.0
+            ) as sock:
+                plain = dict(hello_doc())
+                plain.pop("intern")
+                sock.sendall(encode(plain))
+                fh = sock.makefile("rb")
+                reply = decode(fh.readline())
+                assert reply.get("ok") and reply.get("wire") == "binary"
+                assert "intern" not in reply
+        finally:
+            handle.stop()
+
+    def test_interned_connection_end_to_end(self):
+        """Repeated big solves over one connection: counters tick,
+        results stay byte-identical to the first, and an NDJSON peer
+        sees the same answers."""
+        doc = _big_solve_doc()
+        handle = fresh_server(wire="auto").run_in_thread()
+        try:
+            with ServiceClient(
+                port=handle.port, timeout=30.0, wire="binary"
+            ) as client:
+                first = drop_provenance(client.request(doc)["result"])
+                again = drop_provenance(
+                    client.request(dict(doc, cache=False))["result"]
+                )
+                assert again == first
+                wt = client.cache_stats()["wire_transport"]
+                assert wt["intern_connections"] >= 1
+                assert wt["intern_blobs_out"] >= 1
+                assert wt["intern_bytes_saved_out"] > 0
+            with ServiceClient(
+                port=handle.port, timeout=30.0, wire="ndjson"
+            ) as client:
+                plain = drop_provenance(client.request(doc)["result"])
+                assert plain == first
+        finally:
+            handle.stop()
+
+    def test_replayed_frames_keep_pools_in_lockstep(self):
+        """The server's replay cache answers repeated request bytes
+        without decoding them — it must still *observe* those frames,
+        or a later ref from the client would name a digest the server
+        never registered."""
+        doc = _big_solve_doc()
+        handle = fresh_server(wire="auto").run_in_thread()
+        try:
+            with ServiceClient(
+                port=handle.port, timeout=30.0, wire="binary"
+            ) as client:
+                first = drop_provenance(client.request(doc)["result"])
+            # Fresh connection, fresh pools: request 1 re-sends the
+            # canonical raw frame, which the server answers straight
+            # from its replay cache (no decode).  Request 2 shares the
+            # columns but changes the control JSON, so it is NOT a
+            # replay hit — the server must decode it, resolving refs
+            # registered only by observing the replayed frame.
+            with ServiceClient(
+                port=handle.port, timeout=30.0, wire="binary"
+            ) as client:
+                replayed = drop_provenance(client.request(doc)["result"])
+                fresh = drop_provenance(
+                    client.request(dict(doc, cache=False))["result"]
+                )
+                assert replayed == first
+                assert fresh == first
+        finally:
+            handle.stop()
