@@ -32,7 +32,10 @@ re-run would measure):
 * ``e21_wire``: binary wire serving — NDJSON-equivalent bytes/sec,
   inverted binary p99 and the binary-vs-NDJSON wall speedup,
 * ``e22_repair``: the near-miss repair tier — repair-vs-cold-solve
-  speedup and the repair hit rate over attempted probes.
+  speedup and the repair hit rate over attempted probes,
+* ``e23_obs``: observability overhead — ``overhead_inv``
+  (``1/(1+overhead)``), so instrumentation getting *more* expensive
+  reads as a drop.
 
 Only ratios and rates are compared — absolute wall times shift with
 runner hardware, but scalar-vs-vectorized (and cold-vs-warm) ratios,
@@ -40,6 +43,13 @@ hit rates and validated fractions are self-normalizing, which is what
 makes cross-run comparison meaningful on shared runners at all.
 (``e20.rps``/``e20.bytes_per_sec`` are the exception: they are
 absolute, so the CI threshold gives them headroom.)
+
+History entries additionally carry a ``host`` block (platform, python
+version, cpu count).  When an experiment's two latest entries come
+from *different* machines, even the self-normalizing ratios shift (a
+different core count changes what "concurrent speedup" means), so the
+diff skips that experiment's metrics with a note instead of flagging
+phantom regressions; entries predating the block compare as before.
 """
 
 from __future__ import annotations
@@ -50,7 +60,12 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["extract_metrics", "diff_metrics", "main"]
+__all__ = [
+    "extract_metrics",
+    "diff_metrics",
+    "incomparable_experiments",
+    "main",
+]
 
 
 def _last_per_experiment(entries: List[dict]) -> Dict[str, dict]:
@@ -113,7 +128,40 @@ def extract_metrics(entries: List[dict]) -> Dict[str, float]:
             metrics["e22.repair_speedup"] = float(e22["repair_speedup"])
         if isinstance(e22.get("repair_hit_rate"), (int, float)):
             metrics["e22.hit.repair"] = float(e22["repair_hit_rate"])
+    e23 = latest.get("e23_obs")
+    if e23 and isinstance(e23.get("overhead_inv"), (int, float)):
+        metrics["e23.overhead_inv"] = float(e23["overhead_inv"])
     return metrics
+
+
+def incomparable_experiments(
+    prev_entries: List[dict], cur_entries: List[dict]
+) -> List[Tuple[str, List[str]]]:
+    """Experiments whose latest entries ran on different machines.
+
+    Compares the ``host`` blocks of the last record per experiment on
+    each side; a mismatch returns that experiment with the metric
+    names it contributes, so the caller drops them from the diff.
+    Entries without a ``host`` block (pre-dating it) are never
+    skipped.
+    """
+    prev_latest = _last_per_experiment(prev_entries)
+    cur_latest = _last_per_experiment(cur_entries)
+    skipped: List[Tuple[str, List[str]]] = []
+    for name in sorted(set(prev_latest) & set(cur_latest)):
+        prev_host = prev_latest[name].get("host")
+        cur_host = cur_latest[name].get("host")
+        if (
+            isinstance(prev_host, dict)
+            and isinstance(cur_host, dict)
+            and prev_host != cur_host
+        ):
+            dropped = sorted(
+                set(extract_metrics([prev_latest[name]]))
+                | set(extract_metrics([cur_latest[name]]))
+            )
+            skipped.append((name, dropped))
+    return skipped
 
 
 def diff_metrics(
@@ -179,6 +227,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     previous = extract_metrics(prev_entries)
     current = extract_metrics(cur_entries)
+    skipped = incomparable_experiments(prev_entries, cur_entries)
+    for _, dropped in skipped:
+        for metric in dropped:
+            previous.pop(metric, None)
+            current.pop(metric, None)
     regressions = diff_metrics(previous, current, args.threshold)
     compared = sorted(set(previous) & set(current))
 
@@ -187,6 +240,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dumps(
                 {
                     "compared": compared,
+                    "skipped_cross_host": [
+                        {"experiment": name, "metrics": dropped}
+                        for name, dropped in skipped
+                    ],
                     "threshold": args.threshold,
                     "regressions": [
                         {
@@ -206,6 +263,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"drift: compared {len(compared)} metrics "
             f"(threshold {args.threshold:.0%})"
         )
+        for name, dropped in skipped:
+            print(
+                f"drift: skipped {name} — recorded on a different "
+                f"host ({len(dropped)} metrics not comparable)"
+            )
         for name in compared:
             marker = ""
             for rname, prev, cur, drop in regressions:

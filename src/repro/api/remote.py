@@ -39,6 +39,7 @@ from ..engine.engine import (
     plan_solve,
 )
 from ..io import objective_instance_to_dict
+from ..obs import trace as obs_trace
 from ..service.client import ServiceClient
 from .config import EngineConfig
 
@@ -168,13 +169,18 @@ class RemoteSession:
         plan, doc, wire_params = self._plan_and_doc(
             instance, objective, params
         )
-        served = self.client.solve(
-            doc,
-            plan.spec.name,
-            params=wire_params or None,
-            cache=use_cache,
-            deadline=self._deadline(deadline),
-        )
+        with obs_trace.span(
+            "remote.solve",
+            objective=plan.spec.name,
+            peer=f"{self.client.host}:{self.client.port}",
+        ):
+            served = self.client.solve(
+                doc,
+                plan.spec.name,
+                params=wire_params or None,
+                cache=use_cache,
+                deadline=self._deadline(deadline),
+            )
         result = result_from_doc(served, plan)
         return _verified(plan, result) if verify else result
 
@@ -272,6 +278,10 @@ class RemoteSession:
     def cache_stats(self) -> Dict[str, Any]:
         """The server session's per-tier counters (plus its wire tier)."""
         return self.client.cache_stats()
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics exposition document (``metrics`` op)."""
+        return self.client.metrics()
 
     def objectives(self) -> List[str]:
         return self.client.objectives()

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from typing import (
     Any,
     Dict,
@@ -53,6 +54,8 @@ from ..engine.executors import Executor, resolve_executor
 from ..engine.repair import RepairTier, clear_repair_index
 from ..engine.store import ResultStore, StoreStats
 from ..engine.tiers import LRUTier, StoreTier, TieredCache
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .config import (
     FOLLOW_ENV,
     STORE_ENV_VAR,
@@ -62,6 +65,17 @@ from .config import (
 )
 
 __all__ = ["Session"]
+
+_SOLVES = obs_metrics.counter(
+    "repro_solves_total",
+    "Session solves by entry point and outcome",
+    labels=("entry", "outcome"),
+)
+_SOLVE_SECONDS = obs_metrics.histogram(
+    "repro_solve_seconds",
+    "End-to-end session solve latency",
+    labels=("entry",),
+)
 
 
 class Session:
@@ -279,18 +293,30 @@ class Session:
         self._check_open()
         if budget is not None:
             params["budget"] = budget
+        t0 = time.perf_counter()
         plan = self.plan(instance, objective, params)
-        cache = self.cache()
-        if use_cache:
-            result = cached_result(plan, cache)
-            if result is not None:
-                return _verified(plan, result) if verify else result
-        if executor is None:
-            executor = self._executor(
-                backend, deadline=deadline, single=True
-            )
-        result = executor.run([plan.task()])[0]
-        install_result(plan, result, cache)
+        with obs_trace.span(
+            "session.solve", objective=plan.spec.name
+        ) as sp:
+            cache = self.cache()
+            if use_cache:
+                result = cached_result(plan, cache)
+                if result is not None:
+                    sp.set("outcome", "hit")
+                    _SOLVES.labels("solve", "hit").inc()
+                    _SOLVE_SECONDS.labels("solve").observe(
+                        time.perf_counter() - t0
+                    )
+                    return _verified(plan, result) if verify else result
+            if executor is None:
+                executor = self._executor(
+                    backend, deadline=deadline, single=True
+                )
+            result = executor.run([plan.task()])[0]
+            install_result(plan, result, cache)
+            sp.set("outcome", "solved")
+        _SOLVES.labels("solve", "solved").inc()
+        _SOLVE_SECONDS.labels("solve").observe(time.perf_counter() - t0)
         return _verified(plan, result) if verify else result
 
     def solve_many(
@@ -327,66 +353,84 @@ class Session:
         self._check_open()
         if budget is not None:
             params["budget"] = budget
+        t0 = time.perf_counter()
         objective = objective or self.config.objective
         plans = [
             plan_solve(inst, objective, params) for inst in instances
         ]
-        cache = self.cache()
-        results: List[Optional[EngineResult]] = [None] * len(plans)
+        with obs_trace.span(
+            "session.solve_many",
+            objective=objective,
+            instances=len(plans),
+        ) as sp:
+            cache = self.cache()
+            results: List[Optional[EngineResult]] = [None] * len(plans)
 
-        misses = list(range(len(plans)))
-        if use_cache and plans:
-            # One batched top-down probe of the whole stack; hits found
-            # in lower tiers are promoted on the way up.
-            hits = cache.get_many(
-                [plan.key for plan in plans],
-                contexts={plan.key: plan for plan in plans},
+            misses = list(range(len(plans)))
+            if use_cache and plans:
+                # One batched top-down probe of the whole stack; hits
+                # found in lower tiers are promoted on the way up.
+                hits = cache.get_many(
+                    [plan.key for plan in plans],
+                    contexts={plan.key: plan for plan in plans},
+                )
+                still: List[int] = []
+                for i, plan in enumerate(plans):
+                    hit = hits.get(plan.key)
+                    if hit is not None:
+                        results[i] = serve_hit(hit, plan.instance)
+                    else:
+                        still.append(i)
+                misses = still
+            n_hits = len(plans) - len(misses)
+            if n_hits:
+                _SOLVES.labels("solve_many", "hit").inc(n_hits)
+            sp.set("hits", n_hits)
+            sp.set("misses", len(misses))
+
+            if not misses:
+                _SOLVE_SECONDS.labels("solve_many").observe(
+                    time.perf_counter() - t0
+                )
+                return results  # type: ignore[return-value]
+
+            # Fingerprint-dedup before dispatch: duplicate keys inside
+            # one batch are solved once; every occurrence shares the
+            # result (rebound to its own jobs if the ids differ).
+            representative: Dict[str, int] = {}
+            unique: List[int] = []
+            for i in misses:
+                if plans[i].key not in representative:
+                    representative[plans[i].key] = i
+                    unique.append(i)
+
+            if executor is None:
+                executor = self._executor(
+                    backend,
+                    workers=workers,
+                    chunksize=chunksize,
+                    deadline=deadline,
+                )
+            solved_list = executor.run([plans[i].task() for i in unique])
+            solved = {
+                plans[i].key: res for i, res in zip(unique, solved_list)
+            }
+
+            cache.put_many(
+                solved, contexts={plans[i].key: plans[i] for i in unique}
             )
-            still: List[int] = []
-            for i, plan in enumerate(plans):
-                hit = hits.get(plan.key)
-                if hit is not None:
-                    results[i] = serve_hit(hit, plan.instance)
-                else:
-                    still.append(i)
-            misses = still
-
-        if not misses:
-            return results  # type: ignore[return-value]
-
-        # Fingerprint-dedup before dispatch: duplicate keys inside one
-        # batch are solved once; every occurrence shares the result
-        # (rebound to its own jobs if the ids differ).
-        representative: Dict[str, int] = {}
-        unique: List[int] = []
-        for i in misses:
-            if plans[i].key not in representative:
-                representative[plans[i].key] = i
-                unique.append(i)
-
-        if executor is None:
-            executor = self._executor(
-                backend,
-                workers=workers,
-                chunksize=chunksize,
-                deadline=deadline,
-            )
-        solved_list = executor.run([plans[i].task() for i in unique])
-        solved = {
-            plans[i].key: res for i, res in zip(unique, solved_list)
-        }
-
-        cache.put_many(
-            solved, contexts={plans[i].key: plans[i] for i in unique}
+            for i in misses:
+                result = solved[plans[i].key]
+                if i != representative[plans[i].key]:
+                    # In-batch duplicate: served from the entry its
+                    # representative just populated, rebound to its own
+                    # jobs.
+                    result = serve_hit(result, plans[i].instance)
+                results[i] = result
+        _SOLVES.labels("solve_many", "solved").inc(len(misses))
+        _SOLVE_SECONDS.labels("solve_many").observe(
+            time.perf_counter() - t0
         )
-        for i in misses:
-            result = solved[plans[i].key]
-            if i != representative[plans[i].key]:
-                # In-batch duplicate: served from the entry its
-                # representative just populated, rebound to its own
-                # jobs.
-                result = serve_hit(result, plans[i].instance)
-            results[i] = result
         return results  # type: ignore[return-value]
 
     def solve_stream(

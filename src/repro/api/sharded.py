@@ -37,6 +37,7 @@ shard SIGKILLed mid-batch.
 
 from __future__ import annotations
 
+import contextvars
 import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -89,6 +90,7 @@ class ShardedClient:
         partitioner: Optional[Partitioner] = None,
         weights: Optional[Sequence[float]] = None,
         hedge_delay: Optional[float] = None,
+        probe_interval: Optional[float] = None,
     ) -> None:
         if not clients:
             raise ValueError("ShardedClient needs at least one client")
@@ -107,11 +109,15 @@ class ShardedClient:
                 if weights is not None
                 else [1.0] * len(self.clients)
             )
+        # probe_interval opts into the fleet's background half-open
+        # prober: ejected shards get pinged out of band every interval
+        # instead of waiting for live traffic to test them.
         self.executor = ShardedExecutor(
             self.clients,
             partitioner=partitioner,
             deadline=config.deadline,
             hedge_delay=hedge_delay,
+            probe_interval=probe_interval,
         )
         # The router: a full local pipeline (LRU probe, fingerprint
         # dedup, install) whose execute slot is the fleet.
@@ -133,6 +139,7 @@ class ShardedClient:
         config: Optional[EngineConfig] = None,
         hedge_delay: Optional[float] = None,
         timeout: Optional[float] = 30.0,
+        probe_interval: Optional[float] = None,
     ) -> "ShardedClient":
         """Build a fleet from :class:`~repro.api.config.ShardSpec`\\ s
         (or their string spellings — ``"host:port*weight"``/``"local"``).
@@ -187,6 +194,7 @@ class ShardedClient:
             config=base,
             weights=[spec.weight for spec in parsed],
             hedge_delay=hedge_delay,
+            probe_interval=probe_interval,
         )
 
     # ------------------------------------------------------------------
@@ -355,9 +363,13 @@ class ShardedClient:
         with self._pump_lock:
             self._stops.add(stop)
         for shard, indices in by_shard.items():
+            # Each pump carries the caller's contextvars (a copy per
+            # thread), so trace context crosses into the per-shard
+            # streams and their spans chain under the caller's.
+            ctx = contextvars.copy_context()
             t = threading.Thread(
-                target=pump,
-                args=(shard, indices),
+                target=ctx.run,
+                args=(pump, shard, indices),
                 daemon=True,
                 name=f"repro-shard{shard}-pump",
             )
@@ -462,6 +474,9 @@ class ShardedClient:
             if self._closed:
                 return
             self._closed = True
+        # Stop the background half-open prober first: a probe racing
+        # the shard closes below would record spurious failures.
+        self.executor.health.close()
         with self._pump_lock:
             for stop in list(self._stops):
                 stop.set()

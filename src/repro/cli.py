@@ -18,6 +18,11 @@ Usage (after ``pip install -e .``)::
     repro loadgen --port 8753 --requests 500        # validated load test
     repro loadgen --fuzz --duration 60              # divergence hunting
     repro loadgen --replay reproducers/repro-*.json # re-run a failure
+    repro metrics --port 8753                       # Prometheus scrape
+    repro metrics --format json --shard h1:8753 --shard h2:8753
+    repro solve jobs.json --trace                   # print the span tree
+    repro trace tail -n 30                          # recent spans
+    repro trace show TRACE_ID                       # one reassembled tree
 
 (``python -m repro ...`` works identically.)  Output is a
 human-readable report on stdout; ``--json`` switches to a
@@ -84,6 +89,27 @@ abandoned streams, dropped connections) hunting for divergence; any
 failure is delta-debugged down to a minimal reproducer file, and
 ``repro loadgen --replay FILE`` re-runs that exact request — exit 1
 while the bug lives, exit 0 once it is fixed.
+
+Observability
+-------------
+
+``repro metrics`` renders the unified exposition document — the
+low-overhead metrics registry (solve counters/latency histograms,
+tier probes, shard attempts, server request counts) merged with a
+read-time projection of every existing ``cache_stats`` block — as
+Prometheus text (``--format prom``, the default) or the pinned JSON
+snapshot (``--format json``).  Point it at one server
+(``--host``/``--port``), a fleet (repeatable ``--shard host:port``,
+merged into an exact-sum aggregate), or nothing (the process-local
+registry).
+
+Tracing is off by default; ``repro solve --trace`` (or
+``REPRO_TRACE=1``) turns it on, propagates the trace context over the
+wire to every shard that negotiated the capability in ``hello``, and
+prints the single reassembled span tree — client → router → per-shard
+cache tiers and executors — after the solve report.  ``repro trace
+tail``/``repro trace show TRACE_ID`` read the in-memory ring plus the
+``REPRO_TRACE_DIR`` JSONL sink.
 """
 
 from __future__ import annotations
@@ -321,7 +347,27 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     the frame upgrade, ``ndjson`` pins plain lines, ``auto`` (default)
     negotiates and transparently falls back; results are canonically
     identical either way.
+
+    ``--trace`` turns span recording on for this invocation and
+    prints the reassembled span tree (client → router → shards) to
+    stderr after the report, keeping stdout pipeable.
     """
+    if not getattr(args, "trace", False):
+        return _run_solve(args)
+    from .obs import trace as obs_trace
+
+    # Tracing must be enabled before the session exists: remote shard
+    # connections negotiate the trace capability in their hello at
+    # connect time, inside session_from_args.
+    obs_trace.enable_tracing()
+    with obs_trace.span("cli.solve", files=len(args.instance)) as root:
+        code = _run_solve(args)
+    print(file=sys.stderr)
+    print(obs_trace.render_tree(root.trace_id), file=sys.stderr)
+    return code
+
+
+def _run_solve(args: argparse.Namespace) -> int:
     objective = _resolve_objective(args.objective)
     session = session_from_args(args)
     if args.batch or len(args.instance) > 1:
@@ -695,6 +741,168 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Render the metrics exposition: local, one server, or a fleet.
+
+    ``--shard host:port`` (repeatable) scrapes every endpoint's
+    ``metrics`` wire op and merges the snapshot-shaped documents into
+    one exact-sum aggregate — the same deterministic merge shard
+    counters get everywhere else.  ``--port`` scrapes a single server;
+    with neither the process-local registry is rendered (mostly useful
+    for embedding checks).  Unreachable fleet members degrade the
+    aggregate with a stderr warning; an entirely dark fleet is fatal.
+    """
+    from .obs import expo as obs_expo
+    from .obs import metrics as obs_metrics
+
+    docs: List[dict] = []
+    failures: List[str] = []
+    if getattr(args, "shard", None):
+        from .api import parse_shard_entry
+        from .service.client import ServiceClient, ServiceError
+
+        try:
+            specs = [
+                parse_shard_entry(s, source="--shard") for s in args.shard
+            ]
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+        for spec in specs:
+            if spec.is_local:
+                raise SystemExit(
+                    "--shard local has no server to scrape; point "
+                    "--shard at `repro serve` endpoints (host:port)"
+                )
+            try:
+                with ServiceClient(
+                    spec.host, spec.port, timeout=10.0
+                ) as client:
+                    docs.append(client.metrics())
+            except (OSError, ServiceError, InstanceError) as exc:
+                failures.append(f"{spec.host}:{spec.port}: {exc}")
+        if not docs:
+            raise SystemExit(
+                "none of the --shard endpoints answered:\n  "
+                + "\n  ".join(failures)
+                + "\nstart the shards with `repro serve` or fix the "
+                "addresses"
+            )
+        for line in failures:
+            print(f"warning: unreachable shard {line}", file=sys.stderr)
+    elif args.port is not None:
+        from .service.client import ServiceClient, ServiceError
+
+        try:
+            with ServiceClient(
+                args.host, args.port, timeout=10.0
+            ) as client:
+                docs.append(client.metrics())
+        except (OSError, ServiceError, InstanceError) as exc:
+            raise SystemExit(
+                f"cannot scrape {args.host}:{args.port}: {exc}\n"
+                "start the server with `repro serve` or fix "
+                "--host/--port"
+            ) from exc
+    else:
+        docs.append(obs_expo.metrics_document(obs_metrics.REGISTRY))
+    merged = (
+        docs[0] if len(docs) == 1 else obs_metrics.merge_snapshots(docs)
+    )
+    if args.format == "json":
+        print(json.dumps(obs_expo.render_json(merged), indent=2))
+    else:
+        sys.stdout.write(obs_expo.render_prometheus(merged))
+    return 0
+
+
+def _collect_trace_spans(args: argparse.Namespace) -> List[dict]:
+    """Spans from the in-process ring plus the JSONL sink files.
+
+    The sink directory comes from ``--dir`` or ``REPRO_TRACE_DIR``;
+    one ``spans-<pid>.jsonl`` per traced process.  Duplicate span ids
+    (a span both buffered locally and persisted) collapse; malformed
+    sink lines are skipped, not fatal — a half-written final line is
+    normal while a traced process is still running.
+    """
+    import os
+
+    from .obs import trace as obs_trace
+
+    spans = list(obs_trace.ring_spans())
+    seen = {(s.get("trace_id"), s.get("span_id")) for s in spans}
+    root = args.dir or os.environ.get(obs_trace.TRACE_DIR_ENV_VAR)
+    if root:
+        for path in sorted(Path(root).glob("spans-*.jsonl")):
+            try:
+                lines = path.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                continue
+            for line in lines:
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(doc, dict):
+                    continue
+                ident = (doc.get("trace_id"), doc.get("span_id"))
+                if ident in seen:
+                    continue
+                seen.add(ident)
+                spans.append(doc)
+    spans.sort(key=lambda s: (s.get("start", 0.0), s.get("span_id", "")))
+    return spans
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect recorded trace spans: ``tail`` | ``show TRACE_ID``."""
+    from .obs import trace as obs_trace
+
+    if args.action == "show" and not args.trace_id:
+        raise SystemExit(
+            "`repro trace show` needs a TRACE_ID — find one with "
+            "`repro trace tail`"
+        )
+    spans = _collect_trace_spans(args)
+    if args.action == "tail":
+        tail = spans[-args.n :] if args.n > 0 else spans
+        if args.json:
+            print(json.dumps(tail, indent=2))
+            return 0
+        if not tail:
+            print(
+                "no spans recorded — run with REPRO_TRACE=1 (and set "
+                "REPRO_TRACE_DIR to persist spans across processes)"
+            )
+            return 0
+        for s in tail:
+            attrs = s.get("attrs") or {}
+            extra = "".join(
+                f" {k}={v}" for k, v in sorted(attrs.items())
+            )
+            print(
+                f"{s.get('trace_id')} {s.get('name', '?'):24s} "
+                f"{s.get('duration_ms', 0.0):9.2f}ms "
+                f"pid={s.get('pid', '?')}{extra}"
+            )
+        return 0
+    matching = [s for s in spans if s.get("trace_id") == args.trace_id]
+    if not matching:
+        raise SystemExit(
+            f"trace {args.trace_id}: no spans in the ring or the sink; "
+            "check the id (`repro trace tail`) and that REPRO_TRACE_DIR "
+            "pointed at the same directory when the trace ran"
+        )
+    if args.json:
+        print(
+            json.dumps(
+                obs_trace.span_tree(args.trace_id, matching), indent=2
+            )
+        )
+    else:
+        print(obs_trace.render_tree(args.trace_id, matching))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the asyncio solve service (blocking until interrupted).
 
@@ -741,6 +949,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_orphaned_batches=args.max_orphaned_batches,
             inject_fault=args.inject_fault,
             wire=args.wire,
+            drain_timeout=args.drain_timeout,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -1260,6 +1469,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="solve through the batch engine (implied by multiple files)",
     )
+    sp.add_argument(
+        "--trace",
+        action="store_true",
+        help="record trace spans for this solve (client, router, and "
+        "every shard that negotiates the capability) and print the "
+        "reassembled span tree to stderr",
+    )
     sp.set_defaults(func=_cmd_solve)
 
     cc = sub.add_parser(
@@ -1324,7 +1540,75 @@ def build_parser() -> argparse.ArgumentParser:
         "negotiated binary frame upgrade (NDJSON always stays "
         "accepted), ndjson declines it (default: REPRO_WIRE or auto)",
     )
+    sv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="on SIGTERM: stop accepting connections, give in-flight "
+        "requests up to S seconds to finish, then exit 0 "
+        "(default 10)",
+    )
     sv.set_defaults(func=_cmd_serve)
+
+    mt = sub.add_parser(
+        "metrics",
+        help="metrics exposition: Prometheus text or pinned JSON",
+        description="Render the unified metrics document — registry "
+        "counters/histograms merged with a read-time projection of "
+        "the cache_stats blocks — for the local process, one live "
+        "`repro serve` endpoint (--port), or a fleet (--shard ..., "
+        "merged into an exact-sum aggregate).",
+    )
+    mt.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="output format: Prometheus text exposition (default) or "
+        "the pinned JSON snapshot document",
+    )
+    mt.add_argument("--host", default="127.0.0.1")
+    mt.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="scrape one live `repro serve` endpoint over the wire",
+    )
+    mt.add_argument(
+        "--shard",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="scrape a fleet endpoint (repeatable); documents merge "
+        "into one aggregate, unreachable members degrade with a "
+        "warning",
+    )
+    mt.set_defaults(func=_cmd_metrics)
+
+    tr = sub.add_parser(
+        "trace",
+        help="inspect recorded trace spans: tail | show TRACE_ID",
+        description="Read spans from the in-process ring and the "
+        "REPRO_TRACE_DIR JSONL sink. `tail` lists the most recent "
+        "spans (one line each, trace id first); `show TRACE_ID` "
+        "renders one trace's reassembled span tree.",
+    )
+    tr.add_argument("action", choices=["tail", "show"])
+    tr.add_argument("trace_id", nargs="?")
+    tr.add_argument(
+        "-n",
+        type=int,
+        default=20,
+        help="tail: spans to list (default 20; 0 = all)",
+    )
+    tr.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="span sink directory (default: $REPRO_TRACE_DIR)",
+    )
+    tr.add_argument("--json", action="store_true")
+    tr.set_defaults(func=_cmd_trace)
 
     lg = sub.add_parser(
         "loadgen",

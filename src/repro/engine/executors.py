@@ -42,6 +42,7 @@ concrete backend, preserving the historical ``solve_many`` behaviour:
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import copy
 import multiprocessing
 import threading
@@ -64,6 +65,8 @@ from typing import (
     runtime_checkable,
 )
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .health import FleetHealth
 from .partition import Partitioner, RingPartitioner
 
@@ -82,6 +85,17 @@ __all__ = [
 
 #: Accepted spellings of the ``backend=`` knob.
 BACKENDS = ("auto", "serial", "process", "async")
+
+_EXEC_TASKS = obs_metrics.counter(
+    "repro_executor_tasks_total",
+    "Cache-miss solve tasks run, by executor backend",
+    labels=("backend",),
+)
+_SHARD_ATTEMPTS = obs_metrics.counter(
+    "repro_shard_attempts_total",
+    "Per-shard fan-out attempts by outcome",
+    labels=("shard", "outcome"),
+)
 
 
 @dataclass(frozen=True)
@@ -139,7 +153,11 @@ class SerialExecutor:
     name = "serial"
 
     def run(self, tasks: Sequence[SolveTask]) -> List[Any]:
-        return [_solve_task(task) for task in tasks]
+        _EXEC_TASKS.labels(self.name).inc(len(tasks))
+        with obs_trace.span(
+            "executor.run", backend=self.name, tasks=len(tasks)
+        ):
+            return [_solve_task(task) for task in tasks]
 
 
 class ProcessPoolExecutor:
@@ -196,28 +214,36 @@ class ProcessPoolExecutor:
     def run(self, tasks: Sequence[SolveTask]) -> List[Any]:
         if self.workers <= 1 or len(tasks) <= 1:
             return SerialExecutor().run(tasks)
-        chunksize = self.chunksize
-        if chunksize is None:
-            chunksize = max(1, len(tasks) // (self.workers * 4) or 1)
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = multiprocessing.get_context("spawn")
-        packed = self._shm_refs(tasks)
-        if packed is not None:
-            from .shm import solve_shm_task
-
-            segment, refs = packed
+        _EXEC_TASKS.labels(self.name).inc(len(tasks))
+        with obs_trace.span(
+            "executor.run",
+            backend=self.name,
+            tasks=len(tasks),
+            workers=self.workers,
+        ) as sp:
+            chunksize = self.chunksize
+            if chunksize is None:
+                chunksize = max(1, len(tasks) // (self.workers * 4) or 1)
             try:
-                with ctx.Pool(processes=self.workers) as pool:
-                    return pool.map(
-                        solve_shm_task, refs, chunksize=chunksize
-                    )
-            finally:
-                segment.close()
-                segment.unlink()
-        with ctx.Pool(processes=self.workers) as pool:
-            return pool.map(_solve_task, tasks, chunksize=chunksize)
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                ctx = multiprocessing.get_context("spawn")
+            packed = self._shm_refs(tasks)
+            if packed is not None:
+                from .shm import solve_shm_task
+
+                sp.set("shm", True)
+                segment, refs = packed
+                try:
+                    with ctx.Pool(processes=self.workers) as pool:
+                        return pool.map(
+                            solve_shm_task, refs, chunksize=chunksize
+                        )
+                finally:
+                    segment.close()
+                    segment.unlink()
+            with ctx.Pool(processes=self.workers) as pool:
+                return pool.map(_solve_task, tasks, chunksize=chunksize)
 
 
 class _Inflight:
@@ -301,9 +327,17 @@ class AsyncQueueExecutor:
         return sem
 
     def _run_one(self, task: SolveTask) -> Any:
-        if self.delegate is not None:
-            return self.delegate.run([task])[0]
-        return _solve_task(task)
+        # Counted here (not in run_async) so coalesced duplicates are
+        # not double-counted: one computation, one task.
+        _EXEC_TASKS.labels(self.name).inc()
+        with obs_trace.span(
+            "executor.solve",
+            backend=self.name,
+            objective=task.objective,
+        ):
+            if self.delegate is not None:
+                return self.delegate.run([task])[0]
+            return _solve_task(task)
 
     async def _compute(self, task: SolveTask, slot: _Inflight) -> None:
         try:
@@ -358,9 +392,14 @@ class AsyncQueueExecutor:
 
     async def run_async(self, tasks: Sequence[SolveTask]) -> List[Any]:
         """All tasks, bounded + coalesced, results in submission order."""
-        return list(
-            await asyncio.gather(*(self._submit(t, None) for t in tasks))
-        )
+        with obs_trace.span(
+            "executor.run", backend=self.name, tasks=len(tasks)
+        ):
+            return list(
+                await asyncio.gather(
+                    *(self._submit(t, None) for t in tasks)
+                )
+            )
 
     # ------------------------------------------------------------------
     # sync API (the solve_many backend contract)
@@ -452,6 +491,7 @@ class ShardedExecutor:
         hedge_delay: Optional[float] = None,
         use_cache: bool = True,
         health: Optional[FleetHealth] = None,
+        probe_interval: Optional[float] = None,
     ) -> None:
         if not shards:
             raise ValueError("ShardedExecutor needs at least one shard")
@@ -471,10 +511,40 @@ class ShardedExecutor:
             )
         self.hedge_delay = hedge_delay
         self.use_cache = use_cache
-        self.health = health or FleetHealth(len(self.shards))
         #: Recorded (not propagated) shard failures, most recent last.
         self.failures: List[Dict[str, Any]] = []
         self._shard_locks = [threading.Lock() for _ in self.shards]
+        # probe_interval opts into FleetHealth's background half-open
+        # prober: ejected shards get an out-of-band liveness ping
+        # instead of waiting for real traffic to pay the probe.  Only
+        # wired when this executor builds its own health (an injected
+        # one owns its probing policy).
+        if health is not None:
+            self.health = health
+        else:
+            self.health = FleetHealth(
+                len(self.shards),
+                prober=(
+                    self._probe_shard
+                    if probe_interval is not None
+                    else None
+                ),
+                probe_interval=probe_interval,
+            )
+
+    def _probe_shard(self, shard: int) -> bool:
+        """One out-of-band liveness check (the half-open probe).
+
+        Remote shards answer a wire ping — under the shard lock, they
+        hold one socket; a local in-process shard is trivially alive.
+        Transport errors propagate: the caller records them as probe
+        failures.
+        """
+        ping = getattr(self.shards[shard], "ping", None)
+        if ping is None:
+            return True
+        with self._shard_locks[shard]:
+            return bool(ping())
 
     def with_deadline(
         self, deadline: Optional[float]
@@ -537,21 +607,31 @@ class ShardedExecutor:
         for position, task in enumerate(tasks):
             by_objective.setdefault(task.objective, []).append(position)
         results: List[Any] = [None] * len(tasks)
-        with self._shard_locks[shard]:
-            for objective, positions in by_objective.items():
-                served = client.solve_many(
-                    [tasks[p].instance for p in positions],
-                    objective,
-                    use_cache=self.use_cache,
-                    deadline=self.deadline,
-                )
-                for position, result in zip(positions, served):
-                    results[position] = result
+        with obs_trace.span(
+            "shard.solve_many", shard=shard, tasks=len(tasks)
+        ):
+            with self._shard_locks[shard]:
+                for objective, positions in by_objective.items():
+                    served = client.solve_many(
+                        [tasks[p].instance for p in positions],
+                        objective,
+                        use_cache=self.use_cache,
+                        deadline=self.deadline,
+                    )
+                    for position, result in zip(positions, served):
+                        results[position] = result
         return results
+
+    def _submit_attempt(self, pool, shard, slice_tasks):
+        """Submit one shard attempt, carrying the ambient trace
+        context across the pool's thread boundary."""
+        ctx = contextvars.copy_context()
+        return pool.submit(ctx.run, self._attempt, shard, slice_tasks)
 
     def run(self, tasks: Sequence[SolveTask]) -> List[Any]:
         if not tasks:
             return []
+        _EXEC_TASKS.labels(self.name).inc(len(tasks))
         results: List[Any] = [None] * len(tasks)
         remaining = list(range(len(tasks)))
         dead: Set[int] = set()  # shards that failed during THIS run
@@ -559,68 +639,83 @@ class ShardedExecutor:
         # primary finish in the background instead of blocking the
         # merged results that are already complete.
         pool = _ThreadPool(max_workers=max(2 * len(self.shards), 2))
+        fleet_span = obs_trace.span(
+            "fleet.run", shards=len(self.shards), tasks=len(tasks)
+        )
         try:
-            while remaining:
-                avail = {
-                    s
-                    for s in self.health.available_shards()
-                    if s not in dead
-                }
-                if not avail:
-                    raise ShardFleetError(len(self.shards), self.failures)
-                by_shard: Dict[int, List[int]] = {}
-                for i in remaining:
-                    owner = self.route(tasks[i].key, avail)
-                    by_shard.setdefault(owner, []).append(i)
-                futures = {
-                    shard: pool.submit(
-                        self._attempt, shard, [tasks[i] for i in idxs]
-                    )
-                    for shard, idxs in by_shard.items()
-                }
-                hedges: Dict[int, Tuple[int, Any]] = {}
-                if self.hedge_delay is not None and len(avail) > 1:
-                    _, laggards = _wait_futures(
-                        list(futures.values()), timeout=self.hedge_delay
-                    )
-                    for shard, idxs in by_shard.items():
-                        if futures[shard] not in laggards:
-                            continue
-                        alt = self.route(
-                            tasks[idxs[0]].key, avail - {shard}
+            with fleet_span:
+                while remaining:
+                    avail = {
+                        s
+                        for s in self.health.available_shards()
+                        if s not in dead
+                    }
+                    if not avail:
+                        raise ShardFleetError(
+                            len(self.shards), self.failures
                         )
-                        if alt is not None:
-                            hedges[shard] = (
-                                alt,
-                                pool.submit(
-                                    self._attempt,
-                                    alt,
-                                    [tasks[i] for i in idxs],
-                                ),
+                    by_shard: Dict[int, List[int]] = {}
+                    for i in remaining:
+                        owner = self.route(tasks[i].key, avail)
+                        by_shard.setdefault(owner, []).append(i)
+                    futures = {
+                        shard: self._submit_attempt(
+                            pool, shard, [tasks[i] for i in idxs]
+                        )
+                        for shard, idxs in by_shard.items()
+                    }
+                    hedges: Dict[int, Tuple[int, Any]] = {}
+                    if self.hedge_delay is not None and len(avail) > 1:
+                        _, laggards = _wait_futures(
+                            list(futures.values()),
+                            timeout=self.hedge_delay,
+                        )
+                        for shard, idxs in by_shard.items():
+                            if futures[shard] not in laggards:
+                                continue
+                            alt = self.route(
+                                tasks[idxs[0]].key, avail - {shard}
                             )
-                next_remaining: List[int] = []
-                for shard, idxs in by_shard.items():
-                    candidates = [(shard, futures[shard])]
-                    if shard in hedges:
-                        candidates.append(hedges[shard])
-                    fut_owner = {fut: s for s, fut in candidates}
-                    served: Optional[List[Any]] = None
-                    for fut in as_completed(list(fut_owner)):
-                        responder = fut_owner[fut]
-                        try:
-                            served = fut.result()
-                        except Exception as exc:
-                            self._record_failure(responder, exc, len(idxs))
-                            dead.add(responder)
+                            if alt is not None:
+                                hedges[shard] = (
+                                    alt,
+                                    self._submit_attempt(
+                                        pool,
+                                        alt,
+                                        [tasks[i] for i in idxs],
+                                    ),
+                                )
+                    next_remaining: List[int] = []
+                    for shard, idxs in by_shard.items():
+                        candidates = [(shard, futures[shard])]
+                        if shard in hedges:
+                            candidates.append(hedges[shard])
+                        fut_owner = {fut: s for s, fut in candidates}
+                        served: Optional[List[Any]] = None
+                        for fut in as_completed(list(fut_owner)):
+                            responder = fut_owner[fut]
+                            try:
+                                served = fut.result()
+                            except Exception as exc:
+                                self._record_failure(
+                                    responder, exc, len(idxs)
+                                )
+                                dead.add(responder)
+                                _SHARD_ATTEMPTS.labels(
+                                    str(responder), "failure"
+                                ).inc()
+                            else:
+                                self.health.record_success(responder)
+                                _SHARD_ATTEMPTS.labels(
+                                    str(responder), "success"
+                                ).inc()
+                                break
+                        if served is None:
+                            next_remaining.extend(idxs)
                         else:
-                            self.health.record_success(responder)
-                            break
-                    if served is None:
-                        next_remaining.extend(idxs)
-                    else:
-                        for i, result in zip(idxs, served):
-                            results[i] = result
-                remaining = next_remaining
+                            for i, result in zip(idxs, served):
+                                results[i] = result
+                    remaining = next_remaining
         finally:
             pool.shutdown(wait=False)
         return results

@@ -76,8 +76,18 @@ from typing import (
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .engine import EngineResult
 from .store import ResultStore
+
+# Mirror of the buffered rstats ticks as live registry counters (the
+# rstats files remain the source of truth for ``cache_stats``).
+_REPAIR_EVENTS = obs_metrics.counter(
+    "repro_repair_probes_total",
+    "Repair-tier probe outcomes",
+    labels=("outcome",),
+)
 
 __all__ = [
     "REPAIR_INDEX_VERSION",
@@ -900,10 +910,15 @@ class RepairTier:
         except Exception:
             return None
         self._bump("attempts")
-        try:
-            outcome, result = self._try_repair(key, plan, rspec)
-        except Exception:
-            outcome, result = "abort", None
+        with obs_trace.span(
+            "repair.attempt", objective=plan.spec.name
+        ) as attempt:
+            try:
+                outcome, result = self._try_repair(key, plan, rspec)
+            except Exception:
+                outcome, result = "abort", None
+            attempt.set("outcome", outcome)
+        _REPAIR_EVENTS.labels(outcome).inc()
         if outcome == "hit":
             self._bump("hits")
             return result

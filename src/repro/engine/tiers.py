@@ -49,10 +49,24 @@ from typing import (
     runtime_checkable,
 )
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .cache import LRUCache
 from .store import ResultStore
 
 __all__ = ["CacheTier", "LRUTier", "StoreTier", "TieredCache"]
+
+# Registry handles are module-level and bound once: TieredCache stacks
+# are rebuilt per call (Session.cache()), so per-instance binding would
+# pay family lookups on every solve.  The counters are *additional*
+# telemetry — each tier's own counters (LRUCache.info(),
+# ResultStore.stats(), repair rstats) remain the source of truth for
+# the unchanged ``cache_stats`` schema.
+_TIER_REQUESTS = obs_metrics.counter(
+    "repro_tier_requests_total",
+    "Tiered-cache probes by tier and outcome",
+    labels=("tier", "outcome"),
+)
 
 
 @runtime_checkable
@@ -188,18 +202,23 @@ class TieredCache:
         return bool(getattr(tier, "needs_context", False))
 
     def get(self, key: str, context: Optional[Any] = None) -> Optional[Any]:
-        for i, tier in enumerate(self.tiers):
-            if self._wants_context(tier):
-                value = tier.get(key, context=context)  # type: ignore[call-arg]
-            else:
-                value = tier.get(key)
-            if value is not None:
-                for upper in self.tiers[:i]:
-                    if self._wants_context(upper):
-                        upper.put(key, value, context=context)  # type: ignore[call-arg]
-                    else:
-                        upper.put(key, value)
-                return value
+        with obs_trace.span("cache.probe") as probe:
+            for i, tier in enumerate(self.tiers):
+                if self._wants_context(tier):
+                    value = tier.get(key, context=context)  # type: ignore[call-arg]
+                else:
+                    value = tier.get(key)
+                if value is not None:
+                    _TIER_REQUESTS.labels(tier.name, "hit").inc()
+                    probe.set("hit", tier.name)
+                    for upper in self.tiers[:i]:
+                        if self._wants_context(upper):
+                            upper.put(key, value, context=context)  # type: ignore[call-arg]
+                        else:
+                            upper.put(key, value)
+                    return value
+                _TIER_REQUESTS.labels(tier.name, "miss").inc()
+            probe.set("hit", "none")
         return None
 
     def get_many(
@@ -218,21 +237,28 @@ class TieredCache:
                 seen.add(key)
                 pending.append(key)
         found: Dict[str, Any] = {}
-        for i, tier in enumerate(self.tiers):
-            if not pending:
-                break
-            if self._wants_context(tier):
-                hits = tier.get_many(pending, contexts=contexts)  # type: ignore[call-arg]
-            else:
-                hits = tier.get_many(pending)
-            if hits:
-                for upper in self.tiers[:i]:
-                    if self._wants_context(upper):
-                        upper.put_many(hits, contexts=contexts)  # type: ignore[call-arg]
-                    else:
-                        upper.put_many(hits)
-                found.update(hits)
-                pending = [k for k in pending if k not in hits]
+        with obs_trace.span("cache.probe_many", keys=len(pending)) as probe:
+            for i, tier in enumerate(self.tiers):
+                if not pending:
+                    break
+                if self._wants_context(tier):
+                    hits = tier.get_many(pending, contexts=contexts)  # type: ignore[call-arg]
+                else:
+                    hits = tier.get_many(pending)
+                if hits:
+                    _TIER_REQUESTS.labels(tier.name, "hit").inc(len(hits))
+                    for upper in self.tiers[:i]:
+                        if self._wants_context(upper):
+                            upper.put_many(hits, contexts=contexts)  # type: ignore[call-arg]
+                        else:
+                            upper.put_many(hits)
+                    found.update(hits)
+                    pending = [k for k in pending if k not in hits]
+                if pending:
+                    _TIER_REQUESTS.labels(tier.name, "miss").inc(
+                        len(pending)
+                    )
+            probe.set("hits", len(found))
         return found
 
     def put(

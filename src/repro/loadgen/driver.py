@@ -63,6 +63,12 @@ __all__ = [
     "replay_reproducer",
 ]
 
+#: Clean-EOF rotations one request may absorb before its failures
+#: start consuming the regular attempt budget (a draining server
+#: closes between requests; an entire fleet mid-restart should not
+#: spin forever).
+_DRAIN_ROTATIONS = 3
+
 
 @dataclass
 class LoadgenOptions:
@@ -336,9 +342,9 @@ async def _worker(
             request = state.next_request()
             if request is None:
                 return
-            for attempt in range(state.options.max_attempts):
-                if attempt:
-                    state.retries += 1
+            attempt = 0
+            drained = 0
+            while True:
                 try:
                     t0 = time.perf_counter()
                     responses, complete = await asyncio.wait_for(
@@ -363,12 +369,30 @@ async def _worker(
                     asyncio.TimeoutError,
                 ) as exc:
                     await conn.drop(rotate=True)
-                    error = f"{type(exc).__name__}: {exc}"
-            else:
-                state.transport_failures.append(
-                    f"request #{request.seq} ({request.kind} "
-                    f"{request.family}): {error}"
-                )
+                    if (
+                        isinstance(exc, asyncio.IncompleteReadError)
+                        and not exc.partial
+                        and drained < _DRAIN_ROTATIONS
+                    ):
+                        # A clean EOF before any response bytes is a
+                        # target draining (SIGTERM rolling restart),
+                        # not a failed request: the server finished
+                        # what it had accepted and closed between
+                        # requests.  Rotate to the next target without
+                        # burning one of this request's attempts —
+                        # bounded, so a fleet that is *all* shutting
+                        # down still fails over to the attempt budget.
+                        drained += 1
+                        continue
+                    attempt += 1
+                    if attempt >= state.options.max_attempts:
+                        state.transport_failures.append(
+                            f"request #{request.seq} ({request.kind} "
+                            f"{request.family}): "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                        break
+                    state.retries += 1
     finally:
         await conn.drop()
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
@@ -26,6 +27,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 __all__ = [
     "HISTORY_ENV_VAR",
     "LOADGEN_EXPERIMENT",
+    "host_info",
     "append_history",
     "percentile",
     "latency_summary",
@@ -37,6 +39,21 @@ HISTORY_ENV_VAR = "BENCH_HISTORY_PATH"
 
 #: The drift experiment key loadgen runs record under (``e20.*`` metrics).
 LOADGEN_EXPERIMENT = "e20_loadgen"
+
+
+def host_info() -> Dict[str, Any]:
+    """The machine identity stamped on every history entry.
+
+    Timings from different machines are not comparable — a laptop
+    entry next to a CI-runner entry reads as a regression.  Drift
+    tracking uses this block to skip cross-machine pairs instead of
+    flagging them.
+    """
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 0,
+    }
 
 
 class _FileLock:
@@ -87,6 +104,7 @@ def append_history(
                 "recorded_at": time.strftime(
                     "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
                 ),
+                "host": host_info(),
                 **payload,
             }
         )

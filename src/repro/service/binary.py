@@ -63,6 +63,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "WIRE_MODES",
     "INTERN_VERSION",
+    "TRACE_VERSION",
     "INTERN_MIN_BLOB_BYTES",
     "InternPool",
     "intern_frame",
@@ -108,6 +109,15 @@ _I64_MAX = (1 << 63) - 1
 #: Version of the column-interning extension negotiated in the hello
 #: (``"intern"`` key); peers that do not echo it never see REF blobs.
 INTERN_VERSION = 1
+#: Version of the trace-propagation extension negotiated in the hello
+#: (``"trace"`` key).  A client that negotiated it may attach a
+#: ``trace`` context document to solve requests and receives the
+#: server's request-scoped spans back in the response; peers that do
+#: not echo it never see either key.  Orthogonal to the frame upgrade —
+#: an NDJSON-pinned client still sends the hello (with
+#: ``wire="ndjson"``) when tracing is on, so the server declines the
+#: binary upgrade but acks the trace capability.
+TRACE_VERSION = 1
 #: Columns below this many raw bytes are never interned — the digest
 #: bookkeeping would cost more than the resend.
 INTERN_MIN_BLOB_BYTES = 512
@@ -131,18 +141,23 @@ def resolve_wire(wire: Optional[str] = None) -> str:
     return wire
 
 
-def hello_doc() -> Dict[str, Any]:
+def hello_doc(wire: str = "binary") -> Dict[str, Any]:
     """The client's capability-negotiation request (sent as NDJSON).
 
-    ``"intern"`` advertises the column-interning extension; an older
-    server ignores the key (and never echoes it back), so REF blobs
-    only ever flow between peers that both negotiated it.
+    ``"intern"`` advertises the column-interning extension, ``"trace"``
+    the trace-propagation extension; an older server ignores unknown
+    keys (and never echoes them back), so REF blobs and span documents
+    only ever flow between peers that both negotiated them.  ``wire``
+    is the frame preference — an NDJSON-pinned client negotiating only
+    the trace capability passes ``"ndjson"`` so the server declines
+    the binary upgrade.
     """
     return {
         "op": "hello",
-        "wire": "binary",
+        "wire": wire,
         "version": WIRE_VERSION,
         "intern": INTERN_VERSION,
+        "trace": TRACE_VERSION,
     }
 
 

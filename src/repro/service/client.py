@@ -23,10 +23,12 @@ import socket
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from ..core.errors import InstanceError
+from ..obs import trace as obs_trace
 from .binary import (
     HEADER_BYTES,
     INTERN_VERSION,
     OP_DOC,
+    TRACE_VERSION,
     WIRE_VERSION,
     InternPool,
     decode_payload,
@@ -76,6 +78,7 @@ class ServiceClient:
         self.timeout = timeout
         self.wire = resolve_wire(wire)
         self.wire_format = "ndjson"  # per-connection negotiated format
+        self.trace_ok = False  # server acked the trace capability
         self.max_line_bytes = int(max_line_bytes)
         self._closed = False
         self._sock: Optional[socket.socket] = None
@@ -98,11 +101,15 @@ class ServiceClient:
         self._fh = self._sock.makefile("rb")
         self._broken = False
         self.wire_format = "ndjson"
+        self.trace_ok = False
         # Pools never survive a reconnect: the server's per-connection
         # pools died with the old socket.
         self._intern_tx = None
         self._intern_rx = None
-        if self.wire != "ndjson":
+        # An NDJSON-pinned client still negotiates when tracing is on —
+        # the hello then advertises wire="ndjson", so the server
+        # declines the frame upgrade but acks the trace capability.
+        if self.wire != "ndjson" or obs_trace.tracing_enabled():
             self._negotiate()
 
     def _negotiate(self) -> None:
@@ -114,11 +121,21 @@ class ServiceClient:
         ``wire="auto"`` falls back silently.
         """
         try:
-            self._sock.sendall(encode(hello_doc()))
+            self._sock.sendall(
+                encode(
+                    hello_doc(
+                        "binary" if self.wire != "ndjson" else "ndjson"
+                    )
+                )
+            )
             response = self._recv()
         except OSError:
             self._broken = True
             raise
+        self.trace_ok = (
+            response.get("ok", False)
+            and response.get("trace") == TRACE_VERSION
+        )
         accepted = (
             response.get("ok", False)
             and response.get("wire") == "binary"
@@ -234,12 +251,30 @@ class ServiceClient:
             )
         return decode(line)
 
+    def _attach_trace(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Stamp the active trace context on a request (only on
+        connections that negotiated the capability)."""
+        if self.trace_ok:
+            ctx = obs_trace.wire_context()
+            if ctx is not None:
+                doc["trace"] = ctx
+        return doc
+
+    @staticmethod
+    def _ingest_trace(response: Dict[str, Any]) -> None:
+        """Merge the response's server-side spans into the local ring
+        (and any active recording scope — a router forwards them up)."""
+        tr = response.get("trace")
+        if isinstance(tr, dict):
+            obs_trace.ingest(tr.get("spans"))
+
     def request(self, doc: Dict[str, Any]) -> Dict[str, Any]:
         """One request, one response line; raises on ``ok: false``."""
         self._send(doc)
         response = self._recv()
         if not response.get("ok", False):
             raise ServiceError(response.get("error", {}))
+        self._ingest_trace(response)
         return response
 
     # ------------------------------------------------------------------
@@ -265,7 +300,7 @@ class ServiceClient:
             doc["params"] = params
         if deadline is not None:
             doc["deadline"] = deadline
-        return self.request(doc)["result"]
+        return self.request(self._attach_trace(doc))["result"]
 
     def iter_solve_many(
         self,
@@ -288,12 +323,13 @@ class ServiceClient:
             doc["params"] = params
         if deadline is not None:
             doc["deadline"] = deadline
-        self._send(doc)
+        self._send(self._attach_trace(doc))
         while True:
             response = self._recv()
             if not response.get("ok", False):
                 raise ServiceError(response.get("error", {}))
             if response.get("done"):
+                self._ingest_trace(response)
                 return
             yield response["result"]
 
@@ -309,6 +345,12 @@ class ServiceClient:
     def cache_stats(self) -> Dict[str, Any]:
         """Per-tier counters of the server's cache stack."""
         return self.request({"op": "cache_stats"})["stats"]
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics exposition document (``metrics`` op):
+        its registry snapshot merged with the projected
+        ``cache_stats`` view, under the pinned JSON schema."""
+        return self.request({"op": "metrics"})["metrics"]
 
     def objectives(self) -> List[str]:
         return list(self.request({"op": "objectives"})["objectives"])

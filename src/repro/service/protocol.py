@@ -222,6 +222,10 @@ def health_doc(server: Any) -> Dict[str, Any]:
         doc["shards"] = fleet.summary()
         if doc["shards"].get("healthy", 0) == 0:
             doc["status"] = "degraded"
+    if getattr(server, "_draining", False):
+        # SIGTERM received: the listener is (about to be) closed, so a
+        # balancer should route elsewhere while in-flight work drains.
+        doc["status"] = "draining"
     return doc
 
 

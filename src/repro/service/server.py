@@ -34,6 +34,9 @@ request never tears down the connection, let alone the server.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import json
+import signal
 import threading
 from typing import Any, Awaitable, Callable, Dict, List, Optional
 
@@ -41,10 +44,14 @@ from ..core.errors import InstanceError
 from ..engine.cache import LRUCache
 from ..engine.executors import BACKENDS, AsyncQueueExecutor
 from ..io import objective_instance_from_dict
+from ..obs import expo as obs_expo
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .binary import (
     HEADER_BYTES,
     INTERN_VERSION,
     OP_DOC,
+    TRACE_VERSION,
     WIRE_VERSION,
     InternPool,
     decode_payload,
@@ -65,6 +72,12 @@ from .protocol import (
 __all__ = ["SolveServer", "ServerHandle"]
 
 Send = Callable[[Dict[str, Any]], Awaitable[None]]
+
+_REQUESTS = obs_metrics.counter(
+    "repro_server_requests_total",
+    "Wire requests handled, by op and status",
+    labels=("op", "status"),
+)
 
 
 class SolveServer:
@@ -98,6 +111,7 @@ class SolveServer:
         inject_fault: Optional[str] = None,
         wire: Optional[str] = None,
         max_line_bytes: int = MAX_LINE_BYTES,
+        drain_timeout: float = 10.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -175,6 +189,13 @@ class SolveServer:
         # request that differs at all — even in field order — simply
         # misses and takes the full path.
         self.response_cache = LRUCache(response_cache_size)
+        # The traced twin of the byte-keyed replay tier.  A traced
+        # request's raw bytes embed a fresh span id every time, so it
+        # can never hit the byte tier; keying the *canonical request
+        # document minus trace/id* lets warm traced traffic replay the
+        # result doc (plus its own fresh spans) instead of paying a
+        # full dispatch — this is what keeps the E23 overhead budget.
+        self._traced_replay = LRUCache(response_cache_size)
         # Keys whose install is currently in flight.  Coalesced waiters
         # all resume at once when a shared solve lands; the first to
         # reach the install step claims the key here (atomic between
@@ -209,6 +230,16 @@ class SolveServer:
             spec, _, delta = inject_fault.partition(":")
             self._fault_objective = REGISTRY.canonical(spec.strip())
             self._fault_delta = float(delta) if delta else 1.0
+        # Graceful drain (SIGTERM in serve_async): stop accepting, let
+        # requests already being dispatched finish for up to
+        # drain_timeout seconds, then exit cleanly.  _active_requests
+        # counts dispatches whose final response is not yet written
+        # (single-threaded event loop — plain int arithmetic is safe);
+        # _draining flips the health probe to "draining" so a balancer
+        # stops routing here before the listener even closes.
+        self.drain_timeout = float(drain_timeout)
+        self._active_requests = 0
+        self._draining = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
 
@@ -274,16 +305,45 @@ class SolveServer:
     def _wire_cacheable(doc: Dict[str, Any]) -> bool:
         """Whether a request's response may be replayed byte-for-byte.
 
-        Only plain cached ``solve`` requests qualify; ``id`` and
-        ``deadline`` are per-request fields, so their presence opts the
-        request out of the wire tier (it still hits the engine tiers).
+        Only plain cached ``solve`` requests qualify; ``id``,
+        ``deadline`` and ``trace`` are per-request fields, so their
+        presence opts the request out of the wire tier (it still hits
+        the engine tiers).
         """
         return (
             doc.get("op") == "solve"
             and bool(doc.get("cache", True))
             and "id" not in doc
             and "deadline" not in doc
+            and "trace" not in doc
         )
+
+    @staticmethod
+    def _traced_replay_key(doc: Dict[str, Any]) -> Optional[str]:
+        """The canonical cache key for a traced solve, or ``None``.
+
+        Mirrors :meth:`_wire_cacheable`'s eligibility (plain cached
+        ``solve``, no deadline) but tolerates ``trace`` and ``id`` by
+        excluding them from the key — both vary per request while the
+        answer does not.
+        """
+        if (
+            doc.get("op") != "solve"
+            or not doc.get("cache", True)
+            or "deadline" in doc
+        ):
+            return None
+        try:
+            return json.dumps(
+                {
+                    key: value
+                    for key, value in doc.items()
+                    if key not in ("trace", "id")
+                },
+                sort_keys=True,
+            )
+        except (TypeError, ValueError):
+            return None
 
     async def _handle_solve(
         self,
@@ -467,7 +527,27 @@ class SolveServer:
     async def _handle_cache_stats(
         self, doc: Dict[str, Any], send: Send
     ) -> None:
-        stats = await asyncio.to_thread(self.session.cache_stats)
+        stats = await asyncio.to_thread(self._collect_stats)
+        await send({"ok": True, "stats": stats, "id": doc.get("id")})
+
+    async def _handle_metrics(
+        self, doc: Dict[str, Any], send: Send
+    ) -> None:
+        """The ``metrics`` op: this process's registry snapshot merged
+        with the projected ``cache_stats`` view, one pinned-schema
+        document a scraper (or ``repro metrics``) renders directly."""
+        document = await asyncio.to_thread(
+            lambda: obs_expo.metrics_document(
+                obs_metrics.REGISTRY, self._collect_stats()
+            )
+        )
+        await send(
+            {"ok": True, "metrics": document, "id": doc.get("id")}
+        )
+
+    def _collect_stats(self) -> Dict[str, Any]:
+        """The full ``cache_stats`` document (sync; call off-loop)."""
+        stats = self.session.cache_stats()
         info = self.response_cache.info()
         by_format: Dict[str, Any] = {}
         for fmt, tier in self._wire_tier.items():
@@ -501,7 +581,7 @@ class SolveServer:
                 "delta": self._fault_delta,
                 "injected": self._fault_injected,
             }
-        await send({"ok": True, "stats": stats, "id": doc.get("id")})
+        return stats
 
     async def _handle_meta(
         self, doc: Dict[str, Any], send: Send
@@ -528,8 +608,79 @@ class SolveServer:
         send: Send,
         raw: Optional[bytes] = None,
         wire: str = "ndjson",
+        trace_ok: bool = False,
+    ) -> None:
+        self._active_requests += 1
+        try:
+            trace_doc = doc.get("trace") if trace_ok else None
+            if trace_doc is None or not obs_trace.tracing_enabled():
+                await self._dispatch_inner(doc, send, raw, wire)
+                return
+            # A traced request: adopt the client's context so server-side
+            # spans chain under its sending span, collect everything this
+            # request records (including spans finished in to_thread
+            # workers — the scope list is shared by reference), and ship
+            # the collection back on the *final* response — the single
+            # reply of a solve, the done line of a solve_many stream, or
+            # the error doc — which is exactly the non-``seq`` one.
+            final: List[Dict[str, Any]] = []
+
+            async def traced_send(out: Dict[str, Any]) -> None:
+                if "seq" in out:
+                    await send(out)
+                else:
+                    final.append(out)
+
+            replay_key = self._traced_replay_key(doc)
+            scope = obs_trace.recording_scope()
+            with scope as spans:
+                with obs_trace.adopted(trace_doc):
+                    with obs_trace.span(
+                        f"server.{doc.get('op')}", port=self.port
+                    ):
+                        cached = (
+                            self._traced_replay.get(replay_key)
+                            if replay_key is not None
+                            else None
+                        )
+                        if cached is not None:
+                            self._wire_tier[wire]["hits"] += 1
+                            final.append(
+                                {
+                                    "ok": True,
+                                    "result": {
+                                        **cached,
+                                        "from_cache": True,
+                                    },
+                                    "id": doc.get("id"),
+                                }
+                            )
+                        else:
+                            await self._dispatch_inner(
+                                doc, traced_send, raw, wire
+                            )
+            if (
+                replay_key is not None
+                and cached is None
+                and final
+                and final[0].get("ok")
+                and "result" in final[0]
+            ):
+                self._traced_replay.put(replay_key, final[0]["result"])
+            for out in final:
+                await send({**out, "trace": {"spans": spans}})
+        finally:
+            self._active_requests -= 1
+
+    async def _dispatch_inner(
+        self,
+        doc: Dict[str, Any],
+        send: Send,
+        raw: Optional[bytes] = None,
+        wire: str = "ndjson",
     ) -> None:
         op = doc.get("op")
+        status = "ok"
         try:
             if op == "solve":
                 await self._handle_solve(doc, send, raw, wire)
@@ -537,12 +688,14 @@ class SolveServer:
                 await self._handle_solve_many(doc, send)
             elif op == "cache_stats":
                 await self._handle_cache_stats(doc, send)
+            elif op == "metrics":
+                await self._handle_metrics(doc, send)
             elif op in ("ping", "objectives", "health"):
                 await self._handle_meta(doc, send)
             else:
                 raise InstanceError(
                     f"unknown op {op!r}; expected solve, solve_many, "
-                    "cache_stats, objectives, ping or health"
+                    "cache_stats, metrics, objectives, ping or health"
                 )
         except asyncio.CancelledError:
             raise
@@ -551,7 +704,10 @@ class SolveServer:
             # sick store tier (OSError), even a solver bug — becomes an
             # error *response line*; the client must never be left
             # waiting on a request that silently died.
+            status = "error"
             await send(error_doc(exc, doc.get("id")))
+        finally:
+            _REQUESTS.labels(str(op), status).inc()
 
     # ------------------------------------------------------------------
     # connection plumbing
@@ -605,6 +761,7 @@ class SolveServer:
         send_bytes: Callable[[bytes], Awaitable[None]],
         tasks: List["asyncio.Task"],
         intern: Optional[Dict[str, Optional[InternPool]]] = None,
+        trace_ok: bool = False,
     ) -> bool:
         """One iteration of the binary read loop; True = close.
 
@@ -684,10 +841,15 @@ class SolveServer:
             }
             if rx is not None:
                 reply["intern"] = INTERN_VERSION
+            if (
+                doc.get("trace") == TRACE_VERSION
+                and obs_trace.tracing_enabled()
+            ):
+                reply["trace"] = TRACE_VERSION
             await send(reply)
             return False
         task = asyncio.ensure_future(
-            self._dispatch(doc, send, frame, "binary")
+            self._dispatch(doc, send, frame, "binary", trace_ok)
         )
         tasks.append(task)
         done = [t for t in tasks if t.done()]
@@ -742,7 +904,12 @@ class SolveServer:
             while True:
                 if state["wire"] == "binary":
                     stop = await self._read_binary_frame(
-                        reader, send, send_bytes, tasks, intern
+                        reader,
+                        send,
+                        send_bytes,
+                        tasks,
+                        intern,
+                        state.get("trace", False),
                     )
                     if stop:
                         break
@@ -796,6 +963,15 @@ class SolveServer:
                         and doc.get("wire") in ("binary", "auto")
                         and doc.get("version") == WIRE_VERSION
                     )
+                    # Trace propagation negotiates independently of the
+                    # frame upgrade (an NDJSON-pinned client still
+                    # sends the hello for it) and is only acked when
+                    # this server records spans at all.
+                    trace_ack = (
+                        doc.get("trace") == TRACE_VERSION
+                        and obs_trace.tracing_enabled()
+                    )
+                    state["trace"] = trace_ack
                     if accept:
                         reply = {
                             "ok": True,
@@ -808,6 +984,8 @@ class SolveServer:
                         # advertised the same extension version.
                         if doc.get("intern") == INTERN_VERSION:
                             reply["intern"] = INTERN_VERSION
+                        if trace_ack:
+                            reply["trace"] = TRACE_VERSION
                         await send(reply)
                         if reply.get("intern") is not None:
                             intern["tx"] = InternPool()
@@ -819,13 +997,14 @@ class SolveServer:
                         counted = True
                         self._wire_transport["binary_connections"] += 1
                     else:
-                        await send(
-                            {
-                                "ok": True,
-                                "wire": "ndjson",
-                                "id": doc.get("id"),
-                            }
-                        )
+                        decline = {
+                            "ok": True,
+                            "wire": "ndjson",
+                            "id": doc.get("id"),
+                        }
+                        if trace_ack:
+                            decline["trace"] = TRACE_VERSION
+                        await send(decline)
                     continue
                 self._wire_tier["ndjson"]["misses"] += 1
                 if not counted:
@@ -834,7 +1013,12 @@ class SolveServer:
                 # Pipelined requests on one connection run concurrently;
                 # response lines carry the request id.
                 task = asyncio.ensure_future(
-                    self._dispatch(doc, send, line)
+                    self._dispatch(
+                        doc,
+                        send,
+                        line,
+                        trace_ok=state.get("trace", False),
+                    )
                 )
                 tasks.append(task)
                 tasks = [t for t in tasks if not t.done()]
@@ -883,11 +1067,57 @@ class SolveServer:
     async def serve_async(
         self, ready: Optional[Callable[["SolveServer"], None]] = None
     ) -> None:
+        """Serve until cancelled — or gracefully drained by SIGTERM.
+
+        SIGTERM flips the drain switch: the listener closes (new
+        connections are refused, the health probe answers
+        ``draining``), requests already being dispatched get up to
+        ``drain_timeout`` seconds to write their final response, and
+        this coroutine returns normally — so ``repro serve`` exits 0
+        and a supervisor's rolling restart never truncates a response
+        mid-write.  Where signal handlers are unavailable (non-main
+        thread, platforms without add_signal_handler) the switch is
+        simply never armed and shutdown stays cancellation-based.
+        """
         server = await self.start()
         if ready is not None:
             ready(self)  # the socket is bound; self.port is resolved
-        async with server:
-            await server.serve_forever()
+        loop = asyncio.get_running_loop()
+        drain = asyncio.Event()
+        armed = False
+        try:
+            loop.add_signal_handler(signal.SIGTERM, drain.set)
+            armed = True
+        except (ValueError, NotImplementedError, RuntimeError):
+            pass
+        try:
+            async with server:
+                forever = asyncio.ensure_future(server.serve_forever())
+                trigger = asyncio.ensure_future(drain.wait())
+                try:
+                    await asyncio.wait(
+                        {forever, trigger},
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                finally:
+                    trigger.cancel()
+                if not drain.is_set():
+                    await forever  # propagate an accept-loop failure
+                    return
+                self._draining = True
+                forever.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await forever
+                server.close()
+                deadline = loop.time() + max(0.0, self.drain_timeout)
+                while self._active_requests and loop.time() < deadline:
+                    await asyncio.sleep(0.05)
+                # Idle keep-alive connections are still parked in
+                # readline(); asyncio.run's shutdown cancels those
+                # handler tasks, whose cleanup closes the writers.
+        finally:
+            if armed:
+                loop.remove_signal_handler(signal.SIGTERM)
 
     def run(
         self, ready: Optional[Callable[["SolveServer"], None]] = None

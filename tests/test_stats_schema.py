@@ -1,0 +1,264 @@
+"""Schema-compat suite: every ``cache_stats`` block is pinned.
+
+The observability subsystem surfaces these same counters through
+``repro metrics`` as a *read-time projection* — nothing in the obs
+work may add, rename, retype or reorder a key inside any existing
+``cache_stats`` document.  This suite pins the exact shape (key sets,
+leaf types, serialized bytes of the type-skeleton) of every block for
+every session kind: local, local-with-store, remote, and sharded.
+
+If a PR legitimately changes a stats schema, it must update the
+pinned skeletons here *and* the exposition projection in
+``repro.obs.expo`` together.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import RemoteSession, Session, ShardedClient
+from repro.service.server import SolveServer
+from tests.helpers import family_instance
+
+# ---------------------------------------------------------------------------
+# Pinned type-skeletons, one per block.  Leaves are the JSON-visible
+# python type name; the assertion serializes both sides with
+# ``sort_keys=True`` so the comparison is byte-identical.
+# ---------------------------------------------------------------------------
+
+LRU = {"hits": "int", "misses": "int", "size": "int", "maxsize": "int"}
+
+STORE = {
+    "hits": "int",
+    "misses": "int",
+    "puts": "int",
+    "entries": "int",
+    "segments": "int",
+    "total_bytes": "int",
+    "path": "str",
+}
+
+WIRE_FORMAT = {"hits": "int", "misses": "int", "hit_rate": "float"}
+
+WIRE = {
+    "hits": "int",
+    "misses": "int",
+    "size": "int",
+    "maxsize": "int",
+    "by_format": {"ndjson": WIRE_FORMAT, "binary": WIRE_FORMAT},
+}
+
+WIRE_TRANSPORT = {
+    "mode": "str",
+    "ndjson_connections": "int",
+    "binary_connections": "int",
+    "binary_bytes_in": "int",
+    "binary_bytes_out": "int",
+    "intern_connections": "int",
+    "intern_blobs_out": "int",
+    "intern_bytes_saved_out": "int",
+}
+
+ORPHANED_BATCHES = {
+    "live": "int",
+    "total": "int",
+    "completed": "int",
+    "rejected": "int",
+    "cap": "int",
+}
+
+SHARD_HEALTH = {
+    "state": "str",
+    "successes": "int",
+    "failures": "int",
+    "consecutive_failures": "int",
+    "retry_in_seconds": "float",
+    "last_error": "str",
+}
+
+
+def skeleton(node):
+    """Replace every leaf with its type name, keeping the nesting."""
+    if isinstance(node, dict):
+        return {key: skeleton(value) for key, value in node.items()}
+    if isinstance(node, bool):  # bool before int: bool is an int subclass
+        return "bool"
+    if isinstance(node, int):
+        return "int"
+    if isinstance(node, float):
+        return "float"
+    if isinstance(node, str):
+        return "str"
+    if node is None:
+        return "null"
+    return type(node).__name__
+
+
+def assert_bytes_identical(actual_skeleton, pinned) -> None:
+    """The canonical JSON of both skeletons must match byte-for-byte."""
+    got = json.dumps(actual_skeleton, sort_keys=True)
+    want = json.dumps(pinned, sort_keys=True)
+    assert got == want, f"cache_stats schema drifted:\n got: {got}\nwant: {want}"
+
+
+def exercise(client) -> None:
+    """One solve so the counters are live, not just zero-initialized."""
+    instance, kwargs = family_instance("minbusy", 3)
+    client.solve(instance, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def threaded_server():
+    server = SolveServer(host="127.0.0.1", port=0)
+    with server.run_in_thread() as handle:
+        yield handle.port
+
+
+class TestLocalSession:
+    def test_storeless_session_is_lru_only(self):
+        with Session(store_path=None) as session:
+            exercise(session)
+            stats = session.cache_stats()
+            assert list(stats) == ["lru"]
+            assert_bytes_identical(skeleton(stats), {"lru": LRU})
+
+    def test_store_session_adds_exactly_the_store_block(self, tmp_path):
+        with Session(store_path=tmp_path / "store") as session:
+            exercise(session)
+            stats = session.cache_stats()
+            assert list(stats) == ["lru", "store"]
+            assert_bytes_identical(
+                skeleton(stats), {"lru": LRU, "store": STORE}
+            )
+
+    def test_stats_are_json_round_trippable(self, tmp_path):
+        with Session(store_path=tmp_path / "store") as session:
+            exercise(session)
+            stats = session.cache_stats()
+            assert json.loads(json.dumps(stats)) == stats
+
+
+class TestRemoteSession:
+    def test_remote_stats_blocks_are_pinned(self, threaded_server):
+        with RemoteSession(port=threaded_server) as remote:
+            exercise(remote)
+            stats = remote.cache_stats()
+            assert list(stats) == [
+                "lru",
+                "wire",
+                "wire_transport",
+                "orphaned_batches",
+            ]
+            assert_bytes_identical(
+                skeleton(stats),
+                {
+                    "lru": LRU,
+                    "wire": WIRE,
+                    "wire_transport": WIRE_TRANSPORT,
+                    "orphaned_batches": ORPHANED_BATCHES,
+                },
+            )
+
+    def test_binary_wire_reports_the_same_schema(self, threaded_server):
+        # The schema is transport-invariant: upgrading the framing must
+        # not grow or shrink any stats block.
+        with RemoteSession(port=threaded_server, wire="binary") as remote:
+            exercise(remote)
+            stats = remote.cache_stats()
+            assert_bytes_identical(
+                skeleton(stats),
+                {
+                    "lru": LRU,
+                    "wire": WIRE,
+                    "wire_transport": WIRE_TRANSPORT,
+                    "orphaned_batches": ORPHANED_BATCHES,
+                },
+            )
+
+
+class TestShardedClient:
+    def test_sharded_stats_blocks_are_pinned(self):
+        with ShardedClient.from_specs(["local", "local"]) as client:
+            exercise(client)
+            stats = client.cache_stats()
+            assert list(stats) == ["lru", "shards"]
+            assert sorted(stats["shards"]) == ["shard0", "shard1"]
+            for shard_doc in stats["shards"].values():
+                assert list(shard_doc) == ["health", "lru"]
+                assert_bytes_identical(
+                    skeleton(shard_doc),
+                    {"health": SHARD_HEALTH, "lru": LRU},
+                )
+
+    def test_mixed_fleet_keeps_per_shard_schema(self, threaded_server):
+        # A remote shard surfaces its full transport blocks next to
+        # health + lru; a local shard stays health + lru only.
+        specs = ["local", f"127.0.0.1:{threaded_server}"]
+        with ShardedClient.from_specs(specs) as client:
+            exercise(client)
+            stats = client.cache_stats()
+            assert list(stats) == ["lru", "shards"]
+            local_doc = stats["shards"]["shard0"]
+            remote_doc = stats["shards"]["shard1"]
+            assert_bytes_identical(
+                skeleton(local_doc), {"health": SHARD_HEALTH, "lru": LRU}
+            )
+            assert_bytes_identical(
+                skeleton(remote_doc),
+                {
+                    "health": SHARD_HEALTH,
+                    "lru": LRU,
+                    "wire": WIRE,
+                    "wire_transport": WIRE_TRANSPORT,
+                    "orphaned_batches": ORPHANED_BATCHES,
+                },
+            )
+
+
+class TestStability:
+    def test_schema_is_stable_across_repeat_reads(self, tmp_path):
+        # Reading stats must not mutate the document shape — a second
+        # read (after more traffic) yields the identical skeleton.
+        with Session(store_path=tmp_path / "store") as session:
+            exercise(session)
+            first = skeleton(session.cache_stats())
+            instance, kwargs = family_instance("minbusy", 4)
+            session.solve(instance, **kwargs)
+            second = skeleton(session.cache_stats())
+            assert json.dumps(first, sort_keys=True) == json.dumps(
+                second, sort_keys=True
+            )
+
+    def test_obs_projection_covers_every_numeric_leaf(self, tmp_path):
+        # The exposition layer's read-time projection must see every
+        # numeric leaf of the pinned schemas — if a block gains a
+        # counter, it shows up in the scrape without a plumbing change.
+        from repro.obs import expo
+
+        with Session(store_path=tmp_path / "store") as session:
+            exercise(session)
+            stats = session.cache_stats()
+        doc = expo.stats_samples(stats)
+        labeled = {
+            (sample["labels"]["block"], sample["labels"]["path"])
+            for family in doc["metrics"]
+            for sample in family["samples"]
+        }
+        expected = set()
+        for block, block_doc in stats.items():
+            for path, value in _numeric_leaves(block_doc, block):
+                expected.add((block, path))
+        assert labeled == expected
+
+
+def _numeric_leaves(node, prefix=""):
+    for key, value in node.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from _numeric_leaves(value, path)
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            yield path, value
